@@ -1,0 +1,21 @@
+"""Figure 1: native SIMD speedup over the no-SIMD build.
+
+Paper shape: most applications gain <10%; string_match stands out
+(+60% in the paper); kmeans/swaptions may even regress slightly.
+"""
+
+from repro.harness import fig01_simd_speedup
+
+from conftest import run_once, show
+
+
+def test_fig01_simd_speedup(benchmark, exp_session, app_session, capsys):
+    exp = run_once(
+        benchmark, lambda: fig01_simd_speedup(exp_session, app_session)
+    )
+    show(capsys, exp)
+    speedups = {row[0]: row[1] for row in exp.rows}
+    kernels = {k: v for k, v in speedups.items()
+               if k not in ("memcached", "sqlite3", "apache")}
+    assert speedups["smatch"] == max(kernels.values())
+    assert sum(1 for v in kernels.values() if v < 10.0) >= 10

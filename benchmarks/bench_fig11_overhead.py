@@ -1,0 +1,23 @@
+"""Figure 11: ELZAR normalized runtime vs native, 1-16 threads.
+
+Paper shape: mean 4.1-5.6x; string_match worst (15-20x vs AVX-enabled
+native); matrix_multiply best (~10% overhead, hidden behind cache
+misses); dedup/streamcluster amortized at high thread counts.
+"""
+
+from repro.harness import fig11_overhead
+
+from conftest import run_once, show
+
+
+def test_fig11_overhead(benchmark, exp_session, capsys):
+    exp = run_once(benchmark, lambda: fig11_overhead(exp_session))
+    show(capsys, exp)
+    overheads = {row[0]: row[1] for row in exp.rows}
+    assert overheads["smatch"] == max(
+        v for k, v in overheads.items() if k != "mean"
+    )
+    mean = exp.row_by_label("mean")
+    assert mean[1] > 2.0
+    dedup = exp.row_by_label("dedup")
+    assert dedup[-1] < dedup[1]  # amortization at 16 threads

@@ -1,0 +1,19 @@
+"""Figure 12: overhead breakdown by disabling checks (16 threads).
+
+Paper shape: disabling load+store checks takes the mean from 4.2x to
+2.7x; disabling branch checks saves only ~4% (the ptest is needed for
+branching anyway).
+"""
+
+from repro.harness import fig12_checks_breakdown
+
+from conftest import run_once, show
+
+
+def test_fig12_checks_breakdown(benchmark, exp_session, capsys):
+    exp = run_once(benchmark, lambda: fig12_checks_breakdown(exp_session))
+    show(capsys, exp)
+    mean = exp.row_by_label("mean")
+    assert mean[1] >= mean[2] >= mean[3] >= mean[4] >= mean[5]
+    branch_saving = (mean[3] - mean[4]) / mean[3]
+    assert branch_saving < 0.10

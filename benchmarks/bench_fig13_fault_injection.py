@@ -1,0 +1,24 @@
+"""Figure 13: fault-injection outcomes, native vs ELZAR.
+
+Paper shape: mean SDC falls 27% -> 5%, crashes 18% -> 6%; histogram is
+ELZAR's worst SDC case (extracted-address window, §V-C), blackscholes
+its best (1%).
+"""
+
+from repro.harness import fig13_fault_injection
+
+from conftest import FI_INJECTIONS, SCALE, run_once, show
+
+
+def test_fig13_fault_injection(benchmark, capsys):
+    scale = "fi" if SCALE == "perf" else "test"
+    exp = run_once(
+        benchmark,
+        lambda: fig13_fault_injection(injections=FI_INJECTIONS, scale=scale),
+    )
+    show(capsys, exp)
+    rows = {(r[0], r[1]): r for r in exp.rows}
+    mean_nat = rows[("mean", "native")]
+    mean_elz = rows[("mean", "elzar")]
+    assert mean_elz[4] < mean_nat[4] / 2   # SDC cut
+    assert mean_elz[3] > mean_nat[3]       # correct rate up

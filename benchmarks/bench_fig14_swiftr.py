@@ -1,0 +1,22 @@
+"""Figure 14: ELZAR vs SWIFT-R (16 threads).
+
+Paper shape: SWIFT-R cheaper on average (2.5x vs 3.7x; ELZAR +46%),
+but ELZAR wins on the FP-heavy trio kmeans / blackscholes /
+fluidanimate and loses badly on memory-dominated histogram /
+string_match / word_count.
+"""
+
+from repro.harness import fig14_swiftr_comparison
+
+from conftest import run_once, show
+
+
+def test_fig14_swiftr_comparison(benchmark, exp_session, capsys):
+    exp = run_once(benchmark, lambda: fig14_swiftr_comparison(exp_session))
+    show(capsys, exp)
+    mean = exp.row_by_label("mean")
+    assert mean[2] > mean[1]  # ELZAR worse on average
+    wins = {r[0] for r in exp.rows if r[0] != "mean" and r[3] < 0}
+    assert "black" in wins
+    losses = {r[0] for r in exp.rows if r[0] != "mean" and r[3] > 0}
+    assert "hist" in losses

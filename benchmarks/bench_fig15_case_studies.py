@@ -1,0 +1,28 @@
+"""Figure 15: case-study throughput (Memcached, SQLite3, Apache).
+
+Paper shape: ELZAR reaches 72-85% of native Memcached throughput
+(workload D above A), only 20-30% for SQLite3 (which also shows its
+reverse scalability curve), and ~85% for Apache (third-party code
+unhardened).
+"""
+
+from repro.harness import fig15_case_studies, relative_throughput
+
+from conftest import run_once, show
+
+
+def test_fig15_case_studies(benchmark, app_session, capsys):
+    exp = run_once(benchmark, lambda: fig15_case_studies(app_session))
+    show(capsys, exp)
+    kv_a = relative_throughput(exp, "memcached", "A")
+    kv_d = relative_throughput(exp, "memcached", "D")
+    sql = relative_throughput(exp, "sqlite3", "A")
+    web = relative_throughput(exp, "apache", "-")
+    with capsys.disabled():
+        print(f"\nrelative throughput: memcached A={kv_a:.2f} D={kv_d:.2f} "
+              f"sqlite3 A={sql:.2f} apache={web:.2f}")
+    assert sql < kv_a and sql < web
+    # sqlite reverse scalability
+    for row in exp.rows:
+        if row[0] == "sqlite3" and row[2] == "native":
+            assert row[3] > row[-1]

@@ -1,0 +1,17 @@
+"""Figure 17: estimated ELZAR with the proposed AVX changes.
+
+Paper shape: the mean overhead drops to ~1.48x (an improvement of
+~150% over current ELZAR), with many benchmarks at 10-20%.
+"""
+
+from repro.harness import fig17_proposed_avx
+
+from conftest import run_once, show
+
+
+def test_fig17_proposed_avx(benchmark, exp_session, capsys):
+    exp = run_once(benchmark, lambda: fig17_proposed_avx(exp_session))
+    show(capsys, exp)
+    mean = exp.row_by_label("mean")
+    assert mean[2] < 0.75 * mean[1]  # a large estimated improvement
+    assert mean[2] < 2.0             # lands near the paper's 1.48x

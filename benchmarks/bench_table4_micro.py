@@ -1,0 +1,18 @@
+"""Table IV / §VII-A: wrapper-only microbenchmark overheads.
+
+Paper shape: loads ~2x, stores ~1x (the store port is the bottleneck
+either way), branches ~1.9x, truncation ~8x.
+"""
+
+from repro.harness import table4_micro
+
+from conftest import run_once, show
+
+
+def test_table4_micro(benchmark, exp_session, capsys):
+    exp = run_once(benchmark, lambda: table4_micro(exp_session))
+    show(capsys, exp)
+    rows = {r[0]: r for r in exp.rows}
+    assert rows["stores"][1] < rows["loads"][1]
+    assert rows["truncation"][1] > max(rows["loads"][1], rows["stores"][1])
+    assert rows["branches"][1] > 1.1

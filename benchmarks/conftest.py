@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate every table and figure of the paper; they
+share one measurement session so workloads are simulated once per
+variant. Environment knobs:
+
+- ``REPRO_SCALE``  ("perf" default, "test" for a fast smoke pass);
+- ``REPRO_FI_INJECTIONS`` (SEUs per program in the Figure 13 campaign,
+  default 150; the paper used 2500).
+"""
+
+import os
+
+import pytest
+
+from repro.harness import AppSession, Session
+
+SCALE = os.environ.get("REPRO_SCALE", "perf")
+FI_INJECTIONS = int(os.environ.get("REPRO_FI_INJECTIONS", "150"))
+
+
+@pytest.fixture(scope="session")
+def exp_session() -> Session:
+    return Session(SCALE)
+
+
+@pytest.fixture(scope="session")
+def app_session() -> AppSession:
+    return AppSession(SCALE)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def show(capsys, experiment):
+    with capsys.disabled():
+        print("\n" + experiment.render())

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Fault-injection campaign: reproduce a slice of Figure 13.
+
+Runs single-event-upset campaigns (paper §IV-B) against the histogram
+and blackscholes kernels in three builds — native, ELZAR, and SWIFT-R —
+and prints the Table-I outcome breakdown for each. Histogram shows the
+worst ELZAR SDC rate (the extracted-address window of vulnerability,
+§V-C); blackscholes the best.
+
+Run:  python examples/fault_injection_campaign.py [injections]
+"""
+
+import sys
+
+from repro.analysis import render_table
+from repro.faults import CampaignConfig, Outcome, run_campaign
+from repro.passes import elzar_transform, inline_module, mem2reg, swiftr_transform
+from repro.workloads import get
+
+
+def main() -> None:
+    injections = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    config = CampaignConfig(injections=injections, seed=2016)
+    rows = []
+    for name in ("histogram", "blackscholes"):
+        workload = get(name)
+        built = workload.build_at("fi")
+        base = mem2reg(built.module)
+        inline_module(base)
+        mem2reg(base)
+        versions = {
+            "native": base,
+            "elzar": elzar_transform(base),
+            "swift-r": swiftr_transform(base),
+        }
+        for version, module in versions.items():
+            result = run_campaign(
+                module, built.entry, built.args, name, version, config
+            )
+            rows.append(
+                (
+                    name,
+                    version,
+                    result.rate(Outcome.HANG),
+                    result.rate(Outcome.OS_DETECTED) + result.rate(Outcome.DETECTED),
+                    result.rate(Outcome.CORRECTED),
+                    result.rate(Outcome.MASKED),
+                    result.sdc_rate,
+                )
+            )
+            print(f"... {name}/{version}: {injections} injections done")
+    print()
+    print(
+        render_table(
+            f"Fault-injection outcomes ({injections} SEUs per program, %)",
+            ("benchmark", "version", "hang", "os/detected", "corrected",
+             "masked", "SDC"),
+            rows,
+            digits=1,
+        )
+    )
+    print(
+        "\nExpected shape (Figure 13): hardening cuts SDC by ~5x; ELZAR's\n"
+        "residual SDCs come from faults on extracted addresses/values\n"
+        "in the scalar window between check and use (§V-C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Static inspection: what does each hardening scheme do to the code?
+
+For one kernel, prints per-function static statistics (instruction
+growth, replication coverage, wrapper/check densities) for ELZAR,
+ELZAR without checks, fail-stop ELZAR, SWIFT-R, and SWIFT — the static
+counterpart of Table III's dynamic instruction-increase factors.
+
+Run:  python examples/inspect_hardening.py [workload]
+"""
+
+import sys
+
+from repro.analysis import diff_reports, inspect_module, render_table
+from repro.passes import (
+    ElzarOptions,
+    elzar_transform,
+    inline_module,
+    mem2reg,
+    swift_transform,
+    swiftr_transform,
+)
+from repro.workloads import get
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "blackscholes"
+    built = get(name).build_at("test")
+    mem2reg(built.module)
+    inline_module(built.module)
+    mem2reg(built.module)
+    before = inspect_module(built.module)
+
+    schemes = {
+        "elzar": elzar_transform(built.module),
+        "elzar (no checks)": elzar_transform(
+            built.module, ElzarOptions.no_checks()
+        ),
+        "elzar (fail-stop)": elzar_transform(
+            built.module, ElzarOptions(fail_stop=True)
+        ),
+        "swift-r": swiftr_transform(built.module),
+        "swift (DMR)": swift_transform(built.module),
+    }
+
+    rows = []
+    for label, module in schemes.items():
+        after = inspect_module(module)
+        for fn_name, static_before, static_after, growth, checks, wrappers in (
+            diff_reports(before, after)
+        ):
+            if fn_name != built.entry:
+                continue
+            coverage = after.functions[fn_name].replication_coverage
+            rows.append(
+                (
+                    label,
+                    static_before,
+                    static_after,
+                    growth,
+                    f"{100 * coverage:.0f}%",
+                    checks,
+                    wrappers,
+                )
+            )
+    print(
+        render_table(
+            f"Static hardening statistics for @{built.entry} of {name}",
+            ("scheme", "instrs_before", "instrs_after", "growth",
+             "replicated", "checks", "wrappers"),
+            rows,
+        )
+    )
+    print(
+        "\nReading: ELZAR's growth is wrappers + checks around scalar\n"
+        "sync instructions (its compute stays 1:1 as vectors), while\n"
+        "SWIFT-R's growth is the triplicated compute itself — the\n"
+        "trade at the heart of the paper (§III-C, Table III)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: harden a small program with ELZAR and watch it mask a
+transient CPU fault.
+
+Builds a tiny dot-product kernel with the IR builder, prints the IR
+before and after the ELZAR transformation (compare with Figures 5/10 of
+the paper), runs both versions, and finally injects a single-event
+upset into a replicated register to show majority voting correcting it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cpu import FaultPlan, Machine, MachineConfig
+from repro.ir import IRBuilder, Module, format_function
+from repro.ir import types as T
+from repro.passes import elzar_transform
+
+
+def build_dot_product() -> Module:
+    module = Module("quickstart")
+    module.add_global("a", T.ArrayType(T.I64, 16), list(range(16)))
+    module.add_global("b", T.ArrayType(T.I64, 16), [i * 3 + 1 for i in range(16)])
+    fn = module.add_function("dot", T.FunctionType(T.I64, (T.I64,)), ["n"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    ga, gb = module.get_global("a"), module.get_global("b")
+    loop = b.begin_loop(b.i64(0), fn.args[0])
+    acc = b.loop_phi(loop, b.i64(0), "acc")
+    x = b.load(T.I64, b.gep(T.I64, ga, loop.index))
+    y = b.load(T.I64, b.gep(T.I64, gb, loop.index))
+    b.set_loop_next(loop, acc, b.add(acc, b.mul(x, y)))
+    b.end_loop(loop)
+    b.ret(acc)
+    return module
+
+
+def main() -> None:
+    module = build_dot_product()
+    print("=== Original IR (compare Figure 5a) ===")
+    print(format_function(module.get_function("dot")))
+
+    hardened = elzar_transform(module)
+    print("\n=== ELZAR-hardened IR (compare Figures 5c/10b) ===")
+    print(format_function(hardened.get_function("dot")))
+
+    native = Machine(module).run("dot", [16])
+    elzar = Machine(hardened).run("dot", [16])
+    print("\n=== Performance (simulated Haswell cycles) ===")
+    print(f"native: result={native.value}  cycles={native.cycles:8.0f}  "
+          f"ilp={native.ilp:.2f}")
+    print(f"elzar : result={elzar.value}  cycles={elzar.cycles:8.0f}  "
+          f"ilp={elzar.ilp:.2f}  (overhead {elzar.cycles / native.cycles:.2f}x)")
+    assert native.value == elzar.value
+
+    print("\n=== Fault injection ===")
+    # Scan for an injection point that lands in a replicated register
+    # (some dynamic values are scalar or architecturally dead).
+    for index in range(200):
+        machine = Machine(hardened, MachineConfig(collect_timing=False))
+        machine.arm_fault(FaultPlan(target_index=index, bit=13, lane=2))
+        result = machine.run("dot", [16])
+        if machine.counters.corrections > 0:
+            break
+    print(f"bit 13 of SIMD lane 2 flipped at dynamic value #{index}...")
+    print(f"result: {result.value} (still correct)")
+    print(f"majority-vote corrections performed: "
+          f"{machine.counters.corrections}")
+    assert result.value == native.value
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+This is the one-stop driver behind EXPERIMENTS.md: it renders Figures
+1, 11, 12, 13, 14, 15, 17 and Tables II, III, IV plus the §V-B
+float-only study. Expect it to take tens of minutes at the default
+"perf" scale (the simulator interprets every instruction); pass "test"
+for a quick but noisier pass.
+
+Run:  python examples/reproduce_paper.py [perf|test] [fi_injections]
+"""
+
+import sys
+import time
+
+from repro.harness import (
+    AppSession,
+    Session,
+    fig01_simd_speedup,
+    fig11_overhead,
+    fig12_checks_breakdown,
+    fig13_fault_injection,
+    fig14_swiftr_comparison,
+    fig15_case_studies,
+    fig17_proposed_avx,
+    fp_only_overhead,
+    table2_native_stats,
+    table3_ilp,
+    table4_micro,
+)
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "perf"
+    injections = int(sys.argv[2]) if len(sys.argv) > 2 else 150
+    start = time.time()
+    session = Session(scale)
+    apps = AppSession(scale)
+
+    experiments = [
+        lambda: fig01_simd_speedup(session, apps),
+        lambda: fig11_overhead(session),
+        lambda: fig12_checks_breakdown(session),
+        lambda: fig13_fault_injection(injections=injections),
+        lambda: fig14_swiftr_comparison(session),
+        lambda: fig15_case_studies(apps),
+        lambda: fig17_proposed_avx(session),
+        lambda: table2_native_stats(session),
+        lambda: table3_ilp(session),
+        lambda: table4_micro(session),
+        lambda: fp_only_overhead(session),
+    ]
+    for make in experiments:
+        experiment = make()
+        print(experiment.render())
+        print(f"-- elapsed {time.time() - start:.0f}s\n")
+
+
+if __name__ == "__main__":
+    main()

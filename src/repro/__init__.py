@@ -1,0 +1,93 @@
+"""repro — a reproduction of "ELZAR: Triple Modular Redundancy Using
+Intel AVX" (Kuvaiskii et al., DSN 2016).
+
+Public surface:
+
+- :mod:`repro.ir` — the typed SSA IR and builder;
+- :mod:`repro.passes` — optimizations, the auto-vectorizer, and the
+  ELZAR / SWIFT-R / SWIFT hardening transformations;
+- :mod:`repro.cpu` — the simulated machine (interpreter, caches,
+  branch predictor, Haswell-like timing, thread-scalability model);
+- :mod:`repro.avx` — AVX lane semantics and cost tables;
+- :mod:`repro.faults` — single-event-upset injection campaigns;
+- :mod:`repro.workloads` — Phoenix/PARSEC-like kernels + IR libc/libm;
+- :mod:`repro.apps` — the Memcached/SQLite3/Apache case studies;
+- :mod:`repro.harness` — one entry point per paper table/figure.
+
+Quick start::
+
+    from repro import harden, Machine
+    from repro.workloads import get
+
+    built = get("histogram").build_at("test")
+    hardened = harden(built.module)          # ELZAR TMR
+    result = Machine(hardened).run(built.entry, built.args)
+"""
+
+from .avx import HASWELL, PROPOSED_AVX
+from .cpu import FaultPlan, Machine, MachineConfig, RunResult
+from .faults import CampaignConfig, Outcome, run_campaign
+from .ir import IRBuilder, Module, format_module, parse_module, verify_module
+from .passes import (
+    ElzarOptions,
+    SwiftOptions,
+    elzar_transform,
+    inline_module,
+    mem2reg,
+    swift_transform,
+    swiftr_transform,
+)
+from .passes.vectorize import vectorize
+
+__version__ = "1.0.0"
+
+
+def harden(module, scheme: str = "elzar", **options):
+    """Harden every defined function of ``module``.
+
+    ``scheme`` is one of ``"elzar"`` (AVX-style TMR, the paper's
+    contribution), ``"swiftr"`` (instruction-triplication TMR baseline),
+    or ``"swift"`` (DMR detection only). Keyword options are forwarded
+    to the scheme's options dataclass (e.g. ``check_loads=False``,
+    ``float_only=True``, ``exclude=frozenset({...})``).
+
+    Returns a new module; the input is left untouched. Run ``mem2reg``
+    (and ideally ``inline_module``) first so data lives in registers,
+    where replication can protect it.
+    """
+    if scheme == "elzar":
+        return elzar_transform(module, ElzarOptions(**options))
+    if scheme == "swiftr":
+        return swiftr_transform(module, SwiftOptions(copies=3, **options))
+    if scheme == "swift":
+        return swift_transform(module, SwiftOptions(copies=2, **options))
+    raise ValueError(
+        f"unknown scheme {scheme!r}; expected elzar, swiftr, or swift"
+    )
+
+
+__all__ = [
+    "CampaignConfig",
+    "ElzarOptions",
+    "FaultPlan",
+    "HASWELL",
+    "IRBuilder",
+    "Machine",
+    "MachineConfig",
+    "Module",
+    "Outcome",
+    "PROPOSED_AVX",
+    "RunResult",
+    "SwiftOptions",
+    "elzar_transform",
+    "format_module",
+    "harden",
+    "inline_module",
+    "mem2reg",
+    "parse_module",
+    "run_campaign",
+    "swift_transform",
+    "swiftr_transform",
+    "vectorize",
+    "verify_module",
+]

@@ -1,0 +1,103 @@
+"""Command-line driver: regenerate paper tables/figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig11 [--scale test|perf]
+    python -m repro all [--scale test|perf] [--injections N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import (
+    AppSession,
+    Session,
+    compute_scorecard,
+    fig01_simd_speedup,
+    fig11_overhead,
+    fig12_checks_breakdown,
+    fig13_fault_injection,
+    fig14_swiftr_comparison,
+    fig15_case_studies,
+    fig17_proposed_avx,
+    fp_only_overhead,
+    table2_native_stats,
+    table3_ilp,
+    table4_micro,
+)
+
+_EXPERIMENTS = {
+    "fig1": lambda s, a, n: fig01_simd_speedup(s, a),
+    "fig11": lambda s, a, n: fig11_overhead(s),
+    "fig12": lambda s, a, n: fig12_checks_breakdown(s),
+    "fig13": lambda s, a, n: fig13_fault_injection(
+        injections=n, scale="fi" if s.scale == "perf" else "test"
+    ),
+    "fig14": lambda s, a, n: fig14_swiftr_comparison(s),
+    "fig15": lambda s, a, n: fig15_case_studies(a),
+    "fig17": lambda s, a, n: fig17_proposed_avx(s),
+    "table2": lambda s, a, n: table2_native_stats(s),
+    "table3": lambda s, a, n: table3_ilp(s),
+    "table4": lambda s, a, n: table4_micro(s),
+    "fp-only": lambda s, a, n: fp_only_overhead(s),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of the ELZAR paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see `list`), or 'all', or 'list'",
+    )
+    parser.add_argument("--scale", default="perf", choices=("perf", "test"))
+    parser.add_argument("--injections", type=int, default=150,
+                        help="SEUs per program for fig13 (paper: 2500)")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each experiment as DIR/<id>.csv")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in _EXPERIMENTS:
+            print(name)
+        print("scorecard")
+        return 0
+
+    if args.experiment == "scorecard":
+        session = Session(args.scale)
+        apps = AppSession(args.scale)
+        card = compute_scorecard(session, apps, fi_injections=0)
+        print(card.render())
+        return 0 if card.failed == 0 else 1
+
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+
+    session = Session(args.scale)
+    apps = AppSession(args.scale)
+    start = time.time()
+    for name in names:
+        experiment = _EXPERIMENTS[name](session, apps, args.injections)
+        print(experiment.render())
+        if args.csv:
+            import os
+
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"{experiment.id}.csv")
+            experiment.save(path)
+            print(f"-- wrote {path}")
+        print(f"-- elapsed {time.time() - start:.0f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

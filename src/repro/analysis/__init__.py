@@ -1,0 +1,23 @@
+"""repro.analysis — result aggregation, text rendering, and static
+module inspection."""
+
+from .inspect import (
+    FunctionReport,
+    ModuleReport,
+    diff_reports,
+    inspect_function,
+    inspect_module,
+)
+from .report import arithmetic_mean, fmt, geometric_mean, render_table
+
+__all__ = [
+    "FunctionReport",
+    "ModuleReport",
+    "arithmetic_mean",
+    "diff_reports",
+    "fmt",
+    "geometric_mean",
+    "inspect_function",
+    "inspect_module",
+    "render_table",
+]

@@ -1,0 +1,57 @@
+"""Text rendering for experiment results: aligned tables matching the
+paper's figures/tables, printable from benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def fmt(value, digits: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    digits: int = 2,
+) -> str:
+    """Render rows as an aligned text table with a title rule."""
+    str_rows = [[fmt(c, digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out: List[str] = []
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out.append(title)
+    out.append(rule)
+    out.append(line(headers))
+    out.append(rule)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(rule)
+    return "\n".join(out)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,174 @@
+"""Memcached-like in-memory key-value store (paper §VI, Figure 15a).
+
+An open-addressing hash table (fibonacci hashing, linear probing) over
+a keyspace deliberately much larger than the L1/L2 caches: the paper
+attributes ELZAR's good Memcached results (72-85% of native throughput)
+to the store's poor memory locality, which hides the wrapper overhead
+behind cache misses.
+
+The request loop consumes a YCSB trace (ops + keys); throughput is
+derived from simulated cycles-per-op and the thread model below
+(near-linear scaling for both native and hardened builds, as in
+Figure 15a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..cpu.intrinsics import rt_print_i64
+from ..cpu.threads import ScalabilityProfile, runtime_at
+from ..ir import types as T
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from .ycsb import OP_READ, YcsbTrace
+
+#: Memcached scales near-linearly; a small sync share models connection
+#: handling and LRU-lock contention.
+PROFILE = ScalabilityProfile(parallel_fraction=0.97, sync_fraction=0.015,
+                             sync_growth=0.12)
+
+FIB = 11400714819323198485  # 2^64 / golden ratio
+
+
+@dataclass
+class KvApp:
+    module: Module
+    entry: str
+    args: tuple
+    expected_checksum: int
+
+
+def build(trace: YcsbTrace, table_size: int = 1 << 12) -> KvApp:
+    """Build the KV request-processing program for a YCSB trace."""
+    if table_size & (table_size - 1):
+        raise ValueError("table_size must be a power of two")
+    nops = len(trace.ops)
+
+    module = Module(f"kvstore.{trace.name}")
+    gops = module.add_global("ops", T.ArrayType(T.I64, nops), list(trace.ops))
+    gkeys = module.add_global("keys", T.ArrayType(T.I64, nops), list(trace.keys))
+    gtk = module.add_global("table_keys", T.ArrayType(T.I64, table_size))
+    gtv = module.add_global("table_vals", T.ArrayType(T.I64, table_size))
+    print_i64 = rt_print_i64(module)
+
+    # put(key, value): insert or update; returns slot index.
+    put = module.add_function("kv_put", T.FunctionType(T.I64, (T.I64, T.I64)),
+                              ["key", "value"])
+    b = IRBuilder()
+    b.position_at_end(put.append_block("entry"))
+    key, value = put.args
+    stored_key = b.add(key, b.i64(1))  # avoid the 0 = empty sentinel
+    h = b.lshr(b.mul(stored_key, b.i64(FIB)), b.i64(64 - table_size.bit_length() + 1))
+    probe = b.begin_loop(b.i64(0), b.i64(table_size), name="probe")
+    slot = b.and_(b.add(h, probe.index), b.i64(table_size - 1))
+    cur = b.load(T.I64, b.gep(T.I64, gtk, slot))
+    empty = b.icmp("eq", cur, b.i64(0))
+    match = b.icmp("eq", cur, stored_key)
+    hit = b.or_(empty, match)
+    state = b.begin_if(hit)
+    b.store(stored_key, b.gep(T.I64, gtk, slot))
+    b.store(value, b.gep(T.I64, gtv, slot))
+    b.ret(slot)
+    b.position_at_end(state.merge)
+    b.end_loop(probe)
+    b.ret(b.i64(-1))  # table full
+
+    # get(key): value or 0.
+    get = module.add_function("kv_get", T.FunctionType(T.I64, (T.I64,)), ["key"])
+    b.position_at_end(get.append_block("entry"))
+    (gkey,) = get.args
+    stored_key = b.add(gkey, b.i64(1))
+    h = b.lshr(b.mul(stored_key, b.i64(FIB)), b.i64(64 - table_size.bit_length() + 1))
+    probe = b.begin_loop(b.i64(0), b.i64(table_size), name="probe")
+    slot = b.and_(b.add(h, probe.index), b.i64(table_size - 1))
+    cur = b.load(T.I64, b.gep(T.I64, gtk, slot))
+    match = b.icmp("eq", cur, stored_key)
+    state = b.begin_if(match)
+    b.ret(b.load(T.I64, b.gep(T.I64, gtv, slot)))
+    b.position_at_end(state.merge)
+    empty = b.icmp("eq", cur, b.i64(0))
+    state2 = b.begin_if(empty)
+    b.ret(b.i64(0))
+    b.position_at_end(state2.merge)
+    b.end_loop(probe)
+    b.ret(b.i64(0))
+
+    # main(nops): preload the keyspace, then serve the trace.
+    fn = module.add_function("main", T.FunctionType(T.I64, (T.I64, T.I64)),
+                             ["nops", "keyspace"])
+    b.position_at_end(fn.append_block("entry"))
+    nops_arg, keyspace_arg = fn.args
+    pre = b.begin_loop(b.i64(0), keyspace_arg, name="preload")
+    b.call(put, [pre.index, b.mul(pre.index, b.i64(3))])
+    b.end_loop(pre)
+
+    serve = b.begin_loop(b.i64(0), nops_arg, name="op")
+    checksum = b.loop_phi(serve, b.i64(0), "checksum")
+    op = b.load(T.I64, b.gep(T.I64, gops, serve.index))
+    k = b.load(T.I64, b.gep(T.I64, gkeys, serve.index))
+    is_read = b.icmp("eq", op, b.i64(OP_READ))
+    state = b.begin_if(is_read, with_else=True)
+    got = b.call(get, [k])
+    b.begin_else(state)
+    slot = b.call(put, [k, b.add(k, serve.index)])
+    b.end_if(state)
+    merged = b.phi(T.I64, "merged")
+    merged.add_incoming(got, state.then_end)
+    merged.add_incoming(slot, state.else_block)
+    b.set_loop_next(serve, checksum, b.add(checksum, merged))
+    b.end_loop(serve)
+    b.call(print_i64, [checksum])
+    b.ret(checksum)
+
+    expected = _reference(trace, table_size)
+    return KvApp(module, "main", (nops, trace.keyspace), expected)
+
+
+def _reference(trace: YcsbTrace, table_size: int) -> int:
+    mask = table_size - 1
+    shift = 64 - table_size.bit_length() + 1
+    tk = [0] * table_size
+    tv = [0] * table_size
+
+    def put(key: int, value: int) -> int:
+        sk = key + 1
+        h = ((sk * FIB) & ((1 << 64) - 1)) >> shift
+        for i in range(table_size):
+            slot = (h + i) & mask
+            if tk[slot] == 0 or tk[slot] == sk:
+                tk[slot] = sk
+                tv[slot] = value
+                return slot
+        return -1
+
+    def get(key: int) -> int:
+        sk = key + 1
+        h = ((sk * FIB) & ((1 << 64) - 1)) >> shift
+        for i in range(table_size):
+            slot = (h + i) & mask
+            if tk[slot] == sk:
+                return tv[slot]
+            if tk[slot] == 0:
+                return 0
+        return 0
+
+    for k in range(trace.keyspace):
+        put(k, k * 3)
+    checksum = 0
+    for i, (op, k) in enumerate(zip(trace.ops, trace.keys)):
+        if op == OP_READ:
+            checksum += get(k)
+        else:
+            checksum += put(k, k + i)
+    checksum &= (1 << 64) - 1
+    return checksum - (1 << 64) if checksum >= 1 << 63 else checksum
+
+
+def throughput(cycles_per_op: float, threads: int,
+               clock_ghz: float = 2.0) -> float:
+    """Requests/second at ``threads`` threads (Figure 15a model): each
+    thread serves requests independently; the profile's sync share
+    covers the shared LRU/connection handling."""
+    total_ops = 1.0
+    cycles = runtime_at(cycles_per_op * total_ops, threads, PROFILE)
+    return total_ops / cycles * clock_ghz * 1e9

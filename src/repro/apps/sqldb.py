@@ -1,0 +1,178 @@
+"""SQLite3-like embedded database (paper §VI, Figure 15b).
+
+An in-memory table: a sorted key column searched by binary search
+(chains of dependent loads and compares) plus an unsorted append tail
+scanned linearly — the "high number of locally near loads and stores,
+as well as function calls" the paper blames for ELZAR reaching only
+20-30% of native throughput on SQLite3.
+
+SQLite3 is thread-safe but not concurrent: a global lock serializes
+every operation, so throughput *decreases* as threads are added (the
+paper's "reverse scalability curve"); :func:`throughput` models that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..cpu.intrinsics import rt_print_i64
+from ..ir import types as T
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from .ycsb import OP_READ, YcsbTrace
+
+#: Per-extra-thread lock-contention cost (fraction of an op's work).
+LOCK_CONTENTION = 0.12
+
+
+@dataclass
+class SqlApp:
+    module: Module
+    entry: str
+    args: tuple
+    expected_checksum: int
+
+
+def build(trace: YcsbTrace, tail_capacity: int = 2048) -> SqlApp:
+    nops = len(trace.ops)
+    nsorted = trace.keyspace
+
+    module = Module(f"sqldb.{trace.name}")
+    gops = module.add_global("ops", T.ArrayType(T.I64, nops), list(trace.ops))
+    gkeys = module.add_global("keys", T.ArrayType(T.I64, nops), list(trace.keys))
+    # Sorted region: keys 0..keyspace-1 with values 2k+5.
+    gskeys = module.add_global(
+        "sorted_keys", T.ArrayType(T.I64, nsorted), list(range(nsorted))
+    )
+    gsvals = module.add_global(
+        "sorted_vals", T.ArrayType(T.I64, nsorted), [2 * k + 5 for k in range(nsorted)]
+    )
+    gtkeys = module.add_global("tail_keys", T.ArrayType(T.I64, tail_capacity))
+    gtvals = module.add_global("tail_vals", T.ArrayType(T.I64, tail_capacity))
+    print_i64 = rt_print_i64(module)
+
+    # select(key, nsorted, tail_len) -> value or -1.
+    select = module.add_function(
+        "sql_select", T.FunctionType(T.I64, (T.I64, T.I64, T.I64)),
+        ["key", "nsorted", "tail_len"],
+    )
+    b = IRBuilder()
+    b.position_at_end(select.append_block("entry"))
+    key, nsorted_arg, tail_len = select.args
+
+    # Binary search over the sorted region: a bounded bisection loop
+    # (enough iterations for the build-time keyspace); once the range
+    # closes or the key is found, remaining iterations are no-ops.
+    bisect_steps = max(2, nsorted.bit_length() + 1)
+    lo_slot = b.alloca(T.I64)
+    hi_slot = b.alloca(T.I64)
+    found_slot = b.alloca(T.I64)
+    b.store(b.i64(0), lo_slot)
+    b.store(nsorted_arg, hi_slot)
+    b.store(b.i64(-1), found_slot)
+    bs = b.begin_loop(b.i64(0), b.i64(bisect_steps), name="bisect")
+    lo = b.load(T.I64, lo_slot)
+    hi = b.load(T.I64, hi_slot)
+    open_range = b.icmp("slt", lo, hi)
+    cont = b.begin_if(open_range)
+    mid = b.sdiv(b.add(lo, hi), b.i64(2))
+    mkey = b.load(T.I64, b.gep(T.I64, gskeys, mid))
+    eq = b.icmp("eq", mkey, key)
+    hit = b.begin_if(eq, with_else=True)
+    b.store(b.load(T.I64, b.gep(T.I64, gsvals, mid)), found_slot)
+    b.store(b.i64(0), lo_slot)
+    b.store(b.i64(0), hi_slot)
+    b.begin_else(hit)
+    below = b.icmp("slt", mkey, key)
+    arm = b.begin_if(below, with_else=True)
+    b.store(b.add(mid, b.i64(1)), lo_slot)
+    b.begin_else(arm)
+    b.store(mid, hi_slot)
+    b.end_if(arm)
+    b.end_if(hit)
+    b.end_if(cont)
+    b.end_loop(bs)
+
+    found = b.load(T.I64, found_slot)
+    got = b.icmp("sge", found, b.i64(0))
+    state = b.begin_if(got)
+    b.ret(found)
+    b.position_at_end(state.merge)
+
+    # Linear scan of the tail (most recent first would need reverse
+    # iteration; forward scan returns the last match via a slot).
+    match_slot = b.alloca(T.I64)
+    b.store(b.i64(-1), match_slot)
+    sc = b.begin_loop(b.i64(0), tail_len, name="scan")
+    tk = b.load(T.I64, b.gep(T.I64, gtkeys, sc.index))
+    same = b.icmp("eq", tk, key)
+    st2 = b.begin_if(same)
+    b.store(b.load(T.I64, b.gep(T.I64, gtvals, sc.index)), match_slot)
+    b.end_if(st2)
+    b.end_loop(sc)
+    b.ret(b.load(T.I64, match_slot))
+
+    # main(nops, keyspace): run the trace.
+    fn = module.add_function(
+        "main", T.FunctionType(T.I64, (T.I64, T.I64)), ["nops", "keyspace"]
+    )
+    b.position_at_end(fn.append_block("entry"))
+    nops_arg, keyspace_arg = fn.args
+
+    serve = b.begin_loop(b.i64(0), nops_arg, name="op")
+    checksum = b.loop_phi(serve, b.i64(0), "checksum")
+    tail_len = b.loop_phi(serve, b.i64(0), "tail_len")
+    op = b.load(T.I64, b.gep(T.I64, gops, serve.index))
+    k = b.load(T.I64, b.gep(T.I64, gkeys, serve.index))
+    is_read = b.icmp("eq", op, b.i64(OP_READ))
+    state = b.begin_if(is_read, with_else=True)
+    value = b.call(select, [k, keyspace_arg, tail_len])
+    b.begin_else(state)
+    # insert/update: append to the tail.
+    b.store(k, b.gep(T.I64, gtkeys, tail_len))
+    appended = b.add(k, b.i64(17))
+    b.store(appended, b.gep(T.I64, gtvals, tail_len))
+    b.end_if(state)
+    merged = b.phi(T.I64, "merged")
+    merged.add_incoming(value, state.then_end)
+    merged.add_incoming(appended, state.else_block)
+    tail_next = b.select(is_read, tail_len, b.add(tail_len, b.i64(1)))
+    b.set_loop_next(serve, checksum, b.add(checksum, merged))
+    b.set_loop_next(serve, tail_len, tail_next)
+    b.end_loop(serve)
+    b.call(print_i64, [checksum])
+    b.ret(checksum)
+
+    expected = _reference(trace)
+    return SqlApp(module, "main", (nops, trace.keyspace), expected)
+
+
+def _reference(trace: YcsbTrace) -> int:
+    sorted_vals = {k: 2 * k + 5 for k in range(trace.keyspace)}
+    tail: List = []
+    checksum = 0
+    for op, k in zip(trace.ops, trace.keys):
+        if op == OP_READ:
+            value = -1
+            if k in sorted_vals:
+                value = sorted_vals[k]
+            else:
+                for tk, tv in tail:
+                    if tk == k:
+                        value = tv
+            checksum += value
+        else:
+            tail.append((k, k + 17))
+            checksum += k + 17
+    checksum &= (1 << 64) - 1
+    return checksum - (1 << 64) if checksum >= 1 << 63 else checksum
+
+
+def throughput(cycles_per_op: float, threads: int,
+               clock_ghz: float = 2.0) -> float:
+    """Ops/second at ``threads`` threads: the global lock serializes all
+    work, and each extra thread adds contention overhead, so throughput
+    falls as threads rise (Figure 15b's reverse scalability)."""
+    effective = cycles_per_op * (1.0 + LOCK_CONTENTION * (threads - 1))
+    return 1.0 / effective * clock_ghz * 1e9

@@ -1,0 +1,77 @@
+"""YCSB-style workload generator (paper §VI).
+
+The paper drives Memcached and SQLite3 with two "extreme" YCSB mixes:
+
+- **Workload A**: 50% reads / 50% updates, zipfian key distribution;
+- **Workload D**: 95% reads / 5% inserts, "latest" distribution (reads
+  concentrate on recently inserted keys).
+
+The generator emits deterministic (seeded) arrays of operation codes
+and key indices that the IR applications consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+OP_READ = 0
+OP_UPDATE = 1
+OP_INSERT = 2
+
+
+@dataclass
+class YcsbTrace:
+    name: str
+    ops: List[int]
+    keys: List[int]
+    #: Size of the preloaded key space.
+    keyspace: int
+
+
+def zipf_probabilities(n: int, theta: float = 0.99) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = 1.0 / np.power(ranks, theta)
+    return weights / weights.sum()
+
+
+def workload_a(nops: int, keyspace: int, seed: int = 100) -> YcsbTrace:
+    """50/50 read/update, zipfian-distributed keys."""
+    r = np.random.RandomState(seed)
+    probs = zipf_probabilities(keyspace)
+    keys = r.choice(keyspace, size=nops, p=probs)
+    ops = r.choice([OP_READ, OP_UPDATE], size=nops, p=[0.5, 0.5])
+    return YcsbTrace("A", [int(o) for o in ops], [int(k) for k in keys], keyspace)
+
+
+def workload_d(nops: int, keyspace: int, seed: int = 101) -> YcsbTrace:
+    """95% reads / 5% inserts; reads target the most recent keys.
+
+    Inserted keys extend the keyspace; each read picks a key at a
+    geometrically distributed distance behind the newest key.
+    """
+    r = np.random.RandomState(seed)
+    ops: List[int] = []
+    keys: List[int] = []
+    newest = keyspace - 1
+    for _ in range(nops):
+        if r.rand() < 0.05:
+            newest += 1
+            ops.append(OP_INSERT)
+            keys.append(newest)
+        else:
+            back = int(r.geometric(0.15)) - 1
+            key = max(0, newest - back)
+            ops.append(OP_READ)
+            keys.append(key)
+    return YcsbTrace("D", ops, keys, keyspace)
+
+
+def trace_by_name(name: str, nops: int, keyspace: int) -> YcsbTrace:
+    if name.upper() == "A":
+        return workload_a(nops, keyspace)
+    if name.upper() == "D":
+        return workload_d(nops, keyspace)
+    raise KeyError(f"unknown YCSB workload {name!r} (have A, D)")

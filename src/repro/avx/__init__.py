@@ -1,0 +1,45 @@
+"""repro.avx — AVX lane semantics and Haswell-flavoured cost tables."""
+
+from .costs import (
+    BRANCH_MISS_PENALTY,
+    HASWELL,
+    ISSUE_WIDTH,
+    MEM_LATENCY,
+    PROPOSED_AVX,
+    CostModel,
+    cost_model_by_name,
+)
+from .ops import (
+    NoMajorityError,
+    bits_to_float,
+    flip_bit_float,
+    flip_bit_int,
+    float_to_bits,
+    lanes_all_equal,
+    majority_value,
+    ptest_all_zero,
+    ptest_classify,
+    recover,
+    shuffle_pairwise,
+)
+
+__all__ = [
+    "BRANCH_MISS_PENALTY",
+    "HASWELL",
+    "ISSUE_WIDTH",
+    "MEM_LATENCY",
+    "PROPOSED_AVX",
+    "CostModel",
+    "NoMajorityError",
+    "bits_to_float",
+    "cost_model_by_name",
+    "flip_bit_float",
+    "flip_bit_int",
+    "float_to_bits",
+    "lanes_all_equal",
+    "majority_value",
+    "ptest_all_zero",
+    "ptest_classify",
+    "recover",
+    "shuffle_pairwise",
+]

@@ -1,0 +1,272 @@
+"""Instruction cost tables for the timing model.
+
+Latencies are in cycles and are Haswell-flavoured (the paper's testbed
+is a 2x14-core Haswell Xeon; §V-A): scalar integer ALU ops are 1 cycle,
+scalar FP add/mul 3/5, AVX integer multiply 10 (vpmulld), AVX divide
+missing entirely (per-lane scalar fallback), extract/broadcast lane
+moves ~3 cycles, ptest 2. The *relative* magnitudes of these numbers —
+not their absolute values — produce every performance shape in the
+paper (Figures 11, 12, 14, 17, Tables III and IV).
+
+Two profiles are exported:
+
+- :data:`HASWELL` — models AVX2 as shipped, including the wrapper and
+  check costs the paper complains about (§VII-A).
+- :data:`PROPOSED_AVX` — models the paper's proposed ISA changes
+  (§VII-B/D): gather/scatter-backed loads and stores (no
+  extract/broadcast wrappers), comparisons that set FLAGS directly (no
+  ptest), and FPGA-offloaded checks (checks cost ~0 on the fast path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Issue width of the modelled core (uops/cycle, Haswell: 4).
+ISSUE_WIDTH = 4
+
+#: Reorder-buffer size (Haswell: 192 entries) — bounds how far apart in
+#: the instruction stream execution can overlap.
+ROB_SIZE = 192
+
+#: Branch misprediction penalty in cycles (Haswell: ~15-20).
+BRANCH_MISS_PENALTY = 15
+
+#: Memory hierarchy latencies (cycles): L1 hit, L2, L3, DRAM.
+MEM_LATENCY = {1: 4, 2: 12, 3: 36, 4: 200}
+
+#: Haswell dispatches scalar ALU ops to 4 ports but vector ALU ops to
+#: only 3 (p0/p1/p5) — one reason Table III shows lower ILP for ELZAR.
+VECTOR_ALU_RTP = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-opcode latencies and uop counts for scalar and (256-bit)
+    vector instruction forms.
+
+    ``scalar``/``vector`` map opcode -> latency. ``uops_scalar`` /
+    ``uops_vector`` map opcode -> issue slots consumed (default 1);
+    multi-uop entries model instruction sequences the paper complains
+    about (extract = vextracti128 + vpextrq, broadcast = vmovq +
+    vpbroadcastq, the shuffle-xor-ptest check, ...). ``intrinsics``
+    maps intrinsic name prefixes to (latency, uops). ``ports`` maps
+    opcode -> (port name, reciprocal throughput) structural hazards;
+    vector ALU ops additionally contend for the 3-wide vector port
+    group.
+    """
+
+    name: str
+    scalar: Dict[str, float]
+    vector: Dict[str, float]
+    intrinsics: Dict[str, tuple]
+    ports: Dict[str, tuple]
+    uops_scalar: Dict[str, int]
+    uops_vector: Dict[str, int]
+    vector_alu_rtp: float = VECTOR_ALU_RTP
+
+    def scalar_latency(self, opcode: str, ty=None) -> float:
+        if ty is not None and ty.is_float:
+            fp = self.scalar.get("f" + opcode)
+            if fp is not None:
+                return fp
+        return self.scalar.get(opcode, 1.0)
+
+    def vector_latency(self, opcode: str, ty=None) -> float:
+        if ty is not None and ty.is_float:
+            fp = self.vector.get("f" + opcode)
+            if fp is not None:
+                return fp
+        return self.vector.get(opcode, 1.0)
+
+    def scalar_uops(self, opcode: str) -> int:
+        return self.uops_scalar.get(opcode, 1)
+
+    def vector_uops(self, opcode: str) -> int:
+        return self.uops_vector.get(opcode, 1)
+
+    def intrinsic_cost(self, name: str) -> tuple:
+        """(latency, uops) for an intrinsic call, longest-prefix match."""
+        best = None
+        for prefix, cost in self.intrinsics.items():
+            if name == prefix or name.startswith(prefix + "."):
+                if best is None or len(prefix) > best[0]:
+                    best = (len(prefix), cost)
+        return best[1] if best else (2.0, 1)
+
+    def intrinsic_latency(self, name: str) -> float:
+        return self.intrinsic_cost(name)[0]
+
+
+_SCALAR = {
+    # Integer ALU
+    "add": 1, "sub": 1, "and": 1, "or": 1, "xor": 1,
+    "shl": 1, "lshr": 1, "ashr": 1,
+    "mul": 3,
+    "sdiv": 26, "udiv": 26, "srem": 26, "urem": 26,
+    "icmp": 1, "select": 1, "gep": 1,
+    # FP (scalar SSE)
+    "fadd": 3, "fsub": 3, "fmul": 5, "fdiv": 16, "frem": 24,
+    "fcmp": 3,
+    # Casts
+    "trunc": 1, "zext": 1, "sext": 1, "bitcast": 1,
+    "ptrtoint": 1, "inttoptr": 1,
+    "fptrunc": 4, "fpext": 2, "fptosi": 4, "fptoui": 4,
+    "sitofp": 4, "uitofp": 4,
+    # Memory / control (load adds cache latency separately)
+    "load": 0, "store": 1, "alloca": 1,
+    "br": 1, "ret": 2, "call": 2, "phi": 0, "unreachable": 0,
+    # Vector-manipulation ops used in scalar context never occur.
+}
+
+_VECTOR_HASWELL = {
+    # AVX2 integer
+    "add": 1, "sub": 1, "and": 1, "or": 1, "xor": 1,
+    "shl": 2, "lshr": 2, "ashr": 2,
+    "mul": 10,                       # vpmulld / 64-bit emulation
+    # No packed integer division: per-lane scalar fallback (4 divs +
+    # extract/insert traffic), §III-C step 1 / §VII-A.
+    "sdiv": 120, "udiv": 120, "srem": 120, "urem": 120,
+    "icmp": 1, "select": 2, "gep": 3,
+    # AVX FP
+    "fadd": 3, "fsub": 3, "fmul": 5, "fdiv": 28, "frem": 80,
+    "fcmp": 3,
+    # Casts: truncation family is the pathological case (§VII-A: 8x
+    # microbenchmark overhead), modelled via lane extraction.
+    "trunc": 8, "zext": 3, "sext": 3, "bitcast": 1,
+    "ptrtoint": 1, "inttoptr": 1,
+    "fptrunc": 6, "fpext": 4, "fptosi": 8, "fptoui": 8,
+    "sitofp": 6, "uitofp": 6,
+    "phi": 0,
+    # Lane-manipulation (vextracti128+vpextrq / vmovq+vpbroadcastq)
+    "extractelement": 5, "insertelement": 5,
+    "shufflevector": 3, "broadcast": 5,
+    # Vector loads/stores (whole-YMM moves)
+    "load": 0, "store": 1,
+}
+
+_INTRINSICS_HASWELL = {
+    # (latency, uops)
+    # ELZAR check on a sync operand: shuffle + xor + ptest + jcc (Fig 8).
+    "elzar.check": (9, 5),
+    "elzar.check_dmr": (9, 5),
+    "elzar.branch_cond_dmr": (6, 4),
+    # ELZAR branch: the cmp is charged separately; ptest + ja + je (Fig 9).
+    "elzar.branch_cond": (6, 4),
+    # Same, with the fault check (ja) removed — "checks disabled" still
+    # pays the ptest because AVX has no other way to branch (§V-B).
+    "elzar.branch_cond_nocheck": (6, 3),
+    # Majority-vote recovery (slow path; rarely executed).
+    "elzar.recover": (30, 12),
+    # SWIFT-R majority vote: 2 compares + 2 cmovs.
+    "tmr.vote": (3, 4),
+    # SWIFT (DMR) comparison check: cmp + jcc.
+    "swift.check": (1, 2),
+    # Runtime helpers.
+    "rt.alloc": (20, 4),
+    "rt.print_i64": (50, 10), "rt.print_f64": (50, 10),
+    "rt.abort": (1, 1),
+    "host": (30, 10),
+}
+
+_PORTS = {
+    # port name, reciprocal throughput (cycles the unit is busy per op)
+    "load": ("load", 0.5),     # two load ports
+    "store": ("store", 1.0),   # one store-data port (explains Table IV
+                               # stores showing no AVX overhead)
+    "sdiv": ("div", 20.0), "udiv": ("div", 20.0),
+    "srem": ("div", 20.0), "urem": ("div", 20.0),
+    "fdiv": ("div", 14.0),
+    # FP execution units: Haswell retires one FP add (p1) and two FP
+    # muls (p0/p1) per cycle, for scalar and 4-wide vector ops alike —
+    # the structural reason ELZAR beats SWIFT-R on FP-dense kernels
+    # (Figure 14): one vector op occupies the unit once where
+    # triplication occupies it three times.
+    "fadd": ("fpadd", 1.0), "fsub": ("fpadd", 1.0),
+    "fcmp": ("fpadd", 1.0),
+    "fmul": ("fpmul", 0.5),
+}
+
+_UOPS_SCALAR = {
+    # Scalar ops are almost all single-uop; division microcodes.
+    "sdiv": 10, "udiv": 10, "srem": 10, "urem": 10,
+    "call": 3, "ret": 2, "frem": 8,
+    # Scalar address arithmetic folds into x86 addressing modes (or a
+    # free lea); ELZAR's *vector* geps are real vpaddq work — one of the
+    # structural reasons hardened code issues so many more instructions.
+    "gep": 0,
+}
+
+_UOPS_VECTOR_HASWELL = {
+    # The wrapper sequences §VII-A blames for ELZAR's overhead:
+    "gep": 2,              # index scale + vpaddq (scalar geps fold away)
+    "extractelement": 2,   # vextracti128 + vpextrq
+    "insertelement": 2,
+    "broadcast": 2,        # vmovq + vpbroadcastq (GPR -> YMM)
+    "shufflevector": 1,
+    # Missing AVX2 instructions emulated with long sequences:
+    "sdiv": 14, "udiv": 14, "srem": 14, "urem": 14,  # 4 divs + moves
+    "mul": 2,              # 64-bit lane multiply emulation
+    "trunc": 4, "fptosi": 2, "fptoui": 2,
+    "frem": 8,
+}
+
+HASWELL = CostModel(
+    name="haswell-avx2",
+    scalar=dict(_SCALAR),
+    vector=dict(_VECTOR_HASWELL),
+    intrinsics=dict(_INTRINSICS_HASWELL),
+    ports=dict(_PORTS),
+    uops_scalar=dict(_UOPS_SCALAR),
+    uops_vector=dict(_UOPS_VECTOR_HASWELL),
+)
+
+_VECTOR_PROPOSED = dict(_VECTOR_HASWELL)
+_VECTOR_PROPOSED.update(
+    {
+        # Gather/scatter-backed replicated loads/stores: no lane moves.
+        "extractelement": 1,
+        "insertelement": 1,
+        "broadcast": 1,
+        "shufflevector": 1,
+        "trunc": 2,                # AVX-512 vpmov family (§VII-B)
+        "fptosi": 4, "fptoui": 4,
+    }
+)
+
+_UOPS_VECTOR_PROPOSED = dict(_UOPS_VECTOR_HASWELL)
+_UOPS_VECTOR_PROPOSED.update(
+    {
+        "extractelement": 1,
+        "insertelement": 1,
+        "broadcast": 1,
+        "trunc": 1, "fptosi": 1, "fptoui": 1,
+    }
+)
+
+_INTRINSICS_PROPOSED = dict(_INTRINSICS_HASWELL)
+_INTRINSICS_PROPOSED.update(
+    {
+        "elzar.check": (1, 0),            # FPGA-offloaded (§VII-C)
+        "elzar.branch_cond": (1, 1),      # cmp sets FLAGS directly (§VII-B)
+        "elzar.branch_cond_nocheck": (1, 1),
+    }
+)
+
+PROPOSED_AVX = CostModel(
+    name="proposed-avx",
+    scalar=dict(_SCALAR),
+    vector=dict(_VECTOR_PROPOSED),
+    intrinsics=dict(_INTRINSICS_PROPOSED),
+    ports=dict(_PORTS),
+    uops_scalar=dict(_UOPS_SCALAR),
+    uops_vector=dict(_UOPS_VECTOR_PROPOSED),
+)
+
+
+def cost_model_by_name(name: str) -> CostModel:
+    models = {m.name: m for m in (HASWELL, PROPOSED_AVX)}
+    if name not in models:
+        raise KeyError(f"unknown cost model {name!r}; have {sorted(models)}")
+    return models[name]

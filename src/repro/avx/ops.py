@@ -1,0 +1,102 @@
+"""Lane-level semantics of the AVX operations ELZAR relies on.
+
+These helpers implement the behaviours of Figures 2, 4, 7, 8 and 9 of
+the paper on Python tuples standing in for YMM register contents:
+ptest-style classification of comparison results, the shuffle–xor
+equality check, and the extended majority-vote recovery of §III-C.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence, Tuple
+
+
+class NoMajorityError(Exception):
+    """Raised when recovery finds two 2-2 groups (§III-C scenario 3):
+    the same fault pattern corrupted two lanes and there is no majority,
+    so program execution must stop."""
+
+
+def ptest_all_zero(lanes: Sequence[int]) -> bool:
+    """Model of ``ptest`` ZF: true iff every bit of the register is 0."""
+    return all(v == 0 for v in lanes)
+
+
+def ptest_classify(bool_lanes: Sequence[int]) -> int:
+    """Classify a lane-wise comparison result (Figure 9).
+
+    Returns 0 for all-false, 1 for all-true, 2 for a true/false mix
+    (which in an error-free execution is impossible and indicates a
+    fault in one of the replicas).
+    """
+    total = sum(1 if v else 0 for v in bool_lanes)
+    if total == 0:
+        return 0
+    if total == len(bool_lanes):
+        return 1
+    return 2
+
+
+def shuffle_pairwise(lanes: Sequence) -> Tuple:
+    """The rotation used by the check of Figure 8: lane i receives the
+    value of lane (i+1) mod n, so xor-ing with the original yields
+    all-zeros exactly when all lanes agree."""
+    n = len(lanes)
+    return tuple(lanes[(i + 1) % n] for i in range(n))
+
+
+def lanes_all_equal(lanes: Sequence) -> bool:
+    first = lanes[0]
+    return all(v == first for v in lanes[1:])
+
+
+def majority_value(lanes: Sequence):
+    """Extended recovery (§III-C): return the value at least two lanes
+    agree on; raise :class:`NoMajorityError` on a 2-2 split with two
+    distinct candidate values; a single fault always recovers."""
+    counts = {}
+    for v in lanes:
+        counts[v] = counts.get(v, 0) + 1
+    best = max(counts.items(), key=lambda kv: kv[1])
+    ties = [v for v, c in counts.items() if c == best[1]]
+    if best[1] * 2 == len(lanes) and len(ties) > 1:
+        raise NoMajorityError(
+            f"no majority among lanes {tuple(lanes)}"
+        )
+    if best[1] < 2:
+        raise NoMajorityError(
+            f"all lanes disagree: {tuple(lanes)}"
+        )
+    return best[0]
+
+
+def recover(lanes: Sequence) -> Tuple:
+    """Majority-vote recovery: broadcast the majority value to every
+    lane (Figure 8's slow path)."""
+    value = majority_value(lanes)
+    return (value,) * len(lanes)
+
+
+# --- Bit-level views (used for float checks and fault injection) -----------
+
+
+def float_to_bits(value: float, bits: int) -> int:
+    fmt = "<f" if bits == 32 else "<d"
+    ifmt = "<I" if bits == 32 else "<Q"
+    return struct.unpack(ifmt, struct.pack(fmt, value))[0]
+
+
+def bits_to_float(raw: int, bits: int) -> float:
+    fmt = "<f" if bits == 32 else "<d"
+    ifmt = "<I" if bits == 32 else "<Q"
+    return struct.unpack(fmt, struct.pack(ifmt, raw & ((1 << bits) - 1)))[0]
+
+
+def flip_bit_int(value: int, bit: int, width: int) -> int:
+    return (value ^ (1 << (bit % width))) & ((1 << width) - 1)
+
+
+def flip_bit_float(value: float, bit: int, bits: int) -> float:
+    raw = float_to_bits(value, bits)
+    return bits_to_float(raw ^ (1 << (bit % bits)), bits)

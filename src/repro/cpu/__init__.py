@@ -1,0 +1,51 @@
+"""repro.cpu — simulated machine: interpreter, memory, caches, branch
+prediction, dataflow timing, and the thread-scalability model."""
+
+from .branch_predictor import GSharePredictor
+from .cache import Cache, CacheHierarchy, LINE_SIZE
+from .counters import PerfCounters
+from .errors import (
+    AbortError,
+    ArithmeticFault,
+    DetectedError,
+    HangError,
+    MemoryFault,
+    Trap,
+)
+from .interpreter import FaultPlan, Machine, MachineConfig, RunResult
+from .memory import HEAP_BASE, STACK_BASE, Memory
+from .threads import (
+    PERFECT,
+    ScalabilityProfile,
+    normalized_overhead,
+    runtime_at,
+    speedup_over_threads,
+)
+from .timing import TimingModel
+
+__all__ = [
+    "AbortError",
+    "ArithmeticFault",
+    "Cache",
+    "CacheHierarchy",
+    "DetectedError",
+    "FaultPlan",
+    "GSharePredictor",
+    "HEAP_BASE",
+    "HangError",
+    "LINE_SIZE",
+    "Machine",
+    "MachineConfig",
+    "Memory",
+    "MemoryFault",
+    "PERFECT",
+    "PerfCounters",
+    "RunResult",
+    "STACK_BASE",
+    "ScalabilityProfile",
+    "TimingModel",
+    "Trap",
+    "normalized_overhead",
+    "runtime_at",
+    "speedup_over_threads",
+]

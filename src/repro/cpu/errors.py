@@ -1,0 +1,42 @@
+"""Trap hierarchy for simulated program failures.
+
+The fault-injection outcome classifier (Table I of the paper) maps
+these onto the "Crashed" system states: a :class:`MemoryFault` or
+:class:`ArithmeticFault` corresponds to an OS-terminated program, a
+:class:`HangError` to an unresponsive one, and a :class:`DetectedError`
+to a hardening scheme stopping the program itself (SWIFT's fail-stop,
+or ELZAR's no-majority case)."""
+
+from __future__ import annotations
+
+
+class Trap(Exception):
+    """Base class for simulated program termination."""
+
+
+class MemoryFault(Trap):
+    """Access outside any mapped region (simulated SIGSEGV)."""
+
+    def __init__(self, address: int, size: int = 0, write: bool = False):
+        self.address = address
+        self.size = size
+        self.write = write
+        kind = "write" if write else "read"
+        super().__init__(f"invalid {kind} of {size} bytes at {address:#x}")
+
+
+class ArithmeticFault(Trap):
+    """Integer division by zero (simulated SIGFPE)."""
+
+
+class HangError(Trap):
+    """Instruction budget exhausted (program classified as hung)."""
+
+
+class DetectedError(Trap):
+    """A hardening check detected an uncorrectable fault and stopped
+    the program (SWIFT fail-stop, or ELZAR's §III-C no-majority case)."""
+
+
+class AbortError(Trap):
+    """Explicit ``rt.abort`` call from the program under test."""

@@ -1,0 +1,927 @@
+"""The simulated machine: an IR interpreter with performance modelling
+and fault-injection hooks.
+
+One :class:`Machine` owns a module plus the architectural state: flat
+memory, cache hierarchy, branch predictor, perf counters, and the
+dataflow timing model. ``run()`` executes a function and returns a
+:class:`RunResult` with the return value, program output, cycle count,
+and counters.
+
+Fault injection (paper §IV-B): arm the machine with a
+:class:`FaultPlan`; when the N-th *eligible* dynamic instruction
+executes (value-producing, inside an eligible function), one bit of its
+result register — or of one SIMD lane, matching the paper's YMM
+injection rule — is flipped.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..avx import costs as C
+from ..avx import ops as avxops
+from ..ir import opcodes as OP
+from ..ir import types as T
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    BroadcastInst,
+    CallInst,
+    CastInst,
+    ExtractElementInst,
+    FCmpInst,
+    GepInst,
+    ICmpInst,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    SelectInst,
+    ShuffleVectorInst,
+    StoreInst,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+from .branch_predictor import GSharePredictor
+from .cache import CacheHierarchy
+from .counters import PerfCounters
+from .errors import (
+    AbortError,
+    ArithmeticFault,
+    DetectedError,
+    HangError,
+    MemoryFault,
+    Trap,
+)
+from .memory import Memory
+from .timing import TimingModel
+
+_MASK64 = (1 << 64) - 1
+
+# Each simulated call nests several Python frames; raise the recursion
+# limit once at import so the default MachineConfig.max_call_depth is
+# reachable before Python's own limit cuts in.
+if sys.getrecursionlimit() < 8000:
+    sys.setrecursionlimit(8000)
+
+#: Vector-typed instructions that do NOT contend for the vector ALU
+#: port group (memory ops use the load/store ports; control flow and
+#: calls are scalar machinery; phis are renaming only).
+_NON_ALU_OPS = frozenset({"load", "store", "br", "ret", "call", "phi", "alloca"})
+
+
+@dataclass
+class MachineConfig:
+    cost_model: C.CostModel = C.HASWELL
+    collect_timing: bool = True
+    cache_enabled: bool = True
+    #: Cache sizes. The default hierarchy is the testbed's (Haswell)
+    #: geometry scaled down (2 KB / 8 KB / 256 KB) because simulated
+    #: datasets are necessarily ~100-1000x smaller than the paper's —
+    #: scaling the caches with the data preserves each workload's miss
+    #: *ratios* (Table II) and the memory-boundedness that amortizes
+    #: hardening overhead (mmul, §V-B), which is what drives the
+    #: performance shapes.
+    l1_size: int = 2 << 10
+    l2_size: int = 8 << 10
+    l3_size: int = 256 << 10
+    max_instructions: int = 200_000_000
+    heap_capacity: int = 64 << 20
+    stack_capacity: int = 8 << 20
+    collect_by_opcode: bool = False
+    max_call_depth: int = 400
+    #: Which functions fault injection may target (None = every defined
+    #: non-intrinsic function in the module).
+    fault_eligible: Optional[Callable[[Function], bool]] = None
+
+
+@dataclass
+class FaultPlan:
+    """Inject a single-event upset at the ``target_index``-th eligible
+    dynamic instruction: flip ``bit`` of its result (within SIMD
+    ``lane`` if the result is a vector)."""
+
+    target_index: int
+    bit: int
+    lane: int = 0
+
+
+@dataclass
+class RunResult:
+    value: object
+    output: List
+    counters: PerfCounters
+    cycles: float
+    ilp: float
+    fault_injected: bool = False
+
+    @property
+    def instructions(self) -> int:
+        return self.counters.instructions
+
+
+def _to_signed(value: int, width: int) -> int:
+    value &= (1 << width) - 1
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+def _round_f32(value: float) -> float:
+    try:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    except OverflowError:
+        return math.inf if value > 0 else -math.inf
+
+
+def _int_binop(opcode: str, a: int, b: int, width: int) -> int:
+    mask = (1 << width) - 1
+    if opcode == "add":
+        return (a + b) & mask
+    if opcode == "sub":
+        return (a - b) & mask
+    if opcode == "mul":
+        return (a * b) & mask
+    if opcode == "and":
+        return a & b
+    if opcode == "or":
+        return a | b
+    if opcode == "xor":
+        return a ^ b
+    if opcode == "shl":
+        return (a << (b % width)) & mask
+    if opcode == "lshr":
+        return (a >> (b % width)) & mask
+    if opcode == "ashr":
+        return (_to_signed(a, width) >> (b % width)) & mask
+    if opcode in ("sdiv", "srem"):
+        sa, sb = _to_signed(a, width), _to_signed(b, width)
+        if sb == 0:
+            raise ArithmeticFault("integer division by zero")
+        quotient = int(sa / sb)  # C-style truncation toward zero
+        if opcode == "sdiv":
+            return quotient & mask
+        return (sa - quotient * sb) & mask
+    if opcode in ("udiv", "urem"):
+        if b == 0:
+            raise ArithmeticFault("integer division by zero")
+        return (a // b if opcode == "udiv" else a % b) & mask
+    raise ValueError(f"unknown integer binop {opcode}")
+
+
+def _float_binop(opcode: str, a: float, b: float, bits: int) -> float:
+    if opcode == "fadd":
+        r = a + b
+    elif opcode == "fsub":
+        r = a - b
+    elif opcode == "fmul":
+        r = a * b
+    elif opcode == "fdiv":
+        if b == 0.0:
+            r = math.nan if a == 0.0 else math.copysign(math.inf, a) * math.copysign(1.0, b)
+        else:
+            r = a / b
+    elif opcode == "frem":
+        r = math.fmod(a, b) if b != 0.0 else math.nan
+    else:
+        raise ValueError(f"unknown float binop {opcode}")
+    return _round_f32(r) if bits == 32 else r
+
+
+_ICMP = {
+    "eq": lambda a, b, w: a == b,
+    "ne": lambda a, b, w: a != b,
+    "ult": lambda a, b, w: a < b,
+    "ule": lambda a, b, w: a <= b,
+    "ugt": lambda a, b, w: a > b,
+    "uge": lambda a, b, w: a >= b,
+    "slt": lambda a, b, w: _to_signed(a, w) < _to_signed(b, w),
+    "sle": lambda a, b, w: _to_signed(a, w) <= _to_signed(b, w),
+    "sgt": lambda a, b, w: _to_signed(a, w) > _to_signed(b, w),
+    "sge": lambda a, b, w: _to_signed(a, w) >= _to_signed(b, w),
+}
+
+_FCMP = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b and not (math.isnan(a) or math.isnan(b)),
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+    "ord": lambda a, b: not (math.isnan(a) or math.isnan(b)),
+    "uno": lambda a, b: math.isnan(a) or math.isnan(b),
+}
+
+_HOST_UNARY = {
+    "sqrt": lambda x: math.sqrt(x) if x >= 0 else math.nan,
+    "exp": lambda x: math.exp(x) if x < 709 else math.inf,
+    "log": lambda x: math.log(x) if x > 0 else (-math.inf if x == 0 else math.nan),
+    "sin": math.sin,
+    "cos": math.cos,
+    "erf": math.erf,
+    "fabs": math.fabs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+}
+
+
+def _compute_static(inst: Instruction, costs: C.CostModel) -> tuple:
+    """(counts_as_avx, uses_vector_alu, uops) — immutable per instruction."""
+    opcode = inst.opcode
+    is_vec = inst.type.is_vector or any(op.type.is_vector for op in inst.operands)
+    is_avx = is_vec or opcode in OP.VECTOR_OPS
+    is_vec_alu = is_vec and opcode not in _NON_ALU_OPS
+    if opcode == "call" and inst.callee.is_intrinsic:
+        uops = costs.intrinsic_cost(inst.callee.name)[1]
+        if inst.callee.name.startswith(("elzar.", "avx.")):
+            is_vec_alu = True  # checks run on the SIMD units
+    elif opcode == "br":
+        uops = 1
+    elif is_vec_alu:
+        uops = costs.vector_uops(opcode)
+    else:
+        uops = costs.scalar_uops(opcode)
+    return (is_avx, is_vec_alu, uops)
+
+
+class Machine:
+    def __init__(self, module: Module, config: Optional[MachineConfig] = None):
+        self.module = module
+        self.config = config or MachineConfig()
+        self.memory = Memory(self.config.heap_capacity, self.config.stack_capacity)
+        self.counters = PerfCounters()
+        self.counters.collect_by_opcode = self.config.collect_by_opcode
+        self.cache = (
+            CacheHierarchy(
+                l1_size=self.config.l1_size,
+                l2_size=self.config.l2_size,
+                l3_size=self.config.l3_size,
+            )
+            if self.config.cache_enabled
+            else None
+        )
+        self.predictor = GSharePredictor()
+        self.timing = TimingModel(self.config.cost_model) if self.config.collect_timing else None
+        self.output: List = []
+        self.globals_addr: Dict[str, int] = {}
+        self._executed = 0
+        self._static_info: Dict[int, tuple] = {}
+        self._branch_pcs: Dict[int, int] = {}
+        self._next_pc = 1
+        # Fault injection state. ``fault_plans`` is sorted by target
+        # index; multi-plan arming exercises the paper's §III-A claim
+        # that four lanes tolerate two independent SEUs.
+        self.fault_plans: List[FaultPlan] = []
+        self._next_plan = 0
+        self.fault_injected = False
+        self.fault_target: Optional[Instruction] = None
+        self.eligible_executed = 0
+        self._eligible_fn_cache: Dict[int, bool] = {}
+        #: Optional per-eligible-instruction hook ``(inst, fn) -> None``
+        #: used by the trace/demarcation step (paper §IV-B).
+        self.trace_eligible = None
+        self._current_fn: Optional[Function] = None
+        self._layout_globals()
+
+    # Setup ----------------------------------------------------------------------
+
+    def _layout_globals(self) -> None:
+        for gv in self.module.globals.values():
+            self.globals_addr[gv.name] = self.memory.init_global(
+                gv.content_type, gv.initializer
+            )
+
+    def write_global(self, name: str, values, elem_ty: Optional[T.Type] = None) -> None:
+        """Populate a global array from Python values (test/workload setup)."""
+        gv = self.module.get_global(name)
+        addr = self.globals_addr[name]
+        ty = gv.content_type
+        if ty.is_array:
+            elem = elem_ty or ty.elem
+            esize = T.sizeof(elem)
+            for i, v in enumerate(values):
+                self.memory.store_scalar(elem, addr + i * esize, v)
+        else:
+            self.memory.store_scalar(ty, addr, values)
+
+    def read_global(self, name: str, count: Optional[int] = None):
+        gv = self.module.get_global(name)
+        addr = self.globals_addr[name]
+        ty = gv.content_type
+        if ty.is_array:
+            n = count if count is not None else ty.count
+            esize = T.sizeof(ty.elem)
+            return [
+                self.memory.load_scalar(ty.elem, addr + i * esize) for i in range(n)
+            ]
+        return self.memory.load_scalar(ty, addr)
+
+    # Fault plumbing ----------------------------------------------------------------
+
+    def arm_fault(self, plan: FaultPlan) -> None:
+        """Arm a single-event-upset injection (the paper's fault model,
+        §III-A)."""
+        self.arm_faults([plan])
+
+    def arm_faults(self, plans: Sequence[FaultPlan]) -> None:
+        """Arm multiple independent upsets in one run (used to test the
+        §III-A observation that four replicas usually mask two faults).
+        Plans with negative target indices never fire (golden runs use
+        one to count eligible instructions)."""
+        self.fault_plans = sorted(plans, key=lambda p: p.target_index)
+        self._next_plan = 0
+        while (self._next_plan < len(self.fault_plans)
+               and self.fault_plans[self._next_plan].target_index < 0):
+            self._next_plan += 1
+        self.fault_injected = False
+        self.fault_target = None
+        self.eligible_executed = 0
+
+    def _fault_eligible_fn(self, fn: Function) -> bool:
+        cached = self._eligible_fn_cache.get(id(fn))
+        if cached is None:
+            if self.config.fault_eligible is not None:
+                cached = self.config.fault_eligible(fn)
+            else:
+                cached = not fn.is_intrinsic
+            self._eligible_fn_cache[id(fn)] = cached
+        return cached
+
+    def _maybe_inject(self, inst: Instruction, value, in_eligible_fn: bool):
+        if inst.type.is_void:
+            return value
+        if not in_eligible_fn:
+            return value
+        index = self.eligible_executed
+        self.eligible_executed += 1
+        if self.trace_eligible is not None:
+            self.trace_eligible(inst, self._current_fn)
+        plans = self.fault_plans
+        cursor = self._next_plan
+        if cursor >= len(plans) or index != plans[cursor].target_index:
+            return value
+        # Apply every plan aimed at this index (they may hit different
+        # lanes/bits of the same result).
+        while cursor < len(plans) and plans[cursor].target_index == index:
+            plan = plans[cursor]
+            value = _flip(value, inst.type, plan.bit, plan.lane)
+            cursor += 1
+        self._next_plan = cursor
+        self.fault_injected = True
+        self.fault_target = inst  # what the SEU hit (for analyses/tests)
+        return value
+
+    # Execution ------------------------------------------------------------------------
+
+    def run(self, fn_name: str, args: Sequence = (), reset_counters: bool = False) -> RunResult:
+        fn = self.module.get_function(fn_name)
+        if fn.is_declaration:
+            raise ValueError(f"cannot run declaration @{fn_name}")
+        if reset_counters:
+            self.counters = PerfCounters()
+            self.counters.collect_by_opcode = self.config.collect_by_opcode
+            if self.timing is not None:
+                self.timing.reset()
+            self._executed = 0
+        arg_values = list(args)
+        if len(arg_values) != len(fn.args):
+            raise TypeError(
+                f"@{fn_name} expects {len(fn.args)} args, got {len(arg_values)}"
+            )
+        value = self._exec_function(fn, arg_values, [0.0] * len(arg_values), 0)
+        cycles = self.timing.cycles if self.timing is not None else 0.0
+        ilp = self.timing.ilp if self.timing is not None else 0.0
+        return RunResult(
+            value=value,
+            output=self.output,
+            counters=self.counters,
+            cycles=cycles,
+            ilp=ilp,
+            fault_injected=self.fault_injected,
+        )
+
+    # The core loop ---------------------------------------------------------------------
+
+    def _exec_function(self, fn: Function, args: List, arg_times: List[float],
+                       depth: int):
+        if depth > self.config.max_call_depth:
+            raise HangError(f"call depth exceeded in @{fn.name}")
+        frame: Dict[Value, object] = {}
+        times: Dict[Value, float] = {}
+        for formal, actual, ready in zip(fn.args, args, arg_times):
+            frame[formal] = actual
+            times[formal] = ready
+        mark = self.memory.stack_mark()
+        caller = self._current_fn
+        self._current_fn = fn
+        try:
+            return self._exec_blocks(fn, frame, times, depth)
+        finally:
+            self._current_fn = caller
+            self.memory.stack_release(mark)
+
+    def _exec_blocks(self, fn: Function, frame: Dict, times: Dict, depth: int):
+        counters = self.counters
+        timing = self.timing
+        costs = self.config.cost_model
+        static_info = self._static_info
+        eligible = self._fault_eligible_fn(fn)
+        block = fn.entry
+        prev: Optional[BasicBlock] = None
+
+        while True:
+            insts = block.instructions
+            start_index = 0
+
+            # Phis: evaluated in parallel against the incoming edge.
+            if prev is not None and isinstance(insts[0], PhiInst):
+                moves = []
+                for inst in insts:
+                    if not isinstance(inst, PhiInst):
+                        break
+                    start_index += 1
+                    incoming = inst.incoming_for(prev)
+                    moves.append(
+                        (inst, self._eval(incoming, frame), times.get(incoming, 0.0))
+                    )
+                for phi, value, ready in moves:
+                    value = self._maybe_inject(phi, value, eligible)
+                    frame[phi] = value
+                    times[phi] = ready
+            else:
+                while start_index < len(insts) and isinstance(
+                    insts[start_index], PhiInst
+                ):
+                    start_index += 1
+
+            for idx in range(start_index, len(insts)):
+                inst = insts[idx]
+                self._executed += 1
+                if self._executed > self.config.max_instructions:
+                    raise HangError(
+                        f"instruction budget exceeded ({self.config.max_instructions})"
+                    )
+                opcode = inst.opcode
+                counters.instructions += 1
+                counters.count(opcode)
+                # Static per-instruction facts (vector-ness, uop count)
+                # never change across executions; cache them.
+                static = static_info.get(id(inst))
+                if static is None:
+                    static = _compute_static(inst, costs)
+                    static_info[id(inst)] = static
+                is_avx, is_vec_alu, uops = static
+                if is_avx:
+                    counters.avx_instructions += 1
+
+                # --- Terminators -------------------------------------------------
+                if opcode == "br":
+                    counters.branches += 1
+                    counters.uops += uops
+                    block, prev = self._exec_branch(inst, frame, times, counters,
+                                                    timing, costs), block
+                    break
+                if opcode == "ret":
+                    counters.uops += uops
+                    if timing is not None:
+                        operand_times = [times.get(op, 0.0) for op in inst.operands]
+                        timing.issue("ret", costs.scalar["ret"], operand_times,
+                                     uops=uops)
+                    if inst.operands:
+                        return self._eval(inst.operands[0], frame)
+                    return None
+                if opcode == "unreachable":
+                    raise MemoryFault(0, 0)
+
+                # --- Everything else ----------------------------------------------
+                value, latency, extra = self._exec_inst(inst, frame, times, depth)
+                value = self._maybe_inject(inst, value, eligible)
+                if not inst.type.is_void:
+                    frame[inst] = value
+                counters.uops += uops
+                if timing is not None:
+                    operand_times = [times.get(op, 0.0) for op in inst.operands]
+                    done = timing.issue(
+                        opcode, latency, operand_times, extra,
+                        uops=uops, is_vector=is_vec_alu,
+                    )
+                    if not inst.type.is_void:
+                        times[inst] = done
+            else:
+                raise MemoryFault(0, 0)  # fell off a block with no terminator
+
+    def _exec_branch(self, inst: BranchInst, frame, times, counters, timing, costs):
+        if not inst.is_conditional:
+            if timing is not None:
+                timing.issue("br", costs.scalar["br"], ())
+            return inst.then_block
+        counters.cond_branches += 1
+        cond = self._eval(inst.cond, frame)
+        taken = bool(cond)
+        pc = self._branch_pcs.get(id(inst))
+        if pc is None:
+            pc = self._next_pc
+            self._next_pc += 1
+            self._branch_pcs[id(inst)] = pc
+        correct = self.predictor.predict_and_update(pc, taken)
+        if timing is not None:
+            resolve = timing.issue(
+                "br", costs.scalar["br"], [times.get(inst.cond, 0.0)]
+            )
+            if not correct:
+                counters.branch_misses += 1
+                timing.branch_mispredict(resolve)
+        elif not correct:
+            counters.branch_misses += 1
+        return inst.then_block if taken else inst.else_block
+
+    # Instruction semantics ------------------------------------------------------------
+
+    def _exec_inst(self, inst: Instruction, frame: Dict, times: Dict, depth: int):
+        """Returns (value, latency, extra_latency)."""
+        opcode = inst.opcode
+        costs = self.config.cost_model
+        counters = self.counters
+        ty = inst.type
+
+        if isinstance(inst, BinaryInst):
+            a = self._eval(inst.lhs, frame)
+            b = self._eval(inst.rhs, frame)
+            elem = ty.elem if ty.is_vector else ty
+            if elem.is_float:
+                counters.fp_instructions += 1
+            if opcode in ("sdiv", "udiv", "srem", "urem"):
+                counters.int_div_instructions += 1
+            if ty.is_vector:
+                if elem.is_float:
+                    value = tuple(
+                        _float_binop(opcode, x, y, elem.bits) for x, y in zip(a, b)
+                    )
+                else:
+                    width = elem.width
+                    value = tuple(
+                        _int_binop(opcode, x, y, width) for x, y in zip(a, b)
+                    )
+                return value, costs.vector_latency(opcode, elem), 0.0
+            if elem.is_float:
+                return _float_binop(opcode, a, b, elem.bits), costs.scalar_latency(opcode), 0.0
+            return _int_binop(opcode, a, b, elem.width), costs.scalar_latency(opcode), 0.0
+
+        if isinstance(inst, ICmpInst):
+            a = self._eval(inst.lhs, frame)
+            b = self._eval(inst.rhs, frame)
+            oty = inst.lhs.type
+            fun = _ICMP[inst.pred]
+            if oty.is_vector:
+                width = T.bitwidth(oty.elem) if not oty.elem.is_float else 64
+                value = tuple(1 if fun(x, y, width) else 0 for x, y in zip(a, b))
+                return value, costs.vector_latency("icmp"), 0.0
+            width = T.bitwidth(oty)
+            return (1 if fun(a, b, width) else 0), costs.scalar_latency("icmp"), 0.0
+
+        if isinstance(inst, FCmpInst):
+            a = self._eval(inst.lhs, frame)
+            b = self._eval(inst.rhs, frame)
+            counters.fp_instructions += 1
+            fun = _FCMP[inst.pred]
+            if inst.lhs.type.is_vector:
+                value = tuple(1 if fun(x, y) else 0 for x, y in zip(a, b))
+                return value, costs.vector_latency("fcmp"), 0.0
+            return (1 if fun(a, b) else 0), costs.scalar_latency("fcmp"), 0.0
+
+        if isinstance(inst, CastInst):
+            value = self._eval(inst.value, frame)
+            src = inst.value.type
+            if ty.is_vector:
+                out = tuple(
+                    _cast_scalar(opcode, v, src.elem, ty.elem) for v in value
+                )
+                return out, costs.vector_latency(opcode), 0.0
+            return (
+                _cast_scalar(opcode, value, src, ty),
+                costs.scalar_latency(opcode),
+                0.0,
+            )
+
+        if isinstance(inst, LoadInst):
+            addr = self._eval(inst.ptr, frame)
+            counters.loads += 1
+            value = self.memory.load_value(ty, addr)
+            extra = self._mem_access(addr, T.sizeof(ty))
+            latency = costs.vector_latency("load") if ty.is_vector else costs.scalar_latency("load")
+            return value, latency, extra
+
+        if isinstance(inst, StoreInst):
+            addr = self._eval(inst.ptr, frame)
+            value = self._eval(inst.value, frame)
+            counters.stores += 1
+            vty = inst.value.type
+            self.memory.store_value(vty, addr, value)
+            self._mem_access(addr, T.sizeof(vty))  # miss accounting only
+            latency = costs.vector_latency("store") if vty.is_vector else costs.scalar_latency("store")
+            return None, latency, 0.0
+
+        if isinstance(inst, AllocaInst):
+            size = T.sizeof(inst.allocated_type) * inst.count
+            addr = self.memory.stack_alloc(size)
+            return addr, costs.scalar_latency("alloca"), 0.0
+
+        if isinstance(inst, GepInst):
+            base = self._eval(inst.ptr, frame)
+            index = self._eval(inst.index, frame)
+            esize = T.sizeof(inst.elem_type)
+            ity = inst.index.type
+            if ty.is_vector:
+                iw = ity.elem.width if ity.is_vector else ity.width
+                idxs = index if ity.is_vector else (index,) * ty.count
+                bases = base if inst.ptr.type.is_vector else (base,) * ty.count
+                value = tuple(
+                    (p + _to_signed(i, iw) * esize) & _MASK64
+                    for p, i in zip(bases, idxs)
+                )
+                return value, costs.vector_latency("gep"), 0.0
+            value = (base + _to_signed(index, ity.width) * esize) & _MASK64
+            return value, costs.scalar_latency("gep"), 0.0
+
+        if isinstance(inst, CallInst):
+            return self._exec_call(inst, frame, times, depth)
+
+        if isinstance(inst, SelectInst):
+            cond = self._eval(inst.cond, frame)
+            tval = self._eval(inst.tval, frame)
+            fval = self._eval(inst.fval, frame)
+            latency = (
+                costs.vector_latency("select") if ty.is_vector
+                else costs.scalar_latency("select")
+            )
+            if inst.cond.type.is_vector:
+                value = tuple(t if c else f for c, t, f in zip(cond, tval, fval))
+                return value, latency, 0.0
+            return (tval if cond else fval), latency, 0.0
+
+        if isinstance(inst, ExtractElementInst):
+            vec = self._eval(inst.vec, frame)
+            index = self._eval(inst.index, frame)
+            if not 0 <= index < len(vec):
+                raise MemoryFault(index, 0)
+            return vec[index], costs.vector_latency("extractelement"), 0.0
+
+        if isinstance(inst, InsertElementInst):
+            vec = list(self._eval(inst.vec, frame))
+            elem = self._eval(inst.elem, frame)
+            index = self._eval(inst.index, frame)
+            if not 0 <= index < len(vec):
+                raise MemoryFault(index, 0)
+            vec[index] = elem
+            return tuple(vec), costs.vector_latency("insertelement"), 0.0
+
+        if isinstance(inst, ShuffleVectorInst):
+            v1 = self._eval(inst.v1, frame)
+            v2 = self._eval(inst.v2, frame)
+            joined = tuple(v1) + tuple(v2)
+            value = tuple(joined[i] for i in inst.mask)
+            return value, costs.vector_latency("shufflevector"), 0.0
+
+        if isinstance(inst, BroadcastInst):
+            scalar = self._eval(inst.scalar, frame)
+            return (scalar,) * ty.count, costs.vector_latency("broadcast"), 0.0
+
+        raise TypeError(f"cannot execute {inst!r}")
+
+    def _mem_access(self, addr: int, size: int) -> float:
+        counters = self.counters
+        counters.l1_accesses += 1
+        if self.cache is None:
+            return float(C.MEM_LATENCY[1])
+        level, latency = self.cache.access(addr, size)
+        if level >= 2:
+            counters.l1_misses += 1
+        if level >= 3:
+            counters.l2_misses += 1
+        if level >= 4:
+            counters.l3_misses += 1
+        return latency
+
+    # Calls ---------------------------------------------------------------------------
+
+    def _exec_call(self, inst: CallInst, frame: Dict, times: Dict, depth: int):
+        costs = self.config.cost_model
+        callee = inst.callee
+        arg_values = [self._eval(a, frame) for a in inst.args]
+        self.counters.calls += 1
+        if callee.is_intrinsic:
+            value = self._call_intrinsic(callee.name, arg_values, inst)
+            return value, costs.intrinsic_latency(callee.name), 0.0
+        if callee.is_declaration:
+            raise Trap(f"call to undefined function @{callee.name}")
+        arg_times = [times.get(a, 0.0) for a in inst.args]
+        value = self._exec_function(callee, arg_values, arg_times, depth + 1)
+        return value, costs.scalar_latency("call"), 0.0
+
+    def _call_intrinsic(self, name: str, args: List, inst: CallInst):
+        counters = self.counters
+        if name.startswith("elzar.check_dmr."):
+            lanes = args[0]
+            keyed = _lane_keys(lanes, inst.type.elem)
+            if avxops.lanes_all_equal(keyed):
+                return lanes
+            counters.detections += 1
+            raise DetectedError("ELZAR-DMR check: lanes diverged")
+        if name.startswith("elzar.branch_cond_dmr."):
+            lanes = args[0]
+            kind = avxops.ptest_classify(lanes)
+            if kind == 2:
+                counters.detections += 1
+                raise DetectedError("ELZAR-DMR branch: true/false mix")
+            return kind
+        if name.startswith("elzar.check."):
+            lanes = args[0]
+            keyed = _lane_keys(lanes, inst.type.elem)
+            if avxops.lanes_all_equal(keyed):
+                return lanes
+            counters.corrections += 1
+            try:
+                majority = avxops.majority_value(keyed)
+            except avxops.NoMajorityError as exc:
+                counters.recoveries_failed += 1
+                raise DetectedError(str(exc)) from exc
+            value = _key_to_value(majority, inst.type.elem)
+            return (value,) * len(lanes)
+        if name.startswith("elzar.branch_cond_nocheck."):
+            # Unchecked AVX branch: ptest + je — "all lanes true" wins.
+            lanes = args[0]
+            return 1 if all(lanes) else 0
+        if name.startswith("elzar.branch_cond."):
+            lanes = args[0]
+            kind = avxops.ptest_classify(lanes)
+            if kind == 2:
+                counters.corrections += 1
+                try:
+                    majority = avxops.majority_value(tuple(lanes))
+                except avxops.NoMajorityError as exc:
+                    counters.recoveries_failed += 1
+                    raise DetectedError(str(exc)) from exc
+                return 1 if majority else 0
+            return kind
+        if name.startswith("tmr.vote."):
+            a, b, c = args
+            ty = inst.type
+            ka, kb, kc = (_scalar_key(v, ty) for v in (a, b, c))
+            if ka == kb and kb == kc:
+                return a
+            counters.corrections += 1
+            if ka == kb or ka == kc:
+                return a
+            if kb == kc:
+                return b
+            counters.recoveries_failed += 1
+            raise DetectedError("TMR vote: all three copies differ")
+        if name.startswith("swift.check."):
+            a, b = args
+            ty = inst.type
+            if _scalar_key(a, ty) != _scalar_key(b, ty):
+                counters.detections += 1
+                raise DetectedError("DMR check: copies diverged")
+            return a
+        if name == "rt.alloc":
+            return self.memory.alloc(args[0])
+        if name == "rt.print_i64":
+            self.output.append(_to_signed(args[0], 64))
+            return None
+        if name == "rt.print_f64":
+            self.output.append(float(args[0]))
+            return None
+        if name == "rt.abort":
+            raise AbortError("rt.abort called")
+        if name.startswith("host."):
+            op = name[5:]
+            if op == "pow":
+                try:
+                    return float(args[0] ** args[1])
+                except (OverflowError, ZeroDivisionError, ValueError):
+                    return math.nan
+            fun = _HOST_UNARY.get(op)
+            if fun is None:
+                raise Trap(f"unknown host intrinsic {name}")
+            try:
+                return float(fun(args[0]))
+            except (OverflowError, ValueError):
+                return math.nan
+        raise Trap(f"unknown intrinsic {name}")
+
+    # Operand evaluation -----------------------------------------------------------------
+
+    def _eval(self, op: Value, frame: Dict):
+        if isinstance(op, Constant):
+            return op.value
+        if isinstance(op, (Instruction, Argument)):
+            try:
+                return frame[op]
+            except KeyError:
+                raise Trap(f"use of undefined value {op.ref()}") from None
+        if isinstance(op, GlobalVariable):
+            return self.globals_addr[op.name]
+        if isinstance(op, UndefValue):
+            if op.type.is_vector:
+                return (0,) * op.type.count
+            return 0.0 if op.type.is_float else 0
+        if isinstance(op, Function):
+            return op
+        raise Trap(f"cannot evaluate operand {op!r}")
+
+
+# --- Helpers -----------------------------------------------------------------------
+
+
+def _cast_scalar(opcode: str, value, src: T.Type, dst: T.Type):
+    if opcode == "trunc":
+        return int(value) & ((1 << dst.width) - 1)
+    if opcode == "zext":
+        return int(value)
+    if opcode == "sext":
+        return _to_signed(int(value), src.width) & ((1 << dst.width) - 1)
+    if opcode == "fptrunc":
+        return _round_f32(value)
+    if opcode == "fpext":
+        return float(value)
+    if opcode in ("fptosi", "fptoui"):
+        if math.isnan(value) or math.isinf(value):
+            return 0
+        return int(value) & ((1 << dst.width) - 1)
+    if opcode == "sitofp":
+        result = float(_to_signed(int(value), src.width))
+        return _round_f32(result) if dst.is_float and dst.bits == 32 else result
+    if opcode == "uitofp":
+        result = float(int(value))
+        return _round_f32(result) if dst.is_float and dst.bits == 32 else result
+    if opcode == "bitcast":
+        return _bitcast_scalar(value, src, dst)
+    if opcode == "ptrtoint":
+        return int(value) & ((1 << dst.width) - 1)
+    if opcode == "inttoptr":
+        return int(value) & _MASK64
+    raise ValueError(f"unknown cast {opcode}")
+
+
+def _bitcast_scalar(value, src: T.Type, dst: T.Type):
+    if T.sizeof(src) != T.sizeof(dst):
+        raise Trap(f"bitcast between different sizes: {src} -> {dst}")
+    if src.is_float and dst.is_int:
+        return avxops.float_to_bits(value, src.bits)
+    if src.is_int and dst.is_float:
+        return avxops.bits_to_float(value, dst.bits)
+    return value
+
+
+def _scalar_key(value, ty: T.Type):
+    """Comparable bit-pattern key (floats compared bitwise so that NaN
+    copies are equal and +0.0 != -0.0, matching register comparison)."""
+    if ty.is_float:
+        return avxops.float_to_bits(value, ty.bits)
+    return value
+
+
+def _lane_keys(lanes, elem: T.Type):
+    if elem.is_float:
+        return tuple(avxops.float_to_bits(v, elem.bits) for v in lanes)
+    return tuple(lanes)
+
+
+def _key_to_value(key, elem: T.Type):
+    if elem.is_float:
+        return avxops.bits_to_float(key, elem.bits)
+    return key
+
+
+def _flip(value, ty: T.Type, bit: int, lane: int):
+    """Apply a single-event upset to an instruction result.
+
+    Scalars live in 64-bit registers: a flip above the value's width
+    hits architecturally dead bits and is immediately masked (the bit
+    is drawn from [0, 64), matching the paper's GPR injections). SIMD
+    lanes are fully packed, so lane flips always land in live bits.
+    """
+    if ty.is_vector:
+        lane = lane % ty.count
+        lst = list(value)
+        lst[lane] = _flip_lane(lst[lane], ty.elem, bit)
+        return tuple(lst)
+    width = T.bitwidth(ty)
+    if bit % 64 >= width:
+        return value  # dead upper register bits
+    if ty.is_float:
+        return avxops.flip_bit_float(value, bit % width, ty.bits)
+    return avxops.flip_bit_int(int(value), bit % width, width)
+
+
+def _flip_lane(value, elem: T.Type, bit: int):
+    if elem.is_float:
+        return avxops.flip_bit_float(value, bit % elem.bits, elem.bits)
+    width = T.bitwidth(elem)
+    return avxops.flip_bit_int(int(value), bit % width, width)

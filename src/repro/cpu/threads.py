@@ -1,0 +1,89 @@
+"""Analytic multithreaded-scalability model.
+
+The simulator executes one thread; the paper evaluates 1-16 threads on
+a 28-core machine. We model a workload's parallel behaviour with three
+parameters and derive the multi-threaded runtime of both the native and
+hardened versions from their measured single-thread cycle counts.
+
+The key structural fact the paper leans on (§V-B "Impact of ELZAR and
+scalability") is that hardening multiplies the *compute* portion of a
+program but leaves the *synchronization* portion untouched (pthread
+primitives and I/O are not hardened, §IV-A). Hence:
+
+    runtime(T) = h * C * (1 - p)            # serial compute
+               + h * C * p / T              # parallel compute
+               + C * s * (1 + g * (T - 1))  # synchronization (unhardened)
+
+where C is the native single-thread cycle count, h the hardening
+slowdown factor (hardened_cycles / native_cycles), p the parallel
+fraction, s the synchronization fraction, and g its growth per added
+thread. Perfectly scalable workloads (word_count, ferret: p≈1, s≈0)
+show constant overhead across thread counts; poorly scaling ones
+(dedup, streamcluster: large s·g) amortize the hardening overhead as
+threads increase — exactly the paper's observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScalabilityProfile:
+    """Per-workload parallel behaviour (see module docstring)."""
+
+    parallel_fraction: float = 0.98
+    sync_fraction: float = 0.0
+    sync_growth: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError("parallel_fraction must be in [0, 1]")
+        if self.sync_fraction < 0 or self.sync_growth < 0:
+            raise ValueError("sync parameters must be non-negative")
+
+
+#: Perfect scaling, no synchronization (default for CPU-bound kernels).
+PERFECT = ScalabilityProfile()
+
+
+def runtime_at(
+    native_cycles: float,
+    threads: int,
+    profile: ScalabilityProfile,
+    hardening_factor: float = 1.0,
+) -> float:
+    """Modelled runtime (in cycles) at ``threads`` threads."""
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    p = profile.parallel_fraction
+    serial = native_cycles * (1.0 - p) * hardening_factor
+    parallel = native_cycles * p * hardening_factor / threads
+    sync = native_cycles * profile.sync_fraction * (
+        1.0 + profile.sync_growth * (threads - 1)
+    )
+    return serial + parallel + sync
+
+
+def normalized_overhead(
+    native_cycles: float,
+    hardened_cycles: float,
+    threads: int,
+    profile: ScalabilityProfile,
+) -> float:
+    """Hardened runtime / native runtime at ``threads`` threads (the
+    y-axis of Figures 11, 12, 14 and 17)."""
+    if native_cycles <= 0:
+        raise ValueError("native_cycles must be positive")
+    h = hardened_cycles / native_cycles
+    hardened = runtime_at(native_cycles, threads, profile, hardening_factor=h)
+    native = runtime_at(native_cycles, threads, profile, hardening_factor=1.0)
+    return hardened / native
+
+
+def speedup_over_threads(native_cycles: float, threads: int,
+                         profile: ScalabilityProfile) -> float:
+    """Self-relative scaling curve (used in tests for sanity checks)."""
+    t1 = runtime_at(native_cycles, 1, profile)
+    tn = runtime_at(native_cycles, threads, profile)
+    return t1 / tn

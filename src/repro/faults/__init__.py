@@ -1,0 +1,19 @@
+"""repro.faults — single-event-upset injection and outcome
+classification (paper §IV-B, Table I, Figure 13)."""
+
+from .campaign import CampaignConfig, golden_run, inject_once, run_campaign
+from .outcomes import CampaignResult, Outcome
+from .trace import TraceSummary, collect_trace, functions_only, hardened_only
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "Outcome",
+    "TraceSummary",
+    "collect_trace",
+    "functions_only",
+    "golden_run",
+    "hardened_only",
+    "inject_once",
+    "run_campaign",
+]

@@ -1,0 +1,129 @@
+"""Fault-injection campaign runner (paper §IV-B).
+
+The paper's campaign per program: collect an instruction trace to
+demarcate the hardened region, run a "golden" fault-free execution to
+capture the reference output, then repeatedly re-execute the program
+injecting exactly one single-event upset per run — a bit flip in the
+output register of a randomly chosen dynamic instruction (one SIMD lane
+for YMM results) — and classify each run's outcome per Table I.
+
+Our trace step is the golden run itself: it counts the *eligible*
+dynamic instructions (value-producing, inside hardenable functions —
+intrinsics and runtime services are excluded, like the paper excludes
+unhardened libraries).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..cpu.errors import (
+    AbortError,
+    ArithmeticFault,
+    DetectedError,
+    HangError,
+    MemoryFault,
+    Trap,
+)
+from ..cpu.interpreter import FaultPlan, Machine, MachineConfig
+from ..ir.module import Module
+from ..workloads.common import outputs_match
+from .outcomes import CampaignResult, Outcome
+
+
+@dataclass
+class CampaignConfig:
+    injections: int = 150
+    seed: int = 1234
+    #: Hang threshold as a multiple of the golden run's instructions.
+    hang_factor: float = 4.0
+    rtol: float = 1e-9
+    #: Optional fault-region predicate (paper §IV-B demarcation): which
+    #: functions injections may target. See :mod:`repro.faults.trace`.
+    fault_eligible: Optional[Callable] = None
+
+
+def _fresh_machine(module: Module, max_instructions: Optional[int] = None,
+                   fault_eligible: Optional[Callable] = None) -> Machine:
+    config = MachineConfig(collect_timing=False)
+    if max_instructions is not None:
+        config.max_instructions = max_instructions
+    if fault_eligible is not None:
+        config.fault_eligible = fault_eligible
+    return Machine(module, config)
+
+
+def golden_run(module: Module, entry: str, args: Sequence,
+               fault_eligible: Optional[Callable] = None):
+    """Fault-free execution; returns (output, eligible_instructions,
+    total_instructions)."""
+    machine = _fresh_machine(module, fault_eligible=fault_eligible)
+    machine.arm_fault(FaultPlan(target_index=-1, bit=0))  # count eligibles only
+    result = machine.run(entry, args)
+    return result.output, machine.eligible_executed, result.counters.instructions
+
+
+def run_campaign(
+    module: Module,
+    entry: str,
+    args: Sequence,
+    workload: str = "",
+    version: str = "",
+    config: Optional[CampaignConfig] = None,
+) -> CampaignResult:
+    """Inject ``config.injections`` single faults into fresh executions
+    of ``entry`` and classify every outcome."""
+    config = config or CampaignConfig()
+    reference, eligible, executed = golden_run(
+        module, entry, args, config.fault_eligible
+    )
+    if eligible == 0:
+        raise ValueError(f"no eligible instructions in @{entry}")
+    budget = int(executed * config.hang_factor) + 10_000
+    rng = random.Random(config.seed)
+    result = CampaignResult(workload=workload, version=version)
+
+    for _ in range(config.injections):
+        plan = FaultPlan(
+            target_index=rng.randrange(eligible),
+            bit=rng.randrange(64),
+            lane=rng.randrange(4),
+        )
+        outcome = inject_once(module, entry, args, plan, reference,
+                              budget, config.rtol, config.fault_eligible)
+        result.counts[outcome] += 1
+    return result
+
+
+def inject_once(
+    module: Module,
+    entry: str,
+    args: Sequence,
+    plan: FaultPlan,
+    reference: Sequence,
+    budget: int,
+    rtol: float = 1e-9,
+    fault_eligible: Optional[Callable] = None,
+) -> Outcome:
+    """One fault-injection run, classified per Table I."""
+    machine = _fresh_machine(module, max_instructions=budget,
+                             fault_eligible=fault_eligible)
+    machine.arm_fault(plan)
+    try:
+        result = machine.run(entry, args)
+    except HangError:
+        return Outcome.HANG
+    except DetectedError:
+        return Outcome.DETECTED
+    except (MemoryFault, ArithmeticFault, AbortError):
+        return Outcome.OS_DETECTED
+    except Trap:
+        return Outcome.OS_DETECTED
+
+    if not outputs_match(result.output, list(reference), rtol):
+        return Outcome.SDC
+    if machine.counters.corrections > 0:
+        return Outcome.CORRECTED
+    return Outcome.MASKED

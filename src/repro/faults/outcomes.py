@@ -1,0 +1,79 @@
+"""Fault-injection outcome taxonomy (paper Table I).
+
+| FI outcome       | Description                              | System    |
+|------------------|------------------------------------------|-----------|
+| Hang             | Program became unresponsive              | Crashed   |
+| OS-detected      | OS terminated program (SIGSEGV/SIGFPE)   | Crashed   |
+| ELZAR-detected   | Hardening stopped the program (no majority / DMR fail-stop) | Crashed |
+| ELZAR-corrected  | Hardening detected and corrected fault   | Correct   |
+| Masked           | Fault did not affect output              | Correct   |
+| SDC              | Silent data corruption in output         | Corrupted |
+
+The paper folds detection-triggered stops into the crashed system
+state; we keep them distinguishable for the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+
+class Outcome(Enum):
+    HANG = "hang"
+    OS_DETECTED = "os-detected"
+    DETECTED = "hardening-detected"
+    CORRECTED = "corrected"
+    MASKED = "masked"
+    SDC = "sdc"
+
+    @property
+    def system_state(self) -> str:
+        if self in (Outcome.HANG, Outcome.OS_DETECTED, Outcome.DETECTED):
+            return "crashed"
+        if self in (Outcome.CORRECTED, Outcome.MASKED):
+            return "correct"
+        return "corrupted"
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcomes of one fault-injection campaign."""
+
+    workload: str
+    version: str  # "native" | "elzar" | ...
+    counts: Counter = field(default_factory=Counter)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def rate(self, outcome: Outcome) -> float:
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.counts[outcome] / self.total
+
+    def state_rate(self, state: str) -> float:
+        """Percentage of runs ending in a given system state
+        ('crashed' / 'correct' / 'corrupted')."""
+        if self.total == 0:
+            return 0.0
+        n = sum(c for o, c in self.counts.items() if o.system_state == state)
+        return 100.0 * n / self.total
+
+    @property
+    def sdc_rate(self) -> float:
+        return self.rate(Outcome.SDC)
+
+    @property
+    def crash_rate(self) -> float:
+        return self.state_rate("crashed")
+
+    @property
+    def correct_rate(self) -> float:
+        return self.state_rate("correct")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {o.value: self.rate(o) for o in Outcome}

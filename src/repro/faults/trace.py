@@ -1,0 +1,73 @@
+"""Dynamic instruction tracing and fault-region demarcation.
+
+The paper's campaign begins by collecting an instruction trace with
+Intel SDE's debugtrace tool "to automatically find and demarcate the
+boundaries of the hardened part of the program" so faults are only
+injected there (§IV-B — they do not inject into unhardened external
+libraries). This module is that step for the simulator: collect a
+per-function dynamic profile of *fault-eligible* (value-producing)
+instructions and build eligibility predicates for restricted
+campaigns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Sequence
+
+from ..cpu.interpreter import FaultPlan, Machine, MachineConfig
+from ..ir.function import Function
+from ..ir.module import Module
+
+
+@dataclass
+class TraceSummary:
+    """Dynamic profile of one fault-free run."""
+
+    #: Eligible (value-producing, non-intrinsic) instructions per function.
+    per_function: Dict[str, int] = field(default_factory=dict)
+    #: Dynamic opcode histogram over eligible instructions.
+    opcodes: Counter = field(default_factory=Counter)
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_function.values())
+
+    def fraction(self, fn_name: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.per_function.get(fn_name, 0) / self.total
+
+    def hottest(self, n: int = 5):
+        return sorted(
+            self.per_function.items(), key=lambda kv: -kv[1]
+        )[:n]
+
+
+def collect_trace(module: Module, entry: str, args: Sequence) -> TraceSummary:
+    """Run once, fault-free, recording where eligible instructions
+    execute (the paper's preparatory debugtrace run)."""
+    summary = TraceSummary()
+
+    def record(inst, fn):
+        summary.per_function[fn.name] = summary.per_function.get(fn.name, 0) + 1
+        summary.opcodes[inst.opcode] += 1
+
+    machine = Machine(module, MachineConfig(collect_timing=False))
+    machine.arm_fault(FaultPlan(target_index=-1, bit=0))
+    machine.trace_eligible = record
+    machine.run(entry, args)
+    return summary
+
+
+def hardened_only(module: Module) -> Callable[[Function], bool]:
+    """Eligibility predicate: inject only into functions a hardening
+    pass transformed (the paper's default region)."""
+    return lambda fn: bool(fn.hardened) and not fn.is_intrinsic
+
+
+def functions_only(names: FrozenSet[str]) -> Callable[[Function], bool]:
+    """Eligibility predicate restricted to the named functions."""
+    name_set = frozenset(names)
+    return lambda fn: fn.name in name_set and not fn.is_intrinsic

@@ -1,0 +1,51 @@
+"""repro.harness — one entry point per paper table/figure.
+
+See DESIGN.md's experiment index. Each function returns an
+:class:`Experiment` whose ``render()`` prints the same rows the paper
+reports.
+"""
+
+from .ablations import lane_ablation, scheme_ablation
+from .apps_runner import AppSession, build_app
+from .base import Experiment
+from .case_studies import FIG15_THREADS, fig15_case_studies, relative_throughput
+from .fault_experiments import fig13_fault_injection
+from .figures import (
+    PAPER_THREADS,
+    fig01_simd_speedup,
+    fig11_overhead,
+    fig12_checks_breakdown,
+    fig14_swiftr_comparison,
+    fig17_proposed_avx,
+    fp_only_overhead,
+)
+from .scorecard import Claim, Scorecard, compute_scorecard
+from .session import Session, VARIANTS
+from .tables import table2_native_stats, table3_ilp, table4_micro
+
+__all__ = [
+    "AppSession",
+    "Experiment",
+    "FIG15_THREADS",
+    "PAPER_THREADS",
+    "Claim",
+    "Scorecard",
+    "Session",
+    "VARIANTS",
+    "build_app",
+    "compute_scorecard",
+    "fig01_simd_speedup",
+    "fig11_overhead",
+    "fig12_checks_breakdown",
+    "fig13_fault_injection",
+    "fig14_swiftr_comparison",
+    "fig15_case_studies",
+    "fig17_proposed_avx",
+    "lane_ablation",
+    "scheme_ablation",
+    "fp_only_overhead",
+    "relative_throughput",
+    "table2_native_stats",
+    "table3_ilp",
+    "table4_micro",
+]

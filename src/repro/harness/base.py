@@ -1,0 +1,62 @@
+"""Common experiment result container."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..analysis.report import render_table
+
+
+@dataclass
+class Experiment:
+    """One reproduced table or figure: an id (paper numbering), a
+    title, and tabular data renderable as aligned text or exportable
+    for plotting."""
+
+    id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    digits: int = 2
+
+    def render(self) -> str:
+        return render_table(
+            f"[{self.id}] {self.title}", self.headers, self.rows, self.digits
+        )
+
+    def row_by_label(self, label: str) -> Sequence:
+        for row in self.rows:
+            if row and row[0] == label:
+                return row
+        raise KeyError(f"no row labelled {label!r} in {self.id}")
+
+    def column(self, index: int) -> List:
+        return [row[index] for row in self.rows]
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly form: metadata plus row dictionaries."""
+        return {
+            "id": self.id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [
+                {h: v for h, v in zip(self.headers, row)} for row in self.rows
+            ],
+        }
+
+    def to_csv(self) -> str:
+        """CSV text (header row first) for external plotting tools."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow(["" if v is None else v for v in row])
+        return buffer.getvalue()
+
+    def save(self, path) -> None:
+        """Write the experiment as CSV to ``path``."""
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())

@@ -1,0 +1,69 @@
+"""Figure 15: case-study throughput (Memcached, SQLite3, Apache)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..apps import kvstore, sqldb, webserver
+from .apps_runner import AppSession
+from .base import Experiment
+
+FIG15_THREADS = (1, 4, 8, 12, 16)
+
+_THROUGHPUT_MODELS = {
+    "memcached": kvstore.throughput,
+    "sqlite3": sqldb.throughput,
+    "apache": webserver.throughput,
+}
+
+
+def fig15_case_studies(
+    apps: Optional[AppSession] = None,
+    scale: str = "perf",
+    threads: Sequence[int] = FIG15_THREADS,
+) -> Experiment:
+    """Figure 15: throughput vs thread count, native and ELZAR, for the
+    three case studies (YCSB workloads A and D for Memcached/SQLite3,
+    ab-style static-page requests for Apache). Throughput is reported
+    in thousands of operations per second at the modelled 2 GHz clock.
+    """
+    apps = apps or AppSession(scale)
+    exp = Experiment(
+        id="fig15",
+        title="Case-study throughput (kops/s)",
+        headers=("app", "workload", "version") + tuple(f"t{t}" for t in threads),
+        digits=1,
+    )
+    plans = [
+        ("memcached", ("A", "D")),
+        ("sqlite3", ("A", "D")),
+        ("apache", ("-",)),
+    ]
+    for app, traces in plans:
+        model = _THROUGHPUT_MODELS[app]
+        for trace in traces:
+            trace_arg = trace if trace != "-" else "A"
+            for version in ("native", "elzar"):
+                cpo = apps.cycles_per_op(app, version, trace_arg)
+                row = [app, trace, version]
+                for t in threads:
+                    row.append(model(cpo, t) / 1e3)
+                exp.rows.append(tuple(row))
+    return exp
+
+
+def relative_throughput(exp: Experiment, app: str, trace: str,
+                        thread_index: int = -1) -> float:
+    """ELZAR throughput as a fraction of native at one thread count —
+    the paper's headline numbers (72-85% memcached, 20-30% sqlite,
+    ~85% apache)."""
+    native = elzar = None
+    for row in exp.rows:
+        if row[0] == app and row[1] == trace:
+            if row[2] == "native":
+                native = row[3:][thread_index]
+            elif row[2] == "elzar":
+                elzar = row[3:][thread_index]
+    if native is None or elzar is None:
+        raise KeyError(f"no rows for {app}/{trace}")
+    return elzar / native

@@ -1,0 +1,74 @@
+"""Fault-injection experiment (Figure 13) and its building blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..analysis.report import arithmetic_mean
+from ..faults.campaign import CampaignConfig, run_campaign
+from ..faults.outcomes import Outcome
+from ..passes.elzar import elzar_transform
+from ..passes.mem2reg import mem2reg
+from ..workloads.registry import FI_BENCHMARKS, SHORT_NAMES, get
+from .base import Experiment
+
+
+def fig13_fault_injection(
+    injections: int = 150,
+    scale: str = "fi",
+    seed: int = 2016,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Experiment:
+    """Figure 13: fault-injection outcomes for native vs ELZAR (the
+    paper injects 2500 faults per program on 12 benchmarks with the
+    smallest inputs; the default here is 150 per program so the bench
+    completes in minutes — raise ``injections`` to match the paper)."""
+    names = list(benchmarks) if benchmarks else [w.name for w in FI_BENCHMARKS]
+    exp = Experiment(
+        id="fig13",
+        title=f"Fault injection outcomes, {injections} SEUs per program (%)",
+        headers=(
+            "benchmark", "version", "crashed", "correct", "corrupted(SDC)",
+            "corrected",
+        ),
+        digits=1,
+    )
+    cfg = CampaignConfig(injections=injections, seed=seed)
+    agg: Dict[str, Dict[str, list]] = {
+        "native": {"crashed": [], "correct": [], "sdc": []},
+        "elzar": {"crashed": [], "correct": [], "sdc": []},
+    }
+    for name in names:
+        wl = get(name)
+        built = wl.build_at(scale)
+        base = mem2reg(built.module)
+        hardened = elzar_transform(base)
+        for version, module in (("native", base), ("elzar", hardened)):
+            result = run_campaign(
+                module, built.entry, built.args, wl.name, version, cfg
+            )
+            exp.rows.append(
+                (
+                    SHORT_NAMES.get(wl.name, wl.name),
+                    version,
+                    result.crash_rate,
+                    result.correct_rate,
+                    result.sdc_rate,
+                    result.rate(Outcome.CORRECTED),
+                )
+            )
+            agg[version]["crashed"].append(result.crash_rate)
+            agg[version]["correct"].append(result.correct_rate)
+            agg[version]["sdc"].append(result.sdc_rate)
+    for version in ("native", "elzar"):
+        exp.rows.append(
+            (
+                "mean",
+                version,
+                arithmetic_mean(agg[version]["crashed"]),
+                arithmetic_mean(agg[version]["correct"]),
+                arithmetic_mean(agg[version]["sdc"]),
+                None,
+            )
+        )
+    return exp

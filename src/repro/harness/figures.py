@@ -1,0 +1,211 @@
+"""Performance experiments: Figures 1, 11, 12, 14, 17 and the §V-B
+float-only study. Each function returns an :class:`Experiment` whose
+rows mirror the corresponding paper figure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.report import arithmetic_mean
+from ..cpu.threads import normalized_overhead
+from ..workloads.registry import BENCHMARKS, FP_ONLY_BENCHMARKS, SHORT_NAMES
+from .apps_runner import AppSession
+from .base import Experiment
+from .session import Session
+
+PAPER_THREADS = (1, 2, 4, 8, 16)
+APP_LABELS = {"memcached": "memcached", "sqlite3": "sqlite3", "apache": "apache"}
+
+
+def fig01_simd_speedup(
+    session: Optional[Session] = None,
+    apps: Optional[AppSession] = None,
+    scale: str = "perf",
+) -> Experiment:
+    """Figure 1: performance improvement of native SIMD vectorization
+    over a no-SIMD build (runtime speedup for the kernels, throughput
+    increase for the applications)."""
+    session = session or Session(scale)
+    exp = Experiment(
+        id="fig1",
+        title="SIMD vectorization speedup over no-SIMD build (%)",
+        headers=("benchmark", "speedup_pct"),
+        digits=1,
+    )
+    for wl in BENCHMARKS:
+        noavx = session.cycles(wl.name, "noavx")
+        native = session.cycles(wl.name, "native")
+        speedup = (noavx / native - 1.0) * 100.0
+        exp.rows.append((SHORT_NAMES[wl.name], speedup))
+    apps = apps or AppSession(scale)
+    for app in ("memcached", "sqlite3", "apache"):
+        noavx = apps.cycles_per_op(app, "noavx")
+        native = apps.cycles_per_op(app, "native")
+        speedup = (noavx / native - 1.0) * 100.0
+        exp.rows.append((APP_LABELS[app], speedup))
+    return exp
+
+
+def fig11_overhead(
+    session: Optional[Session] = None,
+    scale: str = "perf",
+    threads: Sequence[int] = PAPER_THREADS,
+) -> Experiment:
+    """Figure 11: ELZAR's normalized runtime w.r.t. native across
+    thread counts, including the smatch-na (string_match vs no-AVX
+    native) row and the mean."""
+    session = session or Session(scale)
+    exp = Experiment(
+        id="fig11",
+        title="ELZAR normalized runtime w.r.t. native",
+        headers=("benchmark",) + tuple(f"t{t}" for t in threads),
+    )
+    per_thread = {t: [] for t in threads}
+    for wl in BENCHMARKS:
+        native = session.cycles(wl.name, "native")
+        elzar = session.cycles(wl.name, "elzar")
+        row = [SHORT_NAMES[wl.name]]
+        for t in threads:
+            o = normalized_overhead(native, elzar, t, wl.profile)
+            row.append(o)
+            per_thread[t].append(o)
+        exp.rows.append(tuple(row))
+        if wl.name == "string_match":
+            noavx = session.cycles(wl.name, "noavx")
+            row = ["smatch-na"]
+            for t in threads:
+                row.append(normalized_overhead(noavx, elzar, t, wl.profile))
+            exp.rows.append(tuple(row))
+    exp.rows.append(
+        ("mean",) + tuple(arithmetic_mean(per_thread[t]) for t in threads)
+    )
+    return exp
+
+
+FIG12_CONFIGS = (
+    ("all checks enabled", "elzar"),
+    ("no loads", "elzar_noload"),
+    ("+ no stores", "elzar_nostore"),
+    ("+ no branches", "elzar_nobranch"),
+    ("all checks disabled", "elzar_nochecks"),
+)
+
+
+def fig12_checks_breakdown(
+    session: Optional[Session] = None,
+    scale: str = "perf",
+    threads: int = 16,
+) -> Experiment:
+    """Figure 12: overhead breakdown by successively disabling ELZAR's
+    checks (at 16 threads in the paper)."""
+    session = session or Session(scale)
+    exp = Experiment(
+        id="fig12",
+        title=f"ELZAR overhead by check configuration (t={threads})",
+        headers=("benchmark",) + tuple(label for label, _ in FIG12_CONFIGS),
+    )
+    sums = [0.0] * len(FIG12_CONFIGS)
+    for wl in BENCHMARKS:
+        native = session.cycles(wl.name, "native")
+        row = [SHORT_NAMES[wl.name]]
+        for i, (_, variant) in enumerate(FIG12_CONFIGS):
+            cycles = session.cycles(wl.name, variant)
+            o = normalized_overhead(native, cycles, threads, wl.profile)
+            row.append(o)
+            sums[i] += o
+        exp.rows.append(tuple(row))
+    n = len(BENCHMARKS)
+    exp.rows.append(("mean",) + tuple(s / n for s in sums))
+    return exp
+
+
+def fig14_swiftr_comparison(
+    session: Optional[Session] = None,
+    scale: str = "perf",
+    threads: int = 16,
+) -> Experiment:
+    """Figure 14: ELZAR vs SWIFT-R normalized runtime (16 threads),
+    with the per-benchmark relative difference the paper annotates."""
+    session = session or Session(scale)
+    exp = Experiment(
+        id="fig14",
+        title=f"ELZAR vs SWIFT-R normalized runtime (t={threads})",
+        headers=("benchmark", "swiftr", "elzar", "elzar_vs_swiftr_pct"),
+    )
+    sw_all, el_all = [], []
+    for wl in BENCHMARKS:
+        native = session.cycles(wl.name, "native")
+        swiftr = normalized_overhead(
+            native, session.cycles(wl.name, "swiftr"), threads, wl.profile
+        )
+        elzar = normalized_overhead(
+            native, session.cycles(wl.name, "elzar"), threads, wl.profile
+        )
+        diff = (elzar / swiftr - 1.0) * 100.0
+        sw_all.append(swiftr)
+        el_all.append(elzar)
+        exp.rows.append((SHORT_NAMES[wl.name], swiftr, elzar, diff))
+    mean_sw = arithmetic_mean(sw_all)
+    mean_el = arithmetic_mean(el_all)
+    exp.rows.append(
+        ("mean", mean_sw, mean_el, (mean_el / mean_sw - 1.0) * 100.0)
+    )
+    return exp
+
+
+def fig17_proposed_avx(
+    session: Optional[Session] = None,
+    scale: str = "perf",
+    threads: int = 16,
+) -> Experiment:
+    """Figure 17: estimated ELZAR overhead with the proposed AVX
+    changes (gathers/scatters, FLAGS-setting comparisons, offloaded
+    checks), next to current ELZAR."""
+    session = session or Session(scale)
+    exp = Experiment(
+        id="fig17",
+        title=f"ELZAR with proposed AVX support, normalized runtime (t={threads})",
+        headers=("benchmark", "elzar", "estimated_elzar"),
+    )
+    cur_all, est_all = [], []
+    for wl in BENCHMARKS:
+        native = session.cycles(wl.name, "native")
+        cur = normalized_overhead(
+            native, session.cycles(wl.name, "elzar"), threads, wl.profile
+        )
+        est = normalized_overhead(
+            native, session.cycles(wl.name, "elzar_proposed"), threads, wl.profile
+        )
+        cur_all.append(cur)
+        est_all.append(est)
+        exp.rows.append((SHORT_NAMES[wl.name], cur, est))
+    exp.rows.append(("mean", arithmetic_mean(cur_all), arithmetic_mean(est_all)))
+    return exp
+
+
+def fp_only_overhead(
+    session: Optional[Session] = None,
+    scale: str = "perf",
+    threads: Sequence[int] = PAPER_THREADS,
+) -> Experiment:
+    """§V-B float-only protection: overhead of the stripped-down ELZAR
+    that replicates floats/doubles but not integers/pointers, on the
+    FP-heavy benchmarks (paper: blackscholes 9-35%, fluidanimate
+    10-18%, swaptions 40-60%)."""
+    session = session or Session(scale)
+    exp = Experiment(
+        id="fp-only",
+        title="Float-only ELZAR overhead over native (%)",
+        headers=("benchmark",) + tuple(f"t{t}" for t in threads),
+        digits=1,
+    )
+    for wl in FP_ONLY_BENCHMARKS:
+        native = session.cycles(wl.name, "native")
+        hardened = session.cycles(wl.name, "elzar_float")
+        row = [SHORT_NAMES[wl.name]]
+        for t in threads:
+            o = normalized_overhead(native, hardened, t, wl.profile)
+            row.append((o - 1.0) * 100.0)
+        exp.rows.append(tuple(row))
+    return exp

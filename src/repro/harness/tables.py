@@ -1,0 +1,97 @@
+"""Tables II, III and IV of the paper."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..workloads.registry import BENCHMARKS, SHORT_NAMES
+from .base import Experiment
+from .session import Session
+
+
+def table2_native_stats(
+    session: Optional[Session] = None, scale: str = "perf"
+) -> Experiment:
+    """Table II: runtime statistics of the native versions — L1D-cache
+    and branch miss ratios, and the fraction of loads, stores and
+    branches over executed instructions (percent)."""
+    session = session or Session(scale)
+    exp = Experiment(
+        id="table2",
+        title="Native runtime statistics (%)",
+        headers=("benchmark", "L1-miss", "br-miss", "loads", "stores", "branches"),
+    )
+    for wl in BENCHMARKS:
+        c = session.run(wl.name, "native").counters
+        exp.rows.append(
+            (
+                SHORT_NAMES[wl.name],
+                c.l1_miss_ratio,
+                c.branch_miss_ratio,
+                c.load_fraction,
+                c.store_fraction,
+                c.branch_fraction,
+            )
+        )
+    return exp
+
+
+def table3_ilp(
+    session: Optional[Session] = None, scale: str = "perf"
+) -> Experiment:
+    """Table III: instruction-level parallelism (instructions/cycle) of
+    native, ELZAR and SWIFT-R, and each scheme's increase factor in
+    executed (x86-equivalent) instructions w.r.t. native."""
+    session = session or Session(scale)
+    exp = Experiment(
+        id="table3",
+        title="ILP and instruction increase w.r.t. native",
+        headers=(
+            "benchmark", "ilp_native", "ilp_elzar", "ilp_swiftr",
+            "incr_elzar", "incr_swiftr",
+        ),
+    )
+    for wl in BENCHMARKS:
+        native = session.run(wl.name, "native")
+        elzar = session.run(wl.name, "elzar")
+        swiftr = session.run(wl.name, "swiftr")
+        base_uops = max(1, native.counters.uops)
+        exp.rows.append(
+            (
+                SHORT_NAMES[wl.name],
+                native.ilp,
+                elzar.ilp,
+                swiftr.ilp,
+                elzar.counters.uops / base_uops,
+                swiftr.counters.uops / base_uops,
+            )
+        )
+    return exp
+
+
+_TABLE4_PAIRS = (
+    ("loads", "micro_loads_avg", "micro_loads_worst"),
+    ("stores", "micro_stores_avg", "micro_stores_worst"),
+    ("branches", "micro_branches_avg", "micro_branches_worst"),
+)
+
+
+def table4_micro(
+    session: Optional[Session] = None, scale: str = "perf"
+) -> Experiment:
+    """Table IV: normalized runtime of the AVX-wrapped (ELZAR with all
+    checks disabled, §VII-A) microbenchmarks w.r.t. native, average and
+    worst case, plus the truncation microbenchmark (§VII-A: ~8x)."""
+    session = session or Session(scale)
+    exp = Experiment(
+        id="table4",
+        title="Microbenchmarks: AVX-based versions w.r.t. native",
+        headers=("class", "average-case", "worst-case"),
+    )
+    for label, avg_name, worst_name in _TABLE4_PAIRS:
+        avg = session.overhead(avg_name, "elzar_nochecks", baseline="noavx")
+        worst = session.overhead(worst_name, "elzar_nochecks", baseline="noavx")
+        exp.rows.append((label, avg, worst))
+    trunc = session.overhead("micro_truncation", "elzar_nochecks", baseline="noavx")
+    exp.rows.append(("truncation", trunc, None))
+    return exp

@@ -1,0 +1,98 @@
+"""repro.ir — a small typed SSA intermediate representation.
+
+Modelled on LLVM (opaque pointers, phis, first-class vectors) and rich
+enough to express the ELZAR/SWIFT-R hardening transformations the paper
+describes, plus the workloads they are evaluated on.
+"""
+
+from . import opcodes, types
+from .builder import IRBuilder, IfState, LoopState
+from .cfg import DominatorTree, Loop, find_natural_loops, reverse_postorder
+from .function import BasicBlock, Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    BroadcastInst,
+    CallInst,
+    CastInst,
+    ExtractElementInst,
+    FCmpInst,
+    GepInst,
+    ICmpInst,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    ShuffleVectorInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .module import Module
+from .parser import ParseError, parse_module
+from .printer import format_function, format_instruction, format_module
+from .values import (
+    Argument,
+    Constant,
+    GlobalVariable,
+    UndefValue,
+    Value,
+    const_bool,
+    const_float,
+    const_int,
+    const_splat,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "Argument",
+    "AllocaInst",
+    "BasicBlock",
+    "BinaryInst",
+    "BranchInst",
+    "BroadcastInst",
+    "CallInst",
+    "CastInst",
+    "Constant",
+    "DominatorTree",
+    "ExtractElementInst",
+    "FCmpInst",
+    "Function",
+    "GepInst",
+    "GlobalVariable",
+    "ICmpInst",
+    "IRBuilder",
+    "IfState",
+    "InsertElementInst",
+    "Instruction",
+    "LoadInst",
+    "Loop",
+    "LoopState",
+    "Module",
+    "ParseError",
+    "PhiInst",
+    "RetInst",
+    "SelectInst",
+    "ShuffleVectorInst",
+    "StoreInst",
+    "UndefValue",
+    "UnreachableInst",
+    "Value",
+    "VerificationError",
+    "const_bool",
+    "const_float",
+    "const_int",
+    "const_splat",
+    "find_natural_loops",
+    "format_function",
+    "format_instruction",
+    "format_module",
+    "opcodes",
+    "parse_module",
+    "reverse_postorder",
+    "types",
+    "verify_function",
+    "verify_module",
+]

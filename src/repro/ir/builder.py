@@ -1,0 +1,390 @@
+"""IRBuilder: convenience API for constructing IR.
+
+The builder keeps an insertion point (a basic block) and appends
+instructions there, auto-naming results. Structured-control-flow
+helpers (``begin_loop``/``end_loop``, ``begin_if``/``end_if``) emit the
+canonical loop shape that the auto-vectorizer recognizes:
+
+    preheader -> header(phis, cond, br body/exit) -> body... -> header
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from . import types as T
+from .function import BasicBlock, Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    BroadcastInst,
+    CallInst,
+    CastInst,
+    ExtractElementInst,
+    FCmpInst,
+    GepInst,
+    ICmpInst,
+    InsertElementInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    ShuffleVectorInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .values import Constant, Value
+
+
+@dataclass
+class LoopState:
+    """Bookkeeping for a loop under construction (see ``begin_loop``)."""
+
+    preheader: BasicBlock
+    header: BasicBlock
+    body: BasicBlock
+    exit: BasicBlock
+    index: PhiInst
+    start: Value
+    end: Value
+    step: Value
+    cond_pred: str
+    pending_phis: List[Tuple[PhiInst, Value, Optional[Value]]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class IfState:
+    cond: Value
+    then_block: BasicBlock
+    else_block: Optional[BasicBlock]
+    merge: BasicBlock
+    branch: BranchInst
+    then_end: Optional[BasicBlock] = None
+
+
+class IRBuilder:
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block: Optional[BasicBlock] = block
+
+    # Positioning --------------------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        return self.block.parent
+
+    def _insert(self, inst, name: str = ""):
+        if self.block is None:
+            raise RuntimeError("builder has no insertion point")
+        if not inst.name and not inst.type.is_void:
+            inst.name = name or self.function.next_name()
+        elif name:
+            inst.name = name
+        return self.block.append(inst)
+
+    # Constants ----------------------------------------------------------------
+
+    @staticmethod
+    def i64(v: int) -> Constant:
+        return Constant(T.I64, v)
+
+    @staticmethod
+    def i32(v: int) -> Constant:
+        return Constant(T.I32, v)
+
+    @staticmethod
+    def i16(v: int) -> Constant:
+        return Constant(T.I16, v)
+
+    @staticmethod
+    def i8(v: int) -> Constant:
+        return Constant(T.I8, v)
+
+    @staticmethod
+    def i1(v: bool) -> Constant:
+        return Constant(T.I1, 1 if v else 0)
+
+    @staticmethod
+    def f64(v: float) -> Constant:
+        return Constant(T.F64, v)
+
+    @staticmethod
+    def f32(v: float) -> Constant:
+        return Constant(T.F32, v)
+
+    # Binary operations ----------------------------------------------------------
+
+    def binop(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(opcode, lhs, rhs), name)
+
+    def add(self, a, b, name=""):
+        return self.binop("add", a, b, name)
+
+    def sub(self, a, b, name=""):
+        return self.binop("sub", a, b, name)
+
+    def mul(self, a, b, name=""):
+        return self.binop("mul", a, b, name)
+
+    def sdiv(self, a, b, name=""):
+        return self.binop("sdiv", a, b, name)
+
+    def udiv(self, a, b, name=""):
+        return self.binop("udiv", a, b, name)
+
+    def srem(self, a, b, name=""):
+        return self.binop("srem", a, b, name)
+
+    def urem(self, a, b, name=""):
+        return self.binop("urem", a, b, name)
+
+    def and_(self, a, b, name=""):
+        return self.binop("and", a, b, name)
+
+    def or_(self, a, b, name=""):
+        return self.binop("or", a, b, name)
+
+    def xor(self, a, b, name=""):
+        return self.binop("xor", a, b, name)
+
+    def shl(self, a, b, name=""):
+        return self.binop("shl", a, b, name)
+
+    def lshr(self, a, b, name=""):
+        return self.binop("lshr", a, b, name)
+
+    def ashr(self, a, b, name=""):
+        return self.binop("ashr", a, b, name)
+
+    def fadd(self, a, b, name=""):
+        return self.binop("fadd", a, b, name)
+
+    def fsub(self, a, b, name=""):
+        return self.binop("fsub", a, b, name)
+
+    def fmul(self, a, b, name=""):
+        return self.binop("fmul", a, b, name)
+
+    def fdiv(self, a, b, name=""):
+        return self.binop("fdiv", a, b, name)
+
+    def frem(self, a, b, name=""):
+        return self.binop("frem", a, b, name)
+
+    # Comparisons ----------------------------------------------------------------
+
+    def icmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._insert(ICmpInst(pred, lhs, rhs), name)
+
+    def fcmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._insert(FCmpInst(pred, lhs, rhs), name)
+
+    # Casts ------------------------------------------------------------------------
+
+    def cast(self, opcode: str, value: Value, to_type: T.Type, name: str = "") -> Value:
+        return self._insert(CastInst(opcode, value, to_type), name)
+
+    def trunc(self, v, ty, name=""):
+        return self.cast("trunc", v, ty, name)
+
+    def zext(self, v, ty, name=""):
+        return self.cast("zext", v, ty, name)
+
+    def sext(self, v, ty, name=""):
+        return self.cast("sext", v, ty, name)
+
+    def fptrunc(self, v, ty, name=""):
+        return self.cast("fptrunc", v, ty, name)
+
+    def fpext(self, v, ty, name=""):
+        return self.cast("fpext", v, ty, name)
+
+    def fptosi(self, v, ty, name=""):
+        return self.cast("fptosi", v, ty, name)
+
+    def sitofp(self, v, ty, name=""):
+        return self.cast("sitofp", v, ty, name)
+
+    def uitofp(self, v, ty, name=""):
+        return self.cast("uitofp", v, ty, name)
+
+    def bitcast(self, v, ty, name=""):
+        return self.cast("bitcast", v, ty, name)
+
+    def ptrtoint(self, v, ty=T.I64, name=""):
+        return self.cast("ptrtoint", v, ty, name)
+
+    def inttoptr(self, v, name=""):
+        return self.cast("inttoptr", v, T.PTR, name)
+
+    # Memory -------------------------------------------------------------------------
+
+    def alloca(self, ty: T.Type, count: int = 1, name: str = "") -> Value:
+        return self._insert(AllocaInst(ty, count), name)
+
+    def load(self, ty: T.Type, ptr: Value, name: str = "") -> Value:
+        return self._insert(LoadInst(ty, ptr), name)
+
+    def store(self, value: Value, ptr: Value) -> Value:
+        return self._insert(StoreInst(value, ptr))
+
+    def gep(self, elem_type: T.Type, ptr: Value, index: Value, name: str = "") -> Value:
+        return self._insert(GepInst(elem_type, ptr, index), name)
+
+    # Control flow ----------------------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> Value:
+        return self._insert(BranchInst(None, target))
+
+    def cond_br(self, cond: Value, then_block: BasicBlock,
+                else_block: BasicBlock) -> Value:
+        return self._insert(BranchInst(cond, then_block, else_block))
+
+    def ret(self, value: Optional[Value] = None) -> Value:
+        return self._insert(RetInst(value))
+
+    def ret_void(self) -> Value:
+        return self._insert(RetInst(None))
+
+    def unreachable(self) -> Value:
+        return self._insert(UnreachableInst())
+
+    def call(self, callee: Function, args: Sequence[Value], name: str = "") -> Value:
+        return self._insert(CallInst(callee, args), name)
+
+    def phi(self, ty: T.Type, name: str = "") -> PhiInst:
+        """Create a phi at the *start* of the current block."""
+        inst = PhiInst(ty)
+        inst.name = name or self.function.next_name("phi")
+        self.block.insert(self.block.first_non_phi_index(), inst)
+        return inst
+
+    def select(self, cond: Value, tval: Value, fval: Value, name: str = "") -> Value:
+        return self._insert(SelectInst(cond, tval, fval), name)
+
+    # Vectors -------------------------------------------------------------------------------
+
+    def extractelement(self, vec: Value, index: Value, name: str = "") -> Value:
+        return self._insert(ExtractElementInst(vec, index), name)
+
+    def insertelement(self, vec: Value, elem: Value, index: Value, name: str = "") -> Value:
+        return self._insert(InsertElementInst(vec, elem, index), name)
+
+    def shufflevector(self, v1: Value, v2: Value, mask: Sequence[int], name: str = "") -> Value:
+        return self._insert(ShuffleVectorInst(v1, v2, tuple(mask)), name)
+
+    def broadcast(self, scalar: Value, count: int, name: str = "") -> Value:
+        return self._insert(BroadcastInst(scalar, count), name)
+
+    # Structured control flow ------------------------------------------------------------------
+
+    def begin_loop(self, start: Value, end: Value, step: Optional[Value] = None,
+                   name: str = "i", pred: str = "slt") -> LoopState:
+        """Open a counted loop ``for (name = start; name <pred> end; name += step)``.
+
+        Positions the builder in the loop body. The induction variable
+        is ``state.index``. Close with :meth:`end_loop`, which positions
+        the builder in the exit block.
+        """
+        if step is None:
+            step = Constant(start.type, 1)
+        fn = self.function
+        preheader = self.block
+        header = fn.append_block(fn.next_name("loop"))
+        body = fn.append_block(fn.next_name("body"))
+        exit_block = fn.append_block(fn.next_name("endloop"))
+
+        self.br(header)
+
+        self.position_at_end(header)
+        index = self.phi(start.type, name=fn.next_name(name))
+        cond = self.icmp(pred, index, end)
+        self.cond_br(cond, body, exit_block)
+
+        self.position_at_end(body)
+        return LoopState(
+            preheader=preheader,
+            header=header,
+            body=body,
+            exit=exit_block,
+            index=index,
+            start=start,
+            end=end,
+            step=step,
+            cond_pred=pred,
+        )
+
+    def loop_phi(self, loop: LoopState, init: Value, name: str = "") -> PhiInst:
+        """Add a loop-carried value (e.g. a reduction accumulator).
+
+        The phi lives in the loop header; set its next-iteration value
+        with :meth:`set_loop_next` before :meth:`end_loop`. After the
+        loop, the phi itself holds the final value.
+        """
+        saved = self.block
+        self.position_at_end(loop.header)
+        phi = self.phi(init.type, name=name or self.function.next_name("acc"))
+        self.position_at_end(saved)
+        loop.pending_phis.append((phi, init, None))
+        return phi
+
+    def set_loop_next(self, loop: LoopState, phi: PhiInst, next_value: Value) -> None:
+        for i, (p, init, _) in enumerate(loop.pending_phis):
+            if p is phi:
+                loop.pending_phis[i] = (p, init, next_value)
+                return
+        raise KeyError("phi was not created with loop_phi for this loop")
+
+    def end_loop(self, loop: LoopState) -> None:
+        """Close the loop: emit the increment and back edge, wire up the
+        phis, and position the builder at the exit block."""
+        latch = self.block
+        next_index = self.add(loop.index, loop.step)
+        self.br(loop.header)
+
+        loop.index.add_incoming(loop.start, loop.preheader)
+        loop.index.add_incoming(next_index, latch)
+        for phi, init, nxt in loop.pending_phis:
+            if nxt is None:
+                raise ValueError(
+                    f"loop phi {phi.ref()} has no next value; call set_loop_next"
+                )
+            phi.add_incoming(init, loop.preheader)
+            phi.add_incoming(nxt, latch)
+
+        self.position_at_end(loop.exit)
+
+    def begin_if(self, cond: Value, with_else: bool = False) -> IfState:
+        """Open a conditional region; positions the builder in the
+        'then' block. Call :meth:`begin_else` (if ``with_else``) and
+        finally :meth:`end_if`."""
+        fn = self.function
+        then_block = fn.append_block(fn.next_name("then"))
+        merge = fn.append_block(fn.next_name("endif"))
+        else_block = None
+        if with_else:
+            else_block = fn.append_block(fn.next_name("else"))
+            branch = self.cond_br(cond, then_block, else_block)
+        else:
+            branch = self.cond_br(cond, then_block, merge)
+        self.position_at_end(then_block)
+        return IfState(cond, then_block, else_block, merge, branch)
+
+    def begin_else(self, state: IfState) -> None:
+        if state.else_block is None:
+            raise ValueError("begin_if was called without with_else=True")
+        if self.block.terminator is None:
+            self.br(state.merge)
+        state.then_end = self.block
+        self.position_at_end(state.else_block)
+
+    def end_if(self, state: IfState) -> None:
+        if self.block.terminator is None:
+            self.br(state.merge)
+        self.position_at_end(state.merge)

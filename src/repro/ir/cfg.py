@@ -1,0 +1,173 @@
+"""Control-flow graph analyses: orderings, dominators, dominance
+frontiers, and natural-loop detection.
+
+Dominators use the Cooper–Harvey–Kennedy iterative algorithm on the
+reverse-postorder numbering; it is simple and fast enough for the
+function sizes this project produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .function import BasicBlock, Function
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder from the entry (unreachable blocks
+    excluded)."""
+    visited: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+
+    # Iterative DFS to avoid recursion limits on long chains.
+    stack: List[tuple] = [(fn.entry, iter(fn.entry.successors()))]
+    visited.add(fn.entry)
+    while stack:
+        block, succs = stack[-1]
+        advanced = False
+        for succ in succs:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(succ.successors())))
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+class DominatorTree:
+    def __init__(self, fn: Function):
+        self.function = fn
+        self.rpo = reverse_postorder(fn)
+        self._rpo_index: Dict[BasicBlock, int] = {
+            b: i for i, b in enumerate(self.rpo)
+        }
+        self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self.children: Dict[BasicBlock, List[BasicBlock]] = {
+            b: [] for b in self.rpo
+        }
+        self._depth: Dict[BasicBlock, int] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        entry = self.function.entry
+        preds = self.function.compute_predecessors()
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: entry}
+
+        def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+            while a is not b:
+                while self._rpo_index[a] > self._rpo_index[b]:
+                    a = idom[a]
+                while self._rpo_index[b] > self._rpo_index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    continue
+                new_idom = None
+                for pred in preds[block]:
+                    if pred in idom:
+                        new_idom = pred if new_idom is None else intersect(pred, new_idom)
+                if new_idom is not None and idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+
+        idom[entry] = None
+        self.idom = idom
+        for block, dom in idom.items():
+            if dom is not None:
+                self.children[dom].append(block)
+        # Depths for fast dominance queries.
+        self._depth[entry] = 0
+        worklist = [entry]
+        while worklist:
+            block = worklist.pop()
+            for child in self.children[block]:
+                self._depth[child] = self._depth[block] + 1
+                worklist.append(child)
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        if a not in self._depth or b not in self._depth:
+            return False
+        while self._depth.get(b, -1) > self._depth[a]:
+            b = self.idom[b]
+        return a is b
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def frontiers(self) -> Dict[BasicBlock, Set[BasicBlock]]:
+        """Dominance frontier of each block (Cooper et al. algorithm)."""
+        df: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in self.rpo}
+        preds = self.function.compute_predecessors()
+        for block in self.rpo:
+            if len(preds[block]) < 2:
+                continue
+            for pred in preds[block]:
+                if pred not in self._depth:
+                    continue
+                runner = pred
+                while runner is not self.idom[block]:
+                    df[runner].add(block)
+                    runner = self.idom[runner]
+        return df
+
+
+@dataclass
+class Loop:
+    """A natural loop: header plus the set of blocks on paths from the
+    back-edge sources to the header."""
+
+    header: BasicBlock
+    blocks: Set[BasicBlock] = field(default_factory=set)
+    latches: List[BasicBlock] = field(default_factory=list)
+
+    @property
+    def exits(self) -> List[BasicBlock]:
+        out = []
+        for block in self.blocks:
+            for succ in block.successors():
+                if succ not in self.blocks and succ not in out:
+                    out.append(succ)
+        return out
+
+    def body_blocks(self) -> List[BasicBlock]:
+        return [b for b in self.blocks if b is not self.header]
+
+
+def find_natural_loops(fn: Function, domtree: Optional[DominatorTree] = None) -> List[Loop]:
+    """Detect natural loops via back edges (edge u->h where h dom u).
+
+    Loops sharing a header are merged, matching LLVM's LoopInfo.
+    """
+    domtree = domtree or DominatorTree(fn)
+    loops: Dict[BasicBlock, Loop] = {}
+    for block in domtree.rpo:
+        for succ in block.successors():
+            if domtree.dominates(succ, block):
+                loop = loops.setdefault(succ, Loop(header=succ))
+                loop.latches.append(block)
+                _collect_loop_body(loop, block)
+    return list(loops.values())
+
+
+def _collect_loop_body(loop: Loop, latch: BasicBlock) -> None:
+    loop.blocks.add(loop.header)
+    preds_cache = loop.header.parent.compute_predecessors()
+    worklist = [latch]
+    while worklist:
+        block = worklist.pop()
+        if block in loop.blocks:
+            continue
+        loop.blocks.add(block)
+        for pred in preds_cache.get(block, []):
+            worklist.append(pred)

@@ -1,0 +1,152 @@
+"""Functions and basic blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from . import types as T
+from .instructions import BranchInst, Instruction, PhiInst
+from .values import Argument, Value
+
+
+class BasicBlock:
+    def __init__(self, name: str, parent: "Function" = None):
+        self.name = name
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    def append(self, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def successors(self) -> tuple:
+        term = self.terminator
+        if isinstance(term, BranchInst):
+            return term.targets()
+        return ()
+
+    def phis(self) -> List[PhiInst]:
+        out = []
+        for inst in self.instructions:
+            if isinstance(inst, PhiInst):
+                out.append(inst)
+            else:
+                break
+        return out
+
+    def first_non_phi_index(self) -> int:
+        for i, inst in enumerate(self.instructions):
+            if not isinstance(inst, PhiInst):
+                return i
+        return len(self.instructions)
+
+    def ref(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.name}, {len(self.instructions)} insts>"
+
+
+class Function(Value):
+    """A function definition or declaration.
+
+    Attributes of note:
+
+    - ``is_declaration``: no body; resolved at run time either as an
+      intrinsic (name starts with ``rt.``, ``avx.``, ``elzar.`` or
+      ``tmr.``) or it must be defined elsewhere in the module.
+    - ``hardened``: set by hardening passes on their outputs; used by
+      the fault injector to know where faults may be injected and by
+      nested-call handling in the passes themselves.
+    """
+
+    def __init__(self, name: str, ftype: T.FunctionType,
+                 arg_names: Optional[List[str]] = None):
+        super().__init__(ftype, name)
+        self.blocks: List[BasicBlock] = []
+        names = arg_names or [f"arg{i}" for i in range(len(ftype.params))]
+        if len(names) != len(ftype.params):
+            raise ValueError("arg_names arity mismatch")
+        self.args: List[Argument] = [
+            Argument(ty, nm, i, self) for i, (ty, nm) in enumerate(zip(ftype.params, names))
+        ]
+        self.parent = None  # Module
+        self.hardened: Optional[str] = None  # e.g. "elzar", "swiftr"
+        self._name_counter = 0
+
+    @property
+    def ftype(self) -> T.FunctionType:
+        return self.type
+
+    @property
+    def return_type(self) -> T.Type:
+        return self.ftype.ret
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def is_intrinsic(self) -> bool:
+        return self.name.split(".")[0] in (
+            "rt", "avx", "elzar", "tmr", "swift", "host"
+        )
+
+    def append_block(self, name: str = "") -> BasicBlock:
+        block = BasicBlock(name or self.next_name("bb"), self)
+        self.blocks.append(block)
+        return block
+
+    def insert_block_after(self, after: BasicBlock, name: str = "") -> BasicBlock:
+        block = BasicBlock(name or self.next_name("bb"), self)
+        self.blocks.insert(self.blocks.index(after) + 1, block)
+        return block
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no body")
+        return self.blocks[0]
+
+    def next_name(self, prefix: str = "t") -> str:
+        self._name_counter += 1
+        return f"{prefix}{self._name_counter}"
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def block_map(self) -> Dict[str, BasicBlock]:
+        return {b.name: b for b in self.blocks}
+
+    def compute_predecessors(self) -> Dict[BasicBlock, List[BasicBlock]]:
+        preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors():
+                # setdefault tolerates branches to foreign blocks so the
+                # verifier can report them instead of crashing here.
+                preds.setdefault(succ, []).append(block)
+        return preds
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "declare" if self.is_declaration else "define"
+        return f"<Function {kind} {self.name}>"

@@ -1,0 +1,382 @@
+"""Instruction classes for the repro IR.
+
+Instructions are Values; their operands are held in ``self.operands``
+(a plain list) so that generic passes can walk and rewrite them without
+knowing each subclass's field names. Subclasses expose named accessor
+properties over that list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from . import opcodes as OP
+from . import types as T
+from .values import Value
+
+
+class Instruction(Value):
+    opcode: str = "?"
+
+    def __init__(self, ty: T.Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(ty, name)
+        self.operands: List[Value] = list(operands)
+        self.parent = None  # BasicBlock, set on insertion
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in OP.TERMINATOR_OPS
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+
+
+class BinaryInst(Instruction):
+    """Integer/float binary arithmetic and bitwise operations."""
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
+        if opcode not in OP.BINARY_OPS:
+            raise ValueError(f"not a binary opcode: {opcode}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"{opcode}: operand types differ: {lhs.type} vs {rhs.type}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.opcode = opcode
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class ICmpInst(Instruction):
+    opcode = "icmp"
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = ""):
+        if pred not in OP.ICMP_PREDICATES:
+            raise ValueError(f"bad icmp predicate: {pred}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"icmp: operand types differ: {lhs.type} vs {rhs.type}")
+        ty = T.vector(T.I1, lhs.type.count) if lhs.type.is_vector else T.I1
+        super().__init__(ty, [lhs, rhs], name)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class FCmpInst(Instruction):
+    opcode = "fcmp"
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = ""):
+        if pred not in OP.FCMP_PREDICATES:
+            raise ValueError(f"bad fcmp predicate: {pred}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"fcmp: operand types differ: {lhs.type} vs {rhs.type}")
+        ty = T.vector(T.I1, lhs.type.count) if lhs.type.is_vector else T.I1
+        super().__init__(ty, [lhs, rhs], name)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class CastInst(Instruction):
+    def __init__(self, opcode: str, value: Value, to_type: T.Type, name: str = ""):
+        if opcode not in OP.CAST_OPS:
+            raise ValueError(f"not a cast opcode: {opcode}")
+        super().__init__(to_type, [value], name)
+        self.opcode = opcode
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class AllocaInst(Instruction):
+    """Stack allocation; yields a pointer to ``count`` x ``allocated_type``."""
+
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: T.Type, count: int = 1, name: str = ""):
+        super().__init__(T.PTR, [], name)
+        self.allocated_type = allocated_type
+        self.count = count
+
+
+class LoadInst(Instruction):
+    opcode = "load"
+
+    def __init__(self, loaded_type: T.Type, ptr: Value, name: str = ""):
+        if not ptr.type.is_pointer:
+            raise TypeError(f"load pointer operand has type {ptr.type}")
+        super().__init__(loaded_type, [ptr], name)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+
+class StoreInst(Instruction):
+    opcode = "store"
+
+    def __init__(self, value: Value, ptr: Value):
+        if not ptr.type.is_pointer:
+            raise TypeError(f"store pointer operand has type {ptr.type}")
+        super().__init__(T.VOID, [value, ptr])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[1]
+
+
+class GepInst(Instruction):
+    """Simplified getelementptr: ``ptr + index * sizeof(elem_type)``.
+
+    The index may be any integer type (it is sign-extended to 64 bits).
+    When operating on replicated (vector) pointers/indices the result is
+    a vector of pointers — address arithmetic is replicable computation
+    in ELZAR.
+    """
+
+    opcode = "gep"
+
+    def __init__(self, elem_type: T.Type, ptr: Value, index: Value, name: str = ""):
+        if ptr.type.is_vector:
+            ty = T.vector(T.PTR, ptr.type.count)
+        else:
+            ty = T.PTR
+        super().__init__(ty, [ptr, index], name)
+        self.elem_type = elem_type
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class BranchInst(Instruction):
+    """Conditional (``cond`` is i1) or unconditional branch."""
+
+    opcode = "br"
+
+    def __init__(self, cond: Optional[Value], then_block, else_block=None):
+        operands = [] if cond is None else [cond]
+        super().__init__(T.VOID, operands)
+        if cond is not None and else_block is None:
+            raise ValueError("conditional branch requires an else target")
+        self.then_block = then_block
+        self.else_block = else_block
+
+    @property
+    def cond(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    @property
+    def is_conditional(self) -> bool:
+        return bool(self.operands)
+
+    def targets(self):
+        if self.is_conditional:
+            return (self.then_block, self.else_block)
+        return (self.then_block,)
+
+    def replace_target(self, old, new) -> None:
+        if self.then_block is old:
+            self.then_block = new
+        if self.else_block is old:
+            self.else_block = new
+
+
+class RetInst(Instruction):
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(T.VOID, [] if value is None else [value])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+class UnreachableInst(Instruction):
+    opcode = "unreachable"
+
+    def __init__(self):
+        super().__init__(T.VOID, [])
+
+
+class CallInst(Instruction):
+    opcode = "call"
+
+    def __init__(self, callee, args: Sequence[Value], name: str = ""):
+        ftype = callee.type
+        if not isinstance(ftype, T.FunctionType):
+            raise TypeError(f"callee {callee} is not a function")
+        if len(args) != len(ftype.params):
+            raise TypeError(
+                f"call to {callee.name}: {len(args)} args, expected {len(ftype.params)}"
+            )
+        for a, p in zip(args, ftype.params):
+            if a.type != p:
+                raise TypeError(
+                    f"call to {callee.name}: arg type {a.type} != param type {p}"
+                )
+        super().__init__(ftype.ret, list(args), name)
+        self.callee = callee
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands
+
+
+class PhiInst(Instruction):
+    opcode = "phi"
+
+    def __init__(self, ty: T.Type, name: str = ""):
+        super().__init__(ty, [], name)
+        self.incoming_blocks: list = []
+
+    def add_incoming(self, value: Value, block) -> None:
+        if value.type != self.type:
+            raise TypeError(
+                f"phi {self.ref()}: incoming type {value.type} != {self.type}"
+            )
+        self.operands.append(value)
+        self.incoming_blocks.append(block)
+
+    def incoming(self) -> List[Tuple[Value, object]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for(self, block) -> Value:
+        for value, blk in zip(self.operands, self.incoming_blocks):
+            if blk is block:
+                return value
+        raise KeyError(f"phi {self.ref()} has no incoming from {block.name}")
+
+    def replace_incoming_block(self, old, new) -> None:
+        for i, blk in enumerate(self.incoming_blocks):
+            if blk is old:
+                self.incoming_blocks[i] = new
+
+
+class SelectInst(Instruction):
+    opcode = "select"
+
+    def __init__(self, cond: Value, tval: Value, fval: Value, name: str = ""):
+        if tval.type != fval.type:
+            raise TypeError(
+                f"select arms differ: {tval.type} vs {fval.type}"
+            )
+        super().__init__(tval.type, [cond, tval, fval], name)
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def tval(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def fval(self) -> Value:
+        return self.operands[2]
+
+
+class ExtractElementInst(Instruction):
+    opcode = "extractelement"
+
+    def __init__(self, vec: Value, index: Value, name: str = ""):
+        if not vec.type.is_vector:
+            raise TypeError(f"extractelement on non-vector {vec.type}")
+        super().__init__(vec.type.elem, [vec, index], name)
+
+    @property
+    def vec(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class InsertElementInst(Instruction):
+    opcode = "insertelement"
+
+    def __init__(self, vec: Value, elem: Value, index: Value, name: str = ""):
+        if not vec.type.is_vector:
+            raise TypeError(f"insertelement on non-vector {vec.type}")
+        if elem.type != vec.type.elem:
+            raise TypeError(
+                f"insertelement elem type {elem.type} != {vec.type.elem}"
+            )
+        super().__init__(vec.type, [vec, elem, index], name)
+
+    @property
+    def vec(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def elem(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[2]
+
+
+class ShuffleVectorInst(Instruction):
+    """Lane permutation; ``mask`` is a tuple of source lane indices into
+    the concatenation of the two input vectors (LLVM semantics)."""
+
+    opcode = "shufflevector"
+
+    def __init__(self, v1: Value, v2: Value, mask: Tuple[int, ...], name: str = ""):
+        if not v1.type.is_vector or v1.type != v2.type:
+            raise TypeError("shufflevector operands must be identical vectors")
+        super().__init__(T.vector(v1.type.elem, len(mask)), [v1, v2], name)
+        self.mask = tuple(mask)
+
+    @property
+    def v1(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def v2(self) -> Value:
+        return self.operands[1]
+
+
+class BroadcastInst(Instruction):
+    """Splat a scalar across ``count`` lanes (AVX vbroadcast)."""
+
+    opcode = "broadcast"
+
+    def __init__(self, scalar: Value, count: int, name: str = ""):
+        if not scalar.type.is_scalar:
+            raise TypeError(f"broadcast of non-scalar {scalar.type}")
+        super().__init__(T.vector(scalar.type, count), [scalar], name)
+
+    @property
+    def scalar(self) -> Value:
+        return self.operands[0]

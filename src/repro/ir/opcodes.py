@@ -1,0 +1,98 @@
+"""Opcode names and classification sets for the repro IR.
+
+The hardening passes (ELZAR, SWIFT-R) are driven by a classification of
+instructions into *replicable* computation and *synchronization*
+instructions (loads, stores, calls, branches, returns, atomics) —
+see paper §III-B. The sets below are the single source of truth for
+that classification.
+"""
+
+# Integer binary operations (two's complement, width-masked).
+INT_BINARY_OPS = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "sdiv",
+        "udiv",
+        "srem",
+        "urem",
+        "and",
+        "or",
+        "xor",
+        "shl",
+        "lshr",
+        "ashr",
+    }
+)
+
+# Floating-point binary operations.
+FLOAT_BINARY_OPS = frozenset({"fadd", "fsub", "fmul", "fdiv", "frem"})
+
+BINARY_OPS = INT_BINARY_OPS | FLOAT_BINARY_OPS
+
+# AVX2 has no packed integer division/remainder; ELZAR falls back to
+# per-lane scalar division for these (paper §III-C Step 1, §VII-A).
+AVX_MISSING_OPS = frozenset({"sdiv", "udiv", "srem", "urem"})
+
+# Cast operations.
+CAST_OPS = frozenset(
+    {
+        "trunc",
+        "zext",
+        "sext",
+        "fptrunc",
+        "fpext",
+        "fptosi",
+        "fptoui",
+        "sitofp",
+        "uitofp",
+        "bitcast",
+        "ptrtoint",
+        "inttoptr",
+    }
+)
+
+# Casts AVX2 implements poorly or not at all (truncation family —
+# paper §VII-A measures an 8x microbenchmark overhead for truncations).
+AVX_SLOW_CASTS = frozenset({"trunc", "fptosi", "fptoui"})
+
+ICMP_PREDICATES = frozenset(
+    {"eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"}
+)
+FCMP_PREDICATES = frozenset(
+    {"oeq", "one", "olt", "ole", "ogt", "oge", "ord", "uno"}
+)
+
+TERMINATOR_OPS = frozenset({"br", "ret", "unreachable"})
+
+MEMORY_OPS = frozenset({"load", "store", "alloca"})
+
+# Vector-manipulation operations (map to AVX extract/broadcast/shuffle).
+VECTOR_OPS = frozenset(
+    {"extractelement", "insertelement", "shufflevector", "broadcast"}
+)
+
+OTHER_OPS = frozenset({"icmp", "fcmp", "call", "phi", "select", "gep"})
+
+ALL_OPS = (
+    BINARY_OPS | CAST_OPS | TERMINATOR_OPS | MEMORY_OPS | VECTOR_OPS | OTHER_OPS
+)
+
+# --- Hardening classification (paper §III-B) --------------------------------
+#
+# Replicable: pure data-flow computation; ELZAR turns these into vector
+# ops, SWIFT-R triplicates them.
+REPLICABLE_OPS = BINARY_OPS | CAST_OPS | frozenset({"icmp", "fcmp", "select", "gep", "phi"})
+
+# Synchronization: interact with memory, control flow, or the outside
+# world; they stay scalar, with wrappers + checks around them.
+SYNC_OPS = frozenset({"load", "store", "call", "br", "ret", "alloca", "unreachable"})
+
+
+def is_replicable(opcode: str) -> bool:
+    return opcode in REPLICABLE_OPS
+
+
+def is_sync(opcode: str) -> bool:
+    return opcode in SYNC_OPS

@@ -1,0 +1,162 @@
+"""Textual form of the IR (LLVM-flavoured), round-trippable with
+:mod:`repro.ir.parser`."""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import types as T
+from .function import BasicBlock, Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    BroadcastInst,
+    CallInst,
+    CastInst,
+    ExtractElementInst,
+    FCmpInst,
+    GepInst,
+    ICmpInst,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    ShuffleVectorInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .module import Module
+from .values import GlobalVariable, Value
+
+
+def _operand(v: Value) -> str:
+    """``type ref`` text for an operand position."""
+    return f"{v.type} {v.ref()}"
+
+
+def format_instruction(inst: Instruction) -> str:
+    lhs = f"{inst.ref()} = " if not inst.type.is_void else ""
+    if isinstance(inst, BinaryInst):
+        return f"{lhs}{inst.opcode} {inst.type} {inst.lhs.ref()}, {inst.rhs.ref()}"
+    if isinstance(inst, ICmpInst):
+        return (
+            f"{lhs}icmp {inst.pred} {inst.lhs.type} "
+            f"{inst.lhs.ref()}, {inst.rhs.ref()}"
+        )
+    if isinstance(inst, FCmpInst):
+        return (
+            f"{lhs}fcmp {inst.pred} {inst.lhs.type} "
+            f"{inst.lhs.ref()}, {inst.rhs.ref()}"
+        )
+    if isinstance(inst, CastInst):
+        return f"{lhs}{inst.opcode} {_operand(inst.value)} to {inst.type}"
+    if isinstance(inst, AllocaInst):
+        return f"{lhs}alloca {inst.allocated_type}, i64 {inst.count}"
+    if isinstance(inst, LoadInst):
+        return f"{lhs}load {inst.type}, {_operand(inst.ptr)}"
+    if isinstance(inst, StoreInst):
+        return f"store {_operand(inst.value)}, {_operand(inst.ptr)}"
+    if isinstance(inst, GepInst):
+        return f"{lhs}gep {inst.elem_type}, {_operand(inst.ptr)}, {_operand(inst.index)}"
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            return (
+                f"br {_operand(inst.cond)}, label %{inst.then_block.name}, "
+                f"label %{inst.else_block.name}"
+            )
+        return f"br label %{inst.then_block.name}"
+    if isinstance(inst, RetInst):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {_operand(inst.value)}"
+    if isinstance(inst, UnreachableInst):
+        return "unreachable"
+    if isinstance(inst, CallInst):
+        args = ", ".join(_operand(a) for a in inst.args)
+        return f"{lhs}call {inst.type} @{inst.callee.name}({args})"
+    if isinstance(inst, PhiInst):
+        pairs = ", ".join(
+            f"[ {v.ref()}, %{b.name} ]" for v, b in inst.incoming()
+        )
+        return f"{lhs}phi {inst.type} {pairs}"
+    if isinstance(inst, SelectInst):
+        return (
+            f"{lhs}select {_operand(inst.cond)}, {_operand(inst.tval)}, "
+            f"{_operand(inst.fval)}"
+        )
+    if isinstance(inst, ExtractElementInst):
+        return f"{lhs}extractelement {_operand(inst.vec)}, {_operand(inst.index)}"
+    if isinstance(inst, InsertElementInst):
+        return (
+            f"{lhs}insertelement {_operand(inst.vec)}, {_operand(inst.elem)}, "
+            f"{_operand(inst.index)}"
+        )
+    if isinstance(inst, ShuffleVectorInst):
+        mask = ", ".join(str(i) for i in inst.mask)
+        return (
+            f"{lhs}shufflevector {_operand(inst.v1)}, {_operand(inst.v2)}, "
+            f"mask <{mask}>"
+        )
+    if isinstance(inst, BroadcastInst):
+        return f"{lhs}broadcast {_operand(inst.scalar)}, {inst.type.count}"
+    raise TypeError(f"cannot print instruction {inst!r}")
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {format_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def format_function(fn: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    header = f"{fn.return_type} @{fn.name}({params})"
+    if fn.is_declaration:
+        return f"declare {header}"
+    lines = [f"define {header} {{"]
+    for block in fn.blocks:
+        lines.append(format_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_global(gv: GlobalVariable) -> str:
+    kind = "constant" if gv.constant else "global"
+    init = _format_initializer(gv)
+    return f"@{gv.name} = {kind} {gv.content_type} {init}"
+
+
+def _format_initializer(gv: GlobalVariable) -> str:
+    init = gv.initializer
+    if init is None:
+        return "zeroinitializer"
+    ty = gv.content_type
+    if isinstance(init, (bytes, bytearray)):
+        elems = ", ".join(f"i8 {b}" for b in init)
+        return f"[{elems}]"
+    if ty.is_array:
+        elem = ty.elem
+        parts = ", ".join(
+            f"{elem} {_scalar_text(elem, v)}" for v in init
+        )
+        return f"[{parts}]"
+    return _scalar_text(ty, init)
+
+
+def _scalar_text(ty: T.Type, value) -> str:
+    if ty.is_float:
+        return repr(float(value))
+    return str(int(value))
+
+
+def format_module(module: Module) -> str:
+    parts: List[str] = [f"; module {module.name}"]
+    for gv in module.globals.values():
+        parts.append(format_global(gv))
+    for fn in module.functions.values():
+        parts.append(format_function(fn))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,212 @@
+"""Type system for the repro IR.
+
+The IR is modelled after LLVM with *opaque pointers*: a pointer carries
+no pointee type; instead, every memory instruction (load, store, gep,
+alloca) names the type it accesses. This mirrors modern LLVM and keeps
+the hardening passes simple: replicated pointers are plain 64-bit lane
+values.
+
+Types are immutable and interned where convenient; equality is
+structural so freshly constructed types compare equal to the cached
+singletons.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+POINTER_SIZE = 8  # bytes, x86-64
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return ()
+
+    # Convenience predicates -------------------------------------------------
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_vector(self) -> bool:
+        return isinstance(self, VectorType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_scalar(self) -> bool:
+        """True for values that fit in one general-purpose/FP register."""
+        return self.is_int or self.is_float or self.is_pointer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self}>"
+
+
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """Arbitrary-width integer; widths used in practice: 1, 8, 16, 32, 64."""
+
+    def __init__(self, width: int):
+        if width < 1 or width > 64:
+            raise ValueError(f"unsupported integer width: {width}")
+        self.width = width
+
+    def _key(self) -> tuple:
+        return (self.width,)
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+class FloatType(Type):
+    """IEEE-754 binary32 or binary64."""
+
+    def __init__(self, bits: int):
+        if bits not in (32, 64):
+            raise ValueError(f"unsupported float width: {bits}")
+        self.bits = bits
+
+    def _key(self) -> tuple:
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+
+class PointerType(Type):
+    """Opaque pointer (no pointee type)."""
+
+    def __str__(self) -> str:
+        return "ptr"
+
+
+class VectorType(Type):
+    """Fixed-width SIMD vector of scalar elements."""
+
+    def __init__(self, elem: Type, count: int):
+        if not elem.is_scalar:
+            raise ValueError(f"vector element must be scalar, got {elem}")
+        if count < 2:
+            raise ValueError(f"vector needs >=2 elements, got {count}")
+        self.elem = elem
+        self.count = count
+
+    def _key(self) -> tuple:
+        return (self.elem, self.count)
+
+    def __str__(self) -> str:
+        return f"<{self.count} x {self.elem}>"
+
+
+class ArrayType(Type):
+    """Flat array; used for globals and aggregate allocas."""
+
+    def __init__(self, elem: Type, count: int):
+        if count < 0:
+            raise ValueError("array length must be non-negative")
+        self.elem = elem
+        self.count = count
+
+    def _key(self) -> tuple:
+        return (self.elem, self.count)
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.elem}]"
+
+
+class FunctionType(Type):
+    def __init__(self, ret: Type, params: Tuple[Type, ...]):
+        self.ret = ret
+        self.params = tuple(params)
+
+    def _key(self) -> tuple:
+        return (self.ret, self.params)
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"{self.ret} ({params})"
+
+
+# Interned singletons --------------------------------------------------------
+
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+PTR = PointerType()
+
+_INT_CACHE = {1: I1, 8: I8, 16: I16, 32: I32, 64: I64}
+
+
+def int_type(width: int) -> IntType:
+    """Return the (cached, if standard-width) integer type of ``width`` bits."""
+    cached = _INT_CACHE.get(width)
+    return cached if cached is not None else IntType(width)
+
+
+def vector(elem: Type, count: int) -> VectorType:
+    return VectorType(elem, count)
+
+
+def sizeof(ty: Type) -> int:
+    """Size in bytes of a value of type ``ty`` when stored in memory.
+
+    Sub-byte integers (i1 and the "esoteric" widths LLVM produces,
+    e.g. i9) round up to whole bytes, matching typical data layouts.
+    """
+    if isinstance(ty, IntType):
+        return max(1, (ty.width + 7) // 8)
+    if isinstance(ty, FloatType):
+        return ty.bits // 8
+    if isinstance(ty, PointerType):
+        return POINTER_SIZE
+    if isinstance(ty, VectorType):
+        return sizeof(ty.elem) * ty.count
+    if isinstance(ty, ArrayType):
+        return sizeof(ty.elem) * ty.count
+    raise TypeError(f"type {ty} has no storage size")
+
+
+def bitwidth(ty: Type) -> int:
+    """Width in bits of a scalar type (for masking/overflow semantics)."""
+    if isinstance(ty, IntType):
+        return ty.width
+    if isinstance(ty, FloatType):
+        return ty.bits
+    if isinstance(ty, PointerType):
+        return POINTER_SIZE * 8
+    raise TypeError(f"type {ty} has no bit width")

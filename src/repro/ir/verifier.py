@@ -1,0 +1,219 @@
+"""IR verifier: structural and SSA well-formedness checks.
+
+Raises :class:`VerificationError` listing every problem found. Passes
+run it on their outputs in tests; the machine optionally runs it before
+execution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from . import types as T
+from .cfg import DominatorTree
+from .function import BasicBlock, Function
+from .instructions import (
+    BranchInst,
+    CallInst,
+    Instruction,
+    PhiInst,
+    RetInst,
+)
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+class VerificationError(Exception):
+    def __init__(self, problems: List[str]):
+        self.problems = problems
+        super().__init__("IR verification failed:\n" + "\n".join(problems))
+
+
+def verify_module(module: Module) -> None:
+    problems: List[str] = []
+    for fn in module.functions.values():
+        if fn.is_declaration:
+            continue
+        problems.extend(_check_function(fn, module))
+    if problems:
+        raise VerificationError(problems)
+
+
+def verify_function(fn: Function, module: Optional[Module] = None) -> None:
+    problems = _check_function(fn, module)
+    if problems:
+        raise VerificationError(problems)
+
+
+def _check_function(fn: Function, module: Optional[Module]) -> List[str]:
+    problems: List[str] = []
+    where = f"in @{fn.name}"
+
+    block_set = set(fn.blocks)
+    for block in fn.blocks:
+        if not block.instructions:
+            problems.append(f"{where}: block %{block.name} is empty")
+            continue
+        term = block.instructions[-1]
+        if not term.is_terminator:
+            problems.append(
+                f"{where}: block %{block.name} does not end with a terminator"
+            )
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator:
+                problems.append(
+                    f"{where}: terminator in the middle of %{block.name}"
+                )
+        seen_non_phi = False
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                if seen_non_phi:
+                    problems.append(
+                        f"{where}: phi {inst.ref()} after non-phi in %{block.name}"
+                    )
+            else:
+                seen_non_phi = True
+        if isinstance(term, BranchInst):
+            for target in term.targets():
+                if target not in block_set:
+                    problems.append(
+                        f"{where}: branch in %{block.name} targets foreign "
+                        f"block %{target.name}"
+                    )
+            if term.is_conditional and term.cond.type != T.I1:
+                problems.append(
+                    f"{where}: branch condition in %{block.name} has type "
+                    f"{term.cond.type}, expected i1"
+                )
+        if isinstance(term, RetInst):
+            ret_ty = T.VOID if term.value is None else term.value.type
+            if ret_ty != fn.return_type:
+                problems.append(
+                    f"{where}: ret type {ret_ty} != function return type "
+                    f"{fn.return_type}"
+                )
+
+    preds = fn.compute_predecessors()
+    for block in fn.blocks:
+        for phi in block.phis():
+            incoming_blocks = set(phi.incoming_blocks)
+            pred_set = set(preds[block])
+            if incoming_blocks != pred_set:
+                inc = sorted(b.name for b in incoming_blocks)
+                pre = sorted(b.name for b in pred_set)
+                problems.append(
+                    f"{where}: phi {phi.ref()} in %{block.name} incoming "
+                    f"blocks {inc} != predecessors {pre}"
+                )
+
+    if module is not None:
+        for inst in fn.instructions():
+            if isinstance(inst, CallInst):
+                callee = module.functions.get(inst.callee.name)
+                if callee is None:
+                    problems.append(
+                        f"{where}: call to unknown function @{inst.callee.name}"
+                    )
+                elif callee is not inst.callee:
+                    problems.append(
+                        f"{where}: call to @{inst.callee.name} references a "
+                        f"function object not in the module"
+                    )
+
+    problems.extend(_check_ssa(fn, where))
+    return problems
+
+
+def _check_ssa(fn: Function, where: str) -> List[str]:
+    problems: List[str] = []
+    defined: Set[int] = set()
+    for arg in fn.args:
+        defined.add(id(arg))
+    all_insts = []
+    for block in fn.blocks:
+        for inst in block.instructions:
+            if id(inst) in defined:
+                problems.append(f"{where}: instruction {inst.ref()} defined twice")
+            defined.add(id(inst))
+            all_insts.append(inst)
+
+    # Every operand must be an argument, constant, global, function,
+    # undef, or an instruction of this function.
+    def check_operand(inst: Instruction, op: Value) -> None:
+        if isinstance(op, (Constant, UndefValue, GlobalVariable, Function)):
+            return
+        if isinstance(op, Argument):
+            if op.parent is not fn:
+                problems.append(
+                    f"{where}: {inst.ref()} uses argument of another function"
+                )
+            return
+        if isinstance(op, Instruction):
+            if id(op) not in defined:
+                problems.append(
+                    f"{where}: {inst.ref()} uses {op.ref()} which is not "
+                    f"defined in this function"
+                )
+            return
+        if isinstance(op, BasicBlock):
+            return
+        problems.append(f"{where}: {inst.ref()} has bad operand {op!r}")
+
+    for inst in all_insts:
+        for op in inst.operands:
+            check_operand(inst, op)
+
+    if problems:
+        return problems
+
+    # Dominance: a use must be dominated by its definition.
+    try:
+        domtree = DominatorTree(fn)
+    except Exception as exc:  # pragma: no cover - defensive
+        return [f"{where}: dominator computation failed: {exc}"]
+
+    reachable = set(domtree.rpo)
+    positions = {}
+    for block in fn.blocks:
+        for i, inst in enumerate(block.instructions):
+            positions[id(inst)] = (block, i)
+
+    def def_dominates_use(defn: Value, user: Instruction,
+                          use_block: BasicBlock, use_index: int) -> bool:
+        if not isinstance(defn, Instruction):
+            return True  # args/constants dominate everything
+        dblock, dindex = positions[id(defn)]
+        if dblock is use_block:
+            return dindex < use_index
+        return domtree.strictly_dominates(dblock, use_block) or (
+            domtree.dominates(dblock, use_block)
+        )
+
+    for block in fn.blocks:
+        if block not in reachable:
+            continue
+        for i, inst in enumerate(block.instructions):
+            if isinstance(inst, PhiInst):
+                for value, pred in inst.incoming():
+                    if pred not in reachable:
+                        continue
+                    term_index = len(pred.instructions)
+                    if not def_dominates_use(value, inst, pred, term_index):
+                        problems.append(
+                            f"{where}: phi {inst.ref()} incoming {value.ref()} "
+                            f"does not dominate edge from %{pred.name}"
+                        )
+                continue
+            for op in inst.operands:
+                if isinstance(op, Instruction):
+                    if positions[id(op)][0] not in reachable:
+                        problems.append(
+                            f"{where}: {inst.ref()} uses value from "
+                            f"unreachable block"
+                        )
+                    elif not def_dominates_use(op, inst, block, i):
+                        problems.append(
+                            f"{where}: use of {op.ref()} in {inst.ref()} is "
+                            f"not dominated by its definition"
+                        )
+    return problems

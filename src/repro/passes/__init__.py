@@ -1,0 +1,46 @@
+"""repro.passes — IR transformations: optimization, vectorization, and
+the ELZAR / SWIFT-R / SWIFT hardening schemes."""
+
+from .clone import clone_function_into, clone_instruction, clone_module
+from .constant_folding import constant_folding, fold_function
+from .dce import dce, dce_function
+from .elzar import ElzarOptions, elzar_transform
+from .inline import inline_function_calls, inline_module
+from .mem2reg import mem2reg, promote_function
+from .pass_manager import PassManager
+from .simplify_cfg import simplify_cfg, simplify_function_cfg
+from .swiftr import SwiftOptions, swift_transform, swiftr_transform
+from .utils import (
+    build_use_map,
+    erase_instruction,
+    has_side_effects,
+    remove_unreachable_blocks,
+    replace_all_uses,
+)
+
+__all__ = [
+    "ElzarOptions",
+    "PassManager",
+    "SwiftOptions",
+    "build_use_map",
+    "clone_function_into",
+    "clone_instruction",
+    "clone_module",
+    "constant_folding",
+    "dce",
+    "dce_function",
+    "elzar_transform",
+    "erase_instruction",
+    "inline_function_calls",
+    "inline_module",
+    "fold_function",
+    "has_side_effects",
+    "mem2reg",
+    "promote_function",
+    "remove_unreachable_blocks",
+    "replace_all_uses",
+    "simplify_cfg",
+    "simplify_function_cfg",
+    "swift_transform",
+    "swiftr_transform",
+]

@@ -1,0 +1,157 @@
+"""Function/module cloning with operand remapping.
+
+Used by every transformation that builds a new module (hardening,
+vectorization): the clone maps argument objects, block objects, global
+references and callees into the target module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    BroadcastInst,
+    CallInst,
+    CastInst,
+    ExtractElementInst,
+    FCmpInst,
+    GepInst,
+    ICmpInst,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    ShuffleVectorInst,
+    StoreInst,
+    UnreachableInst,
+)
+from ..ir.module import Module
+from ..ir.values import Constant, GlobalVariable, UndefValue, Value
+
+
+def clone_instruction(
+    inst: Instruction,
+    operand: Callable[[Value], Value],
+    block: Callable[[BasicBlock], BasicBlock],
+) -> Instruction:
+    """Structural copy of ``inst`` with operands passed through
+    ``operand`` and block references through ``block``. Phi incoming
+    edges are NOT copied (wire them in a second pass)."""
+    if isinstance(inst, BinaryInst):
+        return BinaryInst(inst.opcode, operand(inst.lhs), operand(inst.rhs))
+    if isinstance(inst, ICmpInst):
+        return ICmpInst(inst.pred, operand(inst.lhs), operand(inst.rhs))
+    if isinstance(inst, FCmpInst):
+        return FCmpInst(inst.pred, operand(inst.lhs), operand(inst.rhs))
+    if isinstance(inst, CastInst):
+        return CastInst(inst.opcode, operand(inst.value), inst.type)
+    if isinstance(inst, AllocaInst):
+        return AllocaInst(inst.allocated_type, inst.count)
+    if isinstance(inst, LoadInst):
+        return LoadInst(inst.type, operand(inst.ptr))
+    if isinstance(inst, StoreInst):
+        return StoreInst(operand(inst.value), operand(inst.ptr))
+    if isinstance(inst, GepInst):
+        return GepInst(inst.elem_type, operand(inst.ptr), operand(inst.index))
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            return BranchInst(
+                operand(inst.cond), block(inst.then_block), block(inst.else_block)
+            )
+        return BranchInst(None, block(inst.then_block))
+    if isinstance(inst, RetInst):
+        return RetInst(None if inst.value is None else operand(inst.value))
+    if isinstance(inst, UnreachableInst):
+        return UnreachableInst()
+    if isinstance(inst, CallInst):
+        return CallInst(operand(inst.callee), [operand(a) for a in inst.args])
+    if isinstance(inst, PhiInst):
+        return PhiInst(inst.type)
+    if isinstance(inst, SelectInst):
+        return SelectInst(operand(inst.cond), operand(inst.tval), operand(inst.fval))
+    if isinstance(inst, ExtractElementInst):
+        return ExtractElementInst(operand(inst.vec), operand(inst.index))
+    if isinstance(inst, InsertElementInst):
+        return InsertElementInst(
+            operand(inst.vec), operand(inst.elem), operand(inst.index)
+        )
+    if isinstance(inst, ShuffleVectorInst):
+        return ShuffleVectorInst(operand(inst.v1), operand(inst.v2), inst.mask)
+    if isinstance(inst, BroadcastInst):
+        return BroadcastInst(operand(inst.scalar), inst.type.count)
+    raise TypeError(f"cannot clone {inst!r}")
+
+
+def clone_function_into(
+    fn: Function,
+    target: Module,
+    name: Optional[str] = None,
+    value_map: Optional[Dict[int, Value]] = None,
+) -> Function:
+    """Clone ``fn`` into ``target`` (which must already contain any
+    globals/functions the body references, by name)."""
+    new_fn = target.functions.get(name or fn.name)
+    if new_fn is None:
+        new_fn = target.add_function(
+            name or fn.name, fn.ftype, [a.name for a in fn.args]
+        )
+    vmap: Dict[int, Value] = value_map if value_map is not None else {}
+    for old_arg, new_arg in zip(fn.args, new_fn.args):
+        vmap[id(old_arg)] = new_arg
+    bmap: Dict[int, BasicBlock] = {}
+    for old_block in fn.blocks:
+        bmap[id(old_block)] = new_fn.append_block(old_block.name)
+
+    def operand(v: Value) -> Value:
+        mapped = vmap.get(id(v))
+        if mapped is not None:
+            return mapped
+        if isinstance(v, (Constant, UndefValue)):
+            return v
+        if isinstance(v, GlobalVariable):
+            return target.get_global(v.name)
+        if isinstance(v, Function):
+            return target.get_function(v.name)
+        raise KeyError(f"unmapped operand {v!r} while cloning @{fn.name}")
+
+    def block(b: BasicBlock) -> BasicBlock:
+        return bmap[id(b)]
+
+    for old_block in fn.blocks:
+        new_block = bmap[id(old_block)]
+        for inst in old_block.instructions:
+            copy = clone_instruction(inst, operand, block)
+            copy.name = inst.name
+            new_block.append(copy)
+            if not inst.type.is_void:
+                vmap[id(inst)] = copy
+
+    # Second pass: phi incoming edges.
+    for old_block in fn.blocks:
+        for inst in old_block.instructions:
+            if isinstance(inst, PhiInst):
+                new_phi = vmap[id(inst)]
+                for value, pred in inst.incoming():
+                    new_phi.add_incoming(operand(value), block(pred))
+    new_fn._name_counter = fn._name_counter
+    new_fn.hardened = fn.hardened
+    return new_fn
+
+
+def clone_module(module: Module, name: Optional[str] = None) -> Module:
+    """Deep-copy a module (globals shared by object, bodies cloned)."""
+    out = Module(name or module.name)
+    for gv in module.globals.values():
+        out.globals[gv.name] = gv
+    for fn in module.functions.values():
+        out.add_function(fn.name, fn.ftype, [a.name for a in fn.args])
+    for fn in module.functions.values():
+        if not fn.is_declaration:
+            clone_function_into(fn, out)
+    return out

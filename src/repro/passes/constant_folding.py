@@ -1,0 +1,116 @@
+"""Constant folding: evaluate instructions whose operands are all
+constants and replace their uses with the result.
+
+Shares the scalar semantics helpers with the interpreter so folding and
+execution can never disagree. Division by a constant zero is left in
+place (it must trap at run time)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cpu.errors import ArithmeticFault
+from ..cpu import interpreter as interp
+from ..ir import types as T
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryInst,
+    CastInst,
+    FCmpInst,
+    ICmpInst,
+    Instruction,
+    SelectInst,
+)
+from ..ir.module import Module
+from ..ir.values import Constant
+from .utils import replace_all_uses
+
+
+def constant_folding(module: Module) -> Module:
+    for fn in module.defined_functions():
+        fold_function(fn)
+    return module
+
+
+def fold_function(fn: Function) -> int:
+    """Returns the number of instructions folded (and erased)."""
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                replacement = _try_fold(inst)
+                if replacement is None:
+                    continue
+                replace_all_uses(fn, inst, replacement)
+                block.remove(inst)
+                folded += 1
+                changed = True
+    return folded
+
+
+def _try_fold(inst: Instruction) -> Optional[Constant]:
+    if not all(isinstance(op, Constant) for op in inst.operands):
+        return None
+    ty = inst.type
+    if isinstance(inst, BinaryInst):
+        a, b = inst.lhs.value, inst.rhs.value
+        elem = ty.elem if ty.is_vector else ty
+        try:
+            if ty.is_vector:
+                if elem.is_float:
+                    value = tuple(
+                        interp._float_binop(inst.opcode, x, y, elem.bits)
+                        for x, y in zip(a, b)
+                    )
+                else:
+                    value = tuple(
+                        interp._int_binop(inst.opcode, x, y, elem.width)
+                        for x, y in zip(a, b)
+                    )
+            elif elem.is_float:
+                value = interp._float_binop(inst.opcode, a, b, elem.bits)
+            else:
+                value = interp._int_binop(inst.opcode, a, b, elem.width)
+        except ArithmeticFault:
+            return None  # keep the trapping division
+        return Constant(ty, value)
+    if isinstance(inst, ICmpInst):
+        oty = inst.lhs.type
+        fun = interp._ICMP[inst.pred]
+        if oty.is_vector:
+            width = T.bitwidth(oty.elem)
+            value = tuple(
+                1 if fun(x, y, width) else 0
+                for x, y in zip(inst.lhs.value, inst.rhs.value)
+            )
+            return Constant(ty, value)
+        width = T.bitwidth(oty)
+        return Constant(T.I1, 1 if fun(inst.lhs.value, inst.rhs.value, width) else 0)
+    if isinstance(inst, FCmpInst):
+        fun = interp._FCMP[inst.pred]
+        if inst.lhs.type.is_vector:
+            value = tuple(
+                1 if fun(x, y) else 0
+                for x, y in zip(inst.lhs.value, inst.rhs.value)
+            )
+            return Constant(ty, value)
+        return Constant(T.I1, 1 if fun(inst.lhs.value, inst.rhs.value) else 0)
+    if isinstance(inst, CastInst):
+        src = inst.value.type
+        if inst.opcode in ("inttoptr", "ptrtoint", "bitcast"):
+            return None  # pointer provenance: leave alone
+        if ty.is_vector:
+            value = tuple(
+                interp._cast_scalar(inst.opcode, v, src.elem, ty.elem)
+                for v in inst.value.value
+            )
+            return Constant(ty, value)
+        return Constant(ty, interp._cast_scalar(inst.opcode, inst.value.value, src, ty))
+    if isinstance(inst, SelectInst):
+        if inst.cond.type.is_vector:
+            return None
+        chosen = inst.tval if inst.cond.value else inst.fval
+        return Constant(ty, chosen.value)
+    return None

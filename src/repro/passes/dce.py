@@ -1,0 +1,36 @@
+"""Dead code elimination: remove value-producing instructions whose
+results are never used and which cannot have side effects, iterating to
+a fixed point. Also prunes unreachable blocks."""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.module import Module
+from .utils import build_use_map, has_side_effects, remove_unreachable_blocks
+
+
+def dce(module: Module) -> Module:
+    for fn in module.defined_functions():
+        dce_function(fn)
+    return module
+
+
+def dce_function(fn: Function) -> int:
+    """Returns the number of instructions removed."""
+    removed = remove_unreachable_blocks(fn)
+    while True:
+        uses = build_use_map(fn)
+        dead = []
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if inst.is_terminator or has_side_effects(inst):
+                    continue
+                if inst.type.is_void:
+                    continue
+                if not uses.get(id(inst)):
+                    dead.append(inst)
+        if not dead:
+            return removed
+        for inst in dead:
+            inst.parent.remove(inst)
+        removed += len(dead)

@@ -1,0 +1,183 @@
+"""Function inlining.
+
+The paper applies ELZAR "after all optimization passes" (§IV-A), i.e.
+after LLVM -O3 has inlined the hot math and helper calls. Without
+inlining, every call boundary pays ELZAR's argument-check/extract +
+return-broadcast wrappers, grossly inflating overhead for call-heavy
+kernels (blackscholes' CNDF chain). This pass inlines small,
+non-recursive callees until a fixed point.
+
+Mechanics: the call block is split at the call site; the callee body is
+cloned into the caller with arguments mapped to the call operands;
+every cloned ``ret`` branches to the continuation block, where a phi
+merges the return values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import BranchInst, CallInst, PhiInst, RetInst
+from ..ir.module import Module
+from ..ir.values import Constant, GlobalVariable, UndefValue, Value
+from .clone import clone_instruction
+from .utils import replace_all_uses
+
+#: Callees with at most this many instructions are inlined.
+DEFAULT_THRESHOLD = 120
+
+#: Upper bound on a caller's growth, as a multiple of its original size.
+GROWTH_CAP = 12
+
+
+def inline_module(module: Module, threshold: int = DEFAULT_THRESHOLD,
+                  exclude: frozenset = frozenset()) -> Module:
+    """Inline small calls in every defined function (to a fixed point,
+    bounded by the growth cap). ``exclude`` names third-party functions
+    that must stay out-of-line (their hardening/vectorization status is
+    managed separately, §IV-A)."""
+    for fn in module.defined_functions():
+        inline_function_calls(fn, module, threshold, exclude)
+    return module
+
+
+def _size(fn: Function) -> int:
+    return sum(len(b.instructions) for b in fn.blocks)
+
+
+def _is_self_recursive(fn: Function) -> bool:
+    return any(
+        isinstance(i, CallInst) and i.callee is fn for i in fn.instructions()
+    )
+
+
+def inline_function_calls(
+    fn: Function, module: Module, threshold: int = DEFAULT_THRESHOLD,
+    exclude: frozenset = frozenset(),
+) -> int:
+    """Inline eligible call sites inside ``fn``; returns how many."""
+    budget = max(_size(fn) * GROWTH_CAP, 400)
+    inlined = 0
+    changed = True
+    while changed and _size(fn) < budget:
+        changed = False
+        for block in list(fn.blocks):
+            site = _find_site(block, fn, module, threshold, exclude)
+            if site is not None:
+                _inline_site(fn, block, site)
+                inlined += 1
+                changed = True
+                break
+    return inlined
+
+
+def _find_site(block: BasicBlock, fn: Function, module: Module,
+               threshold: int, exclude: frozenset = frozenset()) -> Optional[CallInst]:
+    for inst in block.instructions:
+        if not isinstance(inst, CallInst):
+            continue
+        callee = inst.callee
+        if callee.is_declaration or callee.is_intrinsic:
+            continue
+        if callee.name in exclude:
+            continue
+        if callee is fn or _is_self_recursive(callee):
+            continue
+        if _size(callee) > threshold:
+            continue
+        return inst
+    return None
+
+
+def _inline_site(fn: Function, block: BasicBlock, call: CallInst) -> None:
+    callee = call.callee
+    index = block.instructions.index(call)
+
+    # Split: `block` keeps [0, index); `cont` receives (index, end].
+    cont = fn.insert_block_after(block, fn.next_name(f"{callee.name}.cont"))
+    tail = block.instructions[index + 1:]
+    del block.instructions[index:]
+    for inst in tail:
+        inst.parent = cont
+        cont.instructions.append(inst)
+
+    # Successor phis must now name `cont` as their predecessor.
+    term = cont.terminator
+    if isinstance(term, BranchInst):
+        for succ in term.targets():
+            for phi in succ.phis():
+                phi.replace_incoming_block(block, cont)
+
+    # Clone the callee body.
+    vmap: Dict[int, Value] = {}
+    for formal, actual in zip(callee.args, call.args):
+        vmap[id(formal)] = actual
+    bmap: Dict[int, BasicBlock] = {}
+    new_blocks: List[BasicBlock] = []
+    insert_after = block
+    for src in callee.blocks:
+        nb = fn.insert_block_after(
+            insert_after, fn.next_name(f"{callee.name}.{src.name}")
+        )
+        insert_after = nb
+        bmap[id(src)] = nb
+        new_blocks.append(nb)
+
+    def operand(v: Value) -> Value:
+        mapped = vmap.get(id(v))
+        if mapped is not None:
+            return mapped
+        if isinstance(v, (Constant, UndefValue, GlobalVariable, Function)):
+            return v
+        raise KeyError(
+            f"unmapped operand {v.ref()} while inlining @{callee.name}"
+        )
+
+    def blockref(b: BasicBlock) -> BasicBlock:
+        return bmap[id(b)]
+
+    returns: List[tuple] = []
+    for src in callee.blocks:
+        dst = bmap[id(src)]
+        for inst in src.instructions:
+            if isinstance(inst, RetInst):
+                value = None if inst.value is None else operand(inst.value)
+                returns.append((value, dst))
+                dst.append(BranchInst(None, cont))
+                continue
+            copy = clone_instruction(inst, operand, blockref)
+            copy.name = fn.next_name(inst.name or "t") if inst.name else ""
+            dst.append(copy)
+            if not inst.type.is_void:
+                vmap[id(inst)] = copy
+
+    # Second pass: phi incoming edges within the cloned body.
+    for src in callee.blocks:
+        for inst in src.instructions:
+            if isinstance(inst, PhiInst):
+                new_phi = vmap[id(inst)]
+                for value, pred in inst.incoming():
+                    new_phi.add_incoming(operand(value), blockref(pred))
+
+    # Enter the inlined body.
+    block.append(BranchInst(None, bmap[id(callee.entry)]))
+
+    # Merge return values in the continuation block.
+    if not call.type.is_void:
+        if not returns:  # callee never returns; cont is unreachable
+            replacement = UndefValue(call.type)
+        elif len(returns) == 1:
+            replacement = returns[0][0]
+        else:
+            phi = PhiInst(call.type)
+            phi.name = fn.next_name(f"{callee.name}.ret")
+            for value, pred in returns:
+                phi.add_incoming(value, pred)
+            cont.insert(0, phi)
+            replacement = phi
+        replace_all_uses(fn, call, replacement)
+    # Drop the call (it was removed from `block` with the tail; make
+    # sure it is not in `cont` either).
+    if call in cont.instructions:
+        cont.remove(call)

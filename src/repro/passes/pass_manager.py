@@ -1,0 +1,42 @@
+"""A minimal pass manager.
+
+A *pass* is a callable ``(Module) -> Module`` (it may transform in
+place and return its input, or build a fresh module). The manager runs
+them in order, optionally verifying after each pass — the same shape as
+the paper's LLVM pipeline, where ELZAR runs "after all optimization
+passes and right before assembly code generation" (§IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+
+Pass = Callable[[Module], Module]
+
+
+class PassManager:
+    def __init__(self, verify_each: bool = False):
+        self.verify_each = verify_each
+        self._passes: List[Tuple[str, Pass]] = []
+
+    def add(self, pass_fn: Pass, name: Optional[str] = None) -> "PassManager":
+        self._passes.append((name or getattr(pass_fn, "__name__", "pass"), pass_fn))
+        return self
+
+    def run(self, module: Module) -> Module:
+        for name, pass_fn in self._passes:
+            result = pass_fn(module)
+            module = result if result is not None else module
+            if self.verify_each:
+                try:
+                    verify_module(module)
+                except Exception as exc:
+                    raise RuntimeError(f"verification failed after {name}") from exc
+        return module
+
+    @property
+    def pass_names(self) -> List[str]:
+        return [name for name, _ in self._passes]

@@ -1,0 +1,118 @@
+"""CFG simplification: fold constant branches, remove unreachable
+blocks, and merge straight-line block chains.
+
+Available as a standard cleanup (useful after inlining, which leaves
+``br``-only chains), but deliberately *not* part of the measured
+experiment pipeline: on x86 an unconditional jump to the next block is
+materialized as a fall-through at code layout, so removing it here
+would not change the instruction stream the paper's perf counters saw —
+keeping the blocks makes our branch statistics comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import BranchInst, PhiInst
+from ..ir.module import Module
+from ..ir.values import Constant
+from .utils import remove_unreachable_blocks
+
+
+def simplify_cfg(module: Module) -> Module:
+    for fn in module.defined_functions():
+        simplify_function_cfg(fn)
+    return module
+
+
+def simplify_function_cfg(fn: Function) -> int:
+    """Returns the number of simplifications performed."""
+    total = 0
+    changed = True
+    while changed:
+        changed = False
+        folded = _fold_constant_branches(fn)
+        removed = remove_unreachable_blocks(fn)
+        merged = _merge_straightline_chains(fn)
+        count = folded + removed + merged
+        if count:
+            total += count
+            changed = True
+    return total
+
+
+def _fold_constant_branches(fn: Function) -> int:
+    """``br i1 true/false`` becomes an unconditional branch (phis in
+    the dropped target lose their incoming edge)."""
+    folded = 0
+    for block in fn.blocks:
+        term = block.terminator
+        if not isinstance(term, BranchInst) or not term.is_conditional:
+            continue
+        cond = term.cond
+        if not isinstance(cond, Constant):
+            continue
+        taken = term.then_block if cond.value else term.else_block
+        dropped = term.else_block if cond.value else term.then_block
+        block.remove(term)
+        block.append(BranchInst(None, taken))
+        if dropped is not taken:
+            for phi in dropped.phis():
+                _drop_incoming(phi, block)
+        folded += 1
+    return folded
+
+
+def _drop_incoming(phi: PhiInst, pred: BasicBlock) -> None:
+    keep = [
+        (v, b) for v, b in zip(phi.operands, phi.incoming_blocks) if b is not pred
+    ]
+    phi.operands = [v for v, _ in keep]
+    phi.incoming_blocks = [b for _, b in keep]
+
+
+def _merge_straightline_chains(fn: Function) -> int:
+    """Merge B -> C when B ends in an unconditional branch to C and C
+    has no other predecessors (and no phis after edge folding)."""
+    merged = 0
+    while True:
+        preds = fn.compute_predecessors()
+        candidate = None
+        for block in fn.blocks:
+            term = block.terminator
+            if not isinstance(term, BranchInst) or term.is_conditional:
+                continue
+            succ = term.then_block
+            if succ is block or succ is fn.entry:
+                continue
+            if len(preds[succ]) != 1:
+                continue
+            candidate = (block, succ)
+            break
+        if candidate is None:
+            return merged
+        block, succ = candidate
+        # Single-predecessor phis are trivial copies.
+        replacements: Dict[int, object] = {}
+        for phi in succ.phis():
+            replacements[id(phi)] = phi.incoming_for(block)
+        if replacements:
+            for inst in fn.instructions():
+                for i, op in enumerate(inst.operands):
+                    if id(op) in replacements:
+                        inst.operands[i] = replacements[id(op)]
+        block.remove(block.terminator)
+        for inst in list(succ.instructions):
+            if isinstance(inst, PhiInst):
+                continue
+            succ.remove(inst)
+            block.append(inst)
+        # Phis in the successors of the merged block now flow from `block`.
+        new_term = block.terminator
+        if isinstance(new_term, BranchInst):
+            for target in new_term.targets():
+                for phi in target.phis():
+                    phi.replace_incoming_block(succ, block)
+        fn.blocks.remove(succ)
+        merged += 1

@@ -1,0 +1,83 @@
+"""Shared helpers for IR passes: use maps, replace-all-uses-with, and
+instruction erasure."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.values import Value
+
+
+def build_use_map(fn: Function) -> Dict[int, List[Tuple[Instruction, int]]]:
+    """Map id(value) -> [(user instruction, operand index), ...]."""
+    uses: Dict[int, List[Tuple[Instruction, int]]] = {}
+    for inst in fn.instructions():
+        for i, op in enumerate(inst.operands):
+            uses.setdefault(id(op), []).append((inst, i))
+    return uses
+
+
+def replace_all_uses(fn: Function, old: Value, new: Value) -> int:
+    """Rewrite every operand reference to ``old`` with ``new``; returns
+    the number of uses rewritten."""
+    count = 0
+    for inst in fn.instructions():
+        for i, op in enumerate(inst.operands):
+            if op is old:
+                inst.operands[i] = new
+                count += 1
+    return count
+
+
+def erase_instruction(inst: Instruction) -> None:
+    block = inst.parent
+    if block is not None:
+        block.remove(inst)
+
+
+def has_side_effects(inst: Instruction) -> bool:
+    """Conservative: may this instruction affect state beyond its
+    result? (Used by DCE to decide what must be kept.)"""
+    opcode = inst.opcode
+    if opcode in ("store", "call", "br", "ret", "unreachable", "alloca"):
+        return True
+    # Integer division can trap (SIGFPE) — removing it would change
+    # program behaviour on a zero divisor.
+    if opcode in ("sdiv", "udiv", "srem", "urem"):
+        return True
+    # Loads can fault on a bad address.
+    if opcode == "load":
+        return True
+    return False
+
+
+def remove_unreachable_blocks(fn: Function) -> int:
+    """Drop blocks not reachable from the entry; fix phis in survivors.
+    Returns the number of blocks removed."""
+    reachable = set()
+    worklist = [fn.entry]
+    while worklist:
+        block = worklist.pop()
+        if block in reachable:
+            continue
+        reachable.add(block)
+        worklist.extend(block.successors())
+    dead = [b for b in fn.blocks if b not in reachable]
+    if not dead:
+        return 0
+    dead_set = set(dead)
+    for block in fn.blocks:
+        if block in dead_set:
+            continue
+        for phi in block.phis():
+            keep = [
+                (v, b)
+                for v, b in zip(phi.operands, phi.incoming_blocks)
+                if b not in dead_set
+            ]
+            phi.operands = [v for v, _ in keep]
+            phi.incoming_blocks = [b for _, b in keep]
+    fn.blocks = [b for b in fn.blocks if b not in dead_set]
+    return len(dead)

@@ -1,0 +1,456 @@
+"""Loop auto-vectorizer.
+
+Provides the "native" (SIMD-enabled) baseline of Figure 1: the paper
+compares each application compiled with all vectorization enabled
+against a ``no-SIMD`` build, finding that most applications gain little
+(<10%) from SIMD — the motivation for using the idle SIMD lanes for
+fault tolerance instead. ELZAR itself requires vectorization to be
+*disabled* in the original program (§IV-A), so the hardening pipeline
+never runs this pass.
+
+Scope (deliberately that of a classic inner-loop vectorizer):
+
+- canonical counted loops (the shape ``IRBuilder.begin_loop`` emits):
+  a header with the induction phi, an ``slt`` bound test, and a single
+  body block that is also the latch; constant step 1;
+- unit-stride memory accesses: ``gep base, i`` with a loop-invariant
+  base; at most one distinct store base, assumed not to alias loads
+  (the builder's arrays come from distinct globals/allocations);
+- straight-line body of vectorizable compute (binary ops, casts,
+  selects, comparisons);
+- reduction phis over {add, fadd, mul, fmul, and, or, xor}.
+
+The transform emits a 4-wide main loop with contiguous vector loads and
+stores, broadcast loop-invariants, a horizontal reduction block, and
+reuses the original loop as the scalar epilogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir import types as T
+from ..ir.builder import IRBuilder
+from ..ir.cfg import find_natural_loops
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import (
+    BinaryInst,
+    BranchInst,
+    CastInst,
+    FCmpInst,
+    GepInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    SelectInst,
+    StoreInst,
+)
+from ..ir.module import Module
+from ..ir.values import Constant, Value
+
+WIDTH = 4
+
+_REDUCTION_IDENTITY = {
+    "add": 0,
+    "fadd": 0.0,
+    "mul": 1,
+    "fmul": 1.0,
+    "and": -1,  # all ones (masked by width)
+    "or": 0,
+    "xor": 0,
+}
+
+
+@dataclass
+class _Candidate:
+    header: BasicBlock
+    body: BasicBlock
+    exit: BasicBlock
+    preheader: BasicBlock
+    index: PhiInst
+    bound: Value
+    cond: ICmpInst
+    reductions: List[Tuple[PhiInst, BinaryInst]]
+
+
+def vectorize(module: Module, exclude: frozenset = frozenset()) -> Module:
+    """Vectorize every legal innermost loop in every defined function
+    (minus ``exclude`` — third-party code identical in SIMD and no-SIMD
+    builds). Transforms in place; returns the module."""
+    for fn in module.defined_functions():
+        if fn.name not in exclude:
+            vectorize_function(fn)
+    return module
+
+
+def vectorize_function(fn: Function) -> int:
+    """Returns the number of loops vectorized."""
+    candidates = _find_candidates(fn)
+    for cand in candidates:
+        _transform(fn, cand)
+    return len(candidates)
+
+
+# --- Legality ---------------------------------------------------------------------
+
+
+def _find_candidates(fn: Function) -> List[_Candidate]:
+    loops = find_natural_loops(fn)
+    inner = []
+    headers = {loop.header for loop in loops}
+    for loop in loops:
+        # Innermost: contains no other loop's header.
+        if any(h in loop.blocks and h is not loop.header for h in headers):
+            continue
+        cand = _match_canonical(fn, loop)
+        if cand is not None and _legal_body(cand):
+            inner.append(cand)
+    return inner
+
+
+def _match_canonical(fn: Function, loop) -> Optional[_Candidate]:
+    header = loop.header
+    if len(loop.blocks) != 2 or len(loop.latches) != 1:
+        return None
+    body = loop.latches[0]
+    if body is header:
+        return None
+    # Header: phis*, icmp slt(index, bound), cond_br(body, exit).
+    term = header.terminator
+    if not isinstance(term, BranchInst) or not term.is_conditional:
+        return None
+    if term.then_block is not body:
+        return None
+    exit_block = term.else_block
+    if exit_block in loop.blocks:
+        return None
+    non_phi = header.instructions[header.first_non_phi_index():]
+    if len(non_phi) != 2:
+        return None
+    cond = non_phi[0]
+    if not isinstance(cond, ICmpInst) or cond.pred != "slt" or term.cond is not cond:
+        return None
+    # Body must branch straight back to the header.
+    body_term = body.terminator
+    if not isinstance(body_term, BranchInst) or body_term.is_conditional:
+        return None
+    if body_term.then_block is not header:
+        return None
+
+    preds = fn.compute_predecessors()
+    outside_preds = [p for p in preds[header] if p is not body]
+    if len(outside_preds) != 1:
+        return None
+    preheader = outside_preds[0]
+    # The exit block must not have other predecessors (keeps phi wiring
+    # simple) and must not contain phis fed by the header... it may have
+    # phis from the header only; we require single-pred exits.
+    if len(preds[exit_block]) != 1:
+        return None
+
+    # Identify the induction phi: cond.lhs, incremented by +1 in body.
+    index = cond.lhs
+    if not isinstance(index, PhiInst) or index.parent is not header:
+        return None
+    if not index.type.is_int or index.type.width != 64:
+        return None
+    try:
+        inc = index.incoming_for(body)
+        init = index.incoming_for(preheader)
+    except KeyError:
+        return None
+    if not (
+        isinstance(inc, BinaryInst)
+        and inc.opcode == "add"
+        and inc.parent is body
+        and inc.lhs is index
+        and isinstance(inc.rhs, Constant)
+        and inc.rhs.value == 1
+    ):
+        return None
+    bound = cond.rhs
+    if isinstance(bound, Instruction) and _defined_in(bound, loop.blocks):
+        return None
+
+    # All other header phis must be reductions.
+    reductions: List[Tuple[PhiInst, BinaryInst]] = []
+    for phi in header.phis():
+        if phi is index:
+            continue
+        try:
+            nxt = phi.incoming_for(body)
+        except KeyError:
+            return None
+        if not (
+            isinstance(nxt, BinaryInst)
+            and nxt.parent is body
+            and nxt.opcode in _REDUCTION_IDENTITY
+            and (nxt.lhs is phi or nxt.rhs is phi)
+        ):
+            return None
+        reductions.append((phi, nxt))
+    return _Candidate(
+        header=header,
+        body=body,
+        exit=exit_block,
+        preheader=preheader,
+        index=index,
+        bound=bound,
+        cond=cond,
+        reductions=reductions,
+    )
+
+
+def _defined_in(value: Value, blocks: Set[BasicBlock]) -> bool:
+    return isinstance(value, Instruction) and value.parent in blocks
+
+
+def _legal_body(cand: _Candidate) -> bool:
+    loop_blocks = {cand.header, cand.body}
+    reduction_nexts = {id(nxt) for _, nxt in cand.reductions}
+    reduction_phis = {id(phi) for phi, _ in cand.reductions}
+    store_bases: List[Value] = []
+    load_bases: List[Value] = []
+    used_by_outside: Set[int] = set()
+
+    fn = cand.header.parent
+    for block in fn.blocks:
+        if block in loop_blocks:
+            continue
+        for inst in block.instructions:
+            for op in inst.operands:
+                used_by_outside.add(id(op))
+
+    # Geps may only feed loads/stores inside the body (they disappear
+    # into the vector memory ops).
+    gep_users: Dict[int, List[Instruction]] = {}
+    for inst in cand.body.instructions:
+        for op in inst.operands:
+            if isinstance(op, GepInst):
+                gep_users.setdefault(id(op), []).append(inst)
+
+    for inst in cand.body.instructions[:-1]:  # skip terminator
+        # Values computed in the body must not be used outside the loop
+        # (except via reductions).
+        if id(inst) in used_by_outside and id(inst) not in reduction_phis:
+            return False
+        if isinstance(inst, GepInst):
+            if inst.index is not cand.index:
+                return False
+            if _defined_in(inst.ptr, loop_blocks):
+                return False
+            for user in gep_users.get(id(inst), []):
+                if isinstance(user, LoadInst) and user.ptr is inst:
+                    continue
+                if isinstance(user, StoreInst) and user.ptr is inst:
+                    continue
+                return False
+            if id(inst) in used_by_outside:
+                return False
+            continue
+        if isinstance(inst, LoadInst):
+            if not isinstance(inst.ptr, GepInst) or inst.ptr.parent is not cand.body:
+                return False
+            if not (inst.type.is_scalar and not inst.type.is_pointer):
+                return False
+            load_bases.append(inst.ptr.ptr)
+            continue
+        if isinstance(inst, StoreInst):
+            if not isinstance(inst.ptr, GepInst) or inst.ptr.parent is not cand.body:
+                return False
+            vty = inst.value.type
+            if not (vty.is_scalar and not vty.is_pointer):
+                return False
+            store_bases.append(inst.ptr.ptr)
+            continue
+        if isinstance(inst, (BinaryInst, SelectInst, ICmpInst, FCmpInst)):
+            continue
+        if isinstance(inst, CastInst) and inst.opcode not in (
+            "bitcast", "inttoptr", "ptrtoint"
+        ):
+            continue
+        return False
+
+    # Aliasing: every store base must differ (by object) from every load
+    # base and from other store bases (distinct arrays by construction).
+    for sb in store_bases:
+        for lb in load_bases:
+            if sb is lb:
+                return False
+    if len(set(map(id, store_bases))) != len(store_bases):
+        return False
+    return True
+
+
+# --- Transformation ----------------------------------------------------------------
+
+
+def _transform(fn: Function, cand: _Candidate) -> None:
+    b = IRBuilder()
+    index_ty = cand.index.type
+    lanes_const = Constant(T.vector(index_ty, WIDTH), tuple(range(WIDTH)))
+
+    vec_header = fn.insert_block_after(cand.preheader, fn.next_name("vec.loop"))
+    vec_body = fn.insert_block_after(vec_header, fn.next_name("vec.body"))
+    middle = fn.insert_block_after(vec_body, fn.next_name("vec.middle"))
+
+    # Redirect the preheader into the vector loop.
+    pre_term = cand.preheader.terminator
+    pre_term.replace_target(cand.header, vec_header)
+    init_index = cand.index.incoming_for(cand.preheader)
+
+    def emit_in_preheader(make) -> Value:
+        """Append an instruction to the preheader before its terminator."""
+        inst = make()
+        inst.name = inst.name or fn.next_name()
+        cand.preheader.insert(len(cand.preheader.instructions) - 1, inst)
+        return inst
+
+    from ..ir.instructions import BroadcastInst, InsertElementInst
+
+    # Preheader additions: vector bound = bound - (WIDTH - 1).
+    vec_bound = emit_in_preheader(
+        lambda: BinaryInst("sub", cand.bound, Constant(index_ty, WIDTH - 1))
+    )
+    vec_bound.name = fn.next_name("vec.bound")
+    invariant_cache: Dict[int, Value] = {}
+
+    def splat(value: Value) -> Value:
+        """Loop-invariant operand, broadcast in the preheader."""
+        if isinstance(value, Constant):
+            return Constant(T.vector(value.type, WIDTH), (value.value,) * WIDTH)
+        cached = invariant_cache.get(id(value))
+        if cached is not None:
+            return cached
+        vec = emit_in_preheader(lambda: BroadcastInst(value, WIDTH))
+        vec.name = fn.next_name("splat")
+        invariant_cache[id(value)] = vec
+        return vec
+
+    # Vector loop header.
+    b.position_at_end(vec_header)
+    vi = b.phi(index_ty, name=fn.next_name("vi"))
+    vec_phis: Dict[int, PhiInst] = {}
+    for phi, nxt in cand.reductions:
+        vphi = b.phi(T.vector(phi.type, WIDTH), name=fn.next_name("vred"))
+        vec_phis[id(phi)] = vphi
+    vcond = b.icmp("slt", vi, vec_bound)
+    b.cond_br(vcond, vec_body, middle)
+
+    # Vector body.
+    b.position_at_end(vec_body)
+    vmap: Dict[int, Value] = dict(vec_phis)
+    vec_index_cache: List[Value] = []
+
+    def vec_index() -> Value:
+        if not vec_index_cache:
+            base = b.broadcast(vi, WIDTH)
+            vec_index_cache.append(b.add(base, lanes_const))
+        return vec_index_cache[0]
+
+    def vop(value: Value) -> Value:
+        if value is cand.index:
+            return vec_index()
+        mapped = vmap.get(id(value))
+        if mapped is not None:
+            return mapped
+        return splat(value)
+
+    reduction_by_next = {id(nxt): phi for phi, nxt in cand.reductions}
+    for inst in cand.body.instructions[:-1]:
+        phi = reduction_by_next.get(id(inst))
+        if phi is not None:
+            other = inst.rhs if inst.lhs is phi else inst.lhs
+            acc = vec_phis[id(phi)]
+            vmap[id(inst)] = b.binop(inst.opcode, acc, vop(other))
+            continue
+        if isinstance(inst, GepInst):
+            continue  # folded into the memory op below
+        if isinstance(inst, LoadInst):
+            addr = b.gep(inst.type, vop_base(inst.ptr, b, splat), vi)
+            vmap[id(inst)] = b.load(T.vector(inst.type, WIDTH), addr)
+            continue
+        if isinstance(inst, StoreInst):
+            vty = inst.value.type
+            addr = b.gep(vty, vop_base(inst.ptr, b, splat), vi)
+            b.store(vop(inst.value), addr)
+            continue
+        if isinstance(inst, BinaryInst):
+            vmap[id(inst)] = b.binop(inst.opcode, vop(inst.lhs), vop(inst.rhs))
+            continue
+        if isinstance(inst, ICmpInst):
+            vmap[id(inst)] = b.icmp(inst.pred, vop(inst.lhs), vop(inst.rhs))
+            continue
+        if isinstance(inst, FCmpInst):
+            vmap[id(inst)] = b.fcmp(inst.pred, vop(inst.lhs), vop(inst.rhs))
+            continue
+        if isinstance(inst, SelectInst):
+            vmap[id(inst)] = b.select(
+                vop(inst.cond), vop(inst.tval), vop(inst.fval)
+            )
+            continue
+        if isinstance(inst, CastInst):
+            to_ty = T.vector(inst.type, WIDTH)
+            vmap[id(inst)] = b.cast(inst.opcode, vop(inst.value), to_ty)
+            continue
+        raise AssertionError(f"legality let through {inst!r}")
+
+    vi_next = b.add(vi, Constant(index_ty, WIDTH))
+    b.br(vec_header)
+    latch = b.block
+
+    vi.add_incoming(init_index, cand.preheader)
+    vi.add_incoming(vi_next, latch)
+    for phi, nxt in cand.reductions:
+        vphi = vec_phis[id(phi)]
+        init = phi.incoming_for(cand.preheader)
+        identity = _REDUCTION_IDENTITY[nxt.opcode]
+        if phi.type.is_int:
+            identity = int(identity) & ((1 << phi.type.width) - 1)
+        init_lanes = [identity] * WIDTH
+        if isinstance(init, Constant):
+            init_lanes[0] = init.value  # lane0 = init (+ identity elsewhere)
+            vphi.add_incoming(
+                Constant(T.vector(phi.type, WIDTH), tuple(init_lanes)),
+                cand.preheader,
+            )
+        else:
+            # Insert the scalar init into lane 0 of the identity vector,
+            # in the preheader.
+            base = Constant(T.vector(phi.type, WIDTH), tuple(init_lanes))
+            injected = emit_in_preheader(
+                lambda: InsertElementInst(base, init, IRBuilder.i64(0))
+            )
+            vphi.add_incoming(injected, cand.preheader)
+        vphi.add_incoming(vmap[id(nxt)], latch)
+
+    # Middle block: horizontal reductions, then fall into the scalar loop.
+    b.position_at_end(middle)
+    reduced: Dict[int, Value] = {}
+    for phi, nxt in cand.reductions:
+        vphi = vec_phis[id(phi)]
+        acc = b.extractelement(vphi, IRBuilder.i64(0))
+        for lane in range(1, WIDTH):
+            elem = b.extractelement(vphi, IRBuilder.i64(lane))
+            acc = b.binop(nxt.opcode, acc, elem)
+        reduced[id(phi)] = acc
+    b.br(cand.header)
+
+    # Rewire the original (now epilogue) loop's phis: the outside
+    # incoming edge now comes from `middle` with the vector results.
+    cand.index.replace_incoming_block(cand.preheader, middle)
+    for i, inc in enumerate(cand.index.incoming_blocks):
+        if inc is middle:
+            cand.index.operands[i] = vi
+    for phi, _ in cand.reductions:
+        phi.replace_incoming_block(cand.preheader, middle)
+        for i, inc in enumerate(phi.incoming_blocks):
+            if inc is middle:
+                phi.operands[i] = reduced[id(phi)]
+
+
+def vop_base(gep: GepInst, b: IRBuilder, splat) -> Value:
+    """The (loop-invariant, scalar) base pointer of a unit-stride gep."""
+    return gep.ptr

@@ -1,0 +1,32 @@
+"""repro.workloads — Phoenix/PARSEC-like benchmark kernels, the IR
+libc/libm they share, and the Table IV microbenchmarks."""
+
+from .common import BuiltWorkload, Workload, outputs_match, pick, rng
+from .registry import (
+    ALL,
+    BENCHMARKS,
+    FI_BENCHMARKS,
+    FP_ONLY_BENCHMARKS,
+    MICRO_WORKLOADS,
+    PARSEC,
+    PHOENIX,
+    SHORT_NAMES,
+    get,
+)
+
+__all__ = [
+    "ALL",
+    "BENCHMARKS",
+    "BuiltWorkload",
+    "FI_BENCHMARKS",
+    "FP_ONLY_BENCHMARKS",
+    "MICRO_WORKLOADS",
+    "PARSEC",
+    "PHOENIX",
+    "SHORT_NAMES",
+    "Workload",
+    "get",
+    "outputs_match",
+    "pick",
+    "rng",
+]

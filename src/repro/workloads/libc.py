@@ -1,0 +1,147 @@
+"""A miniature libc written in IR.
+
+The paper hardens a significant part of musl libc along with the
+application (§IV-A "Libraries support") because Phoenix/PARSEC lean on
+memset/memcpy/strcmp heavily — string_match's 15-20x worst case comes
+precisely from hardened ``bzero`` (§V-B). These routines are therefore
+built with the IR builder so the hardening passes transform them like
+any application code.
+
+All functions are added to an existing module on demand and cached by
+name. Sizes are in *elements* of the stated type.
+"""
+
+from __future__ import annotations
+
+from ..ir import types as T
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.module import Module
+
+
+def _get_or_define(module: Module, name: str, ftype: T.FunctionType, define) -> Function:
+    existing = module.functions.get(name)
+    if existing is not None and not existing.is_declaration:
+        return existing
+    if existing is None:
+        existing = module.add_function(name, ftype)
+    define(existing)
+    return existing
+
+
+def memset_i8(module: Module) -> Function:
+    """``memset(ptr, value, n)``: byte-fill; the paper's bzero analogue."""
+
+    def define(fn: Function) -> None:
+        b = IRBuilder()
+        b.position_at_end(fn.append_block("entry"))
+        ptr, value, n = fn.args
+        byte = b.trunc(value, T.I8)
+        loop = b.begin_loop(b.i64(0), n)
+        b.store(byte, b.gep(T.I8, ptr, loop.index))
+        b.end_loop(loop)
+        b.ret_void()
+
+    return _get_or_define(
+        module, "memset_i8", T.FunctionType(T.VOID, (T.PTR, T.I64, T.I64)), define
+    )
+
+
+def memcpy_i8(module: Module) -> Function:
+    def define(fn: Function) -> None:
+        b = IRBuilder()
+        b.position_at_end(fn.append_block("entry"))
+        dst, src, n = fn.args
+        loop = b.begin_loop(b.i64(0), n)
+        byte = b.load(T.I8, b.gep(T.I8, src, loop.index))
+        b.store(byte, b.gep(T.I8, dst, loop.index))
+        b.end_loop(loop)
+        b.ret_void()
+
+    return _get_or_define(
+        module, "memcpy_i8", T.FunctionType(T.VOID, (T.PTR, T.PTR, T.I64)), define
+    )
+
+
+def memcmp_i8(module: Module) -> Function:
+    """Returns 0 if equal, 1 otherwise (order is not reported)."""
+
+    def define(fn: Function) -> None:
+        b = IRBuilder()
+        b.position_at_end(fn.append_block("entry"))
+        p1, p2, n = fn.args
+        loop = b.begin_loop(b.i64(0), n)
+        a = b.load(T.I8, b.gep(T.I8, p1, loop.index))
+        c = b.load(T.I8, b.gep(T.I8, p2, loop.index))
+        ne = b.icmp("ne", a, c)
+        state = b.begin_if(ne)
+        b.ret(b.i64(1))
+        # then-block returned; close the region.
+        b.position_at_end(state.merge)
+        b.end_loop(loop)
+        b.ret(b.i64(0))
+
+    return _get_or_define(
+        module, "memcmp_i8", T.FunctionType(T.I64, (T.PTR, T.PTR, T.I64)), define
+    )
+
+
+def strcmp_len(module: Module) -> Function:
+    """Compare two length-``n`` byte strings; returns the index of the
+    first mismatch, or ``n`` if equal (string_match's inner loop)."""
+
+    def define(fn: Function) -> None:
+        b = IRBuilder()
+        b.position_at_end(fn.append_block("entry"))
+        p1, p2, n = fn.args
+        loop = b.begin_loop(b.i64(0), n)
+        a = b.load(T.I8, b.gep(T.I8, p1, loop.index))
+        c = b.load(T.I8, b.gep(T.I8, p2, loop.index))
+        ne = b.icmp("ne", a, c)
+        state = b.begin_if(ne)
+        b.ret(loop.index)
+        b.position_at_end(state.merge)
+        b.end_loop(loop)
+        b.ret(n)
+
+    return _get_or_define(
+        module, "strcmp_len", T.FunctionType(T.I64, (T.PTR, T.PTR, T.I64)), define
+    )
+
+
+def lcg_next(module: Module) -> Function:
+    """Deterministic 64-bit LCG (Knuth MMIX constants): the random
+    source for Monte-Carlo workloads (swaptions) — hardened IR, so
+    native and hardened runs see identical streams."""
+
+    def define(fn: Function) -> None:
+        b = IRBuilder()
+        b.position_at_end(fn.append_block("entry"))
+        (state,) = fn.args
+        a = b.i64(6364136223846793005)
+        c = b.i64(1442695040888963407)
+        b.ret(b.add(b.mul(state, a), c))
+
+    return _get_or_define(
+        module, "lcg_next", T.FunctionType(T.I64, (T.I64,)), define
+    )
+
+
+def lcg_to_unit_f64(module: Module) -> Function:
+    """Map an LCG state to a double in (0, 1): take the top 52 bits."""
+
+    def define(fn: Function) -> None:
+        b = IRBuilder()
+        b.position_at_end(fn.append_block("entry"))
+        (state,) = fn.args
+        mantissa = b.lshr(state, b.i64(12))
+        as_float = b.sitofp(mantissa, T.F64)
+        scale = b.f64(1.0 / float(1 << 52))
+        value = b.fmul(as_float, scale)
+        # Avoid exact zero for log() consumers.
+        tiny = b.f64(1e-18)
+        b.ret(b.fadd(value, tiny))
+
+    return _get_or_define(
+        module, "lcg_to_unit_f64", T.FunctionType(T.F64, (T.I64,)), define
+    )

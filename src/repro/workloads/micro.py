@@ -1,0 +1,243 @@
+"""Microbenchmarks for the bottleneck analysis (Table IV, §VII-A).
+
+The paper isolates the three ELZAR bottlenecks with microbenchmarks
+that saturate one instruction class each, in an average-case
+(independent operations, throughput-bound) and a worst-case (dependent
+chain, latency-bound) variant, plus a truncation kernel for the missing
+AVX instructions (§VII-A reports ~8x for truncations). Each kernel is
+compared native vs ELZAR *with all checks disabled*, exposing pure
+wrapper cost.
+"""
+
+from __future__ import annotations
+
+from ..cpu.intrinsics import rt_print_i64
+from ..cpu.threads import ScalabilityProfile
+from ..ir import types as T
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from .common import BuiltWorkload, Workload, pick, rng
+
+_PROFILE = ScalabilityProfile(parallel_fraction=1.0)
+
+
+def _finish(module, b, value, print_i64):
+    b.call(print_i64, [value])
+    b.ret(value)
+
+
+def _prelude(scale: str, name: str, array_len: int, seed: int):
+    n = pick(scale, perf=6000, fi=400, test=200)
+    module = Module(f"{name}.{scale}")
+    data = [int(x) for x in rng(seed).randint(0, array_len, size=array_len)]
+    gdata = module.add_global("data", T.ArrayType(T.I64, array_len), data)
+    gout = module.add_global("out", T.ArrayType(T.I64, array_len))
+    print_i64 = rt_print_i64(module)
+    fn = module.add_function("main", T.FunctionType(T.I64, (T.I64,)), ["n"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    return n, module, gdata, gout, print_i64, fn, b, data
+
+
+ARRAY = 256
+
+
+def build_loads_avg(scale: str) -> BuiltWorkload:
+    """Four independent load streams per iteration (throughput-bound)."""
+    n, module, gdata, gout, print_i64, fn, b, data = _prelude(
+        scale, "micro_loads_avg", ARRAY, 71
+    )
+    (count,) = fn.args
+    loop = b.begin_loop(b.i64(0), count)
+    acc = b.loop_phi(loop, b.i64(0), "acc")
+    base = b.and_(loop.index, b.i64(ARRAY - 8))
+    v = acc
+    for k in range(4):
+        x = b.load(T.I64, b.gep(T.I64, gdata, b.add(base, b.i64(k))))
+        v = b.add(v, x)
+    b.set_loop_next(loop, acc, v)
+    b.end_loop(loop)
+    _finish(module, b, acc, print_i64)
+    expected_acc = 0
+    for i in range(n):
+        base = i & (ARRAY - 8)
+        for k in range(4):
+            expected_acc += data[base + k]
+    return BuiltWorkload(module, "main", (n,), [expected_acc])
+
+
+def build_loads_worst(scale: str) -> BuiltWorkload:
+    """Pointer-chase: every load's address depends on the previous load
+    (latency-bound; wrapper latency lands on the critical path)."""
+    n, module, gdata, gout, print_i64, fn, b, data = _prelude(
+        scale, "micro_loads_worst", ARRAY, 73
+    )
+    (count,) = fn.args
+    loop = b.begin_loop(b.i64(0), count)
+    cursor = b.loop_phi(loop, b.i64(0), "cursor")
+    x = b.load(T.I64, b.gep(T.I64, gdata, cursor))
+    nxt = b.and_(x, b.i64(ARRAY - 1))
+    b.set_loop_next(loop, cursor, nxt)
+    b.end_loop(loop)
+    _finish(module, b, cursor, print_i64)
+    cursor = 0
+    for _ in range(n):
+        cursor = data[cursor] & (ARRAY - 1)
+    return BuiltWorkload(module, "main", (n,), [cursor])
+
+
+def build_stores_avg(scale: str) -> BuiltWorkload:
+    """Eight independent constant stores per iteration: the single
+    store-data port is the bottleneck natively too, so the AVX wrappers
+    hide behind it (Table IV: ~1.0x)."""
+    n, module, gdata, gout, print_i64, fn, b, data = _prelude(
+        scale, "micro_stores_avg", ARRAY, 79
+    )
+    (count,) = fn.args
+    loop = b.begin_loop(b.i64(0), count)
+    base = b.and_(loop.index, b.i64(ARRAY - 8))
+    for k in range(8):
+        b.store(b.i64(7), b.gep(T.I64, gout, b.add(base, b.i64(k % 8))))
+    b.end_loop(loop)
+    final = b.load(T.I64, b.gep(T.I64, gout, b.i64(0)))
+    _finish(module, b, final, print_i64)
+    return BuiltWorkload(module, "main", (n,), [7 if n > 0 else 0])
+
+
+def build_stores_worst(scale: str) -> BuiltWorkload:
+    """Stores whose base address comes off a serial integer chain: the
+    chain's vector-multiply latency peeks past the store-port bound."""
+    n, module, gdata, gout, print_i64, fn, b, data = _prelude(
+        scale, "micro_stores_worst", ARRAY, 83
+    )
+    (count,) = fn.args
+    loop = b.begin_loop(b.i64(0), count)
+    idx = b.loop_phi(loop, b.i64(0), "idx")
+    for k in range(8):
+        b.store(b.i64(9), b.gep(T.I64, gout, b.add(idx, b.i64(k))))
+    nxt = b.and_(b.add(b.mul(idx, b.i64(5)), b.i64(7)), b.i64(ARRAY - 8))
+    b.set_loop_next(loop, idx, nxt)
+    b.end_loop(loop)
+    final = b.load(T.I64, b.gep(T.I64, gout, b.i64(7)))
+    _finish(module, b, final, print_i64)
+    out = [0] * ARRAY
+    idx = 0
+    for _ in range(n):
+        for k in range(8):
+            out[idx + k] = 9
+        idx = (idx * 5 + 7) & (ARRAY - 8)
+    return BuiltWorkload(module, "main", (n,), [out[7]])
+
+
+def _branch_body(b, loop, acc, cond_values):
+    """Four data-dependent ifs per iteration with one-add bodies."""
+    from ..ir import types as T
+
+    current = acc
+    for cond in cond_values:
+        state = b.begin_if(cond, with_else=True)
+        then_val = b.add(current, b.i64(3))
+        b.begin_else(state)
+        else_val = b.add(current, b.i64(1))
+        b.end_if(state)
+        merged = b.phi(T.I64, "merged")
+        merged.add_incoming(then_val, state.then_end)
+        merged.add_incoming(else_val, state.else_block)
+        current = merged
+    return current
+
+
+def build_branches_avg(scale: str) -> BuiltWorkload:
+    """Four predictable branches per iteration: prediction is near
+    perfect, so the overhead is the pure cmpeq+ptest wrapper cost
+    (Table IV: ~1.86x)."""
+    n, module, gdata, gout, print_i64, fn, b, data = _prelude(
+        scale, "micro_branches_avg", ARRAY, 89
+    )
+    (count,) = fn.args
+    loop = b.begin_loop(b.i64(0), count)
+    acc = b.loop_phi(loop, b.i64(0), "acc")
+    conds = [
+        b.icmp("eq", b.and_(loop.index, b.i64(15)), b.i64(15 - k))
+        for k in range(4)
+    ]
+    final = _branch_body(b, loop, acc, conds)
+    b.set_loop_next(loop, acc, final)
+    b.end_loop(loop)
+    _finish(module, b, acc, print_i64)
+    acc_v = 0
+    for i in range(n):
+        for k in range(4):
+            acc_v += 3 if (i & 15) == 15 - k else 1
+    return BuiltWorkload(module, "main", (n,), [acc_v])
+
+
+def build_branches_worst(scale: str) -> BuiltWorkload:
+    """Four random branches per iteration (mispredict-heavy: the ptest
+    also lengthens the resolution latency)."""
+    n, module, gdata, gout, print_i64, fn, b, data = _prelude(
+        scale, "micro_branches_worst", ARRAY, 97
+    )
+    (count,) = fn.args
+    loop = b.begin_loop(b.i64(0), count)
+    acc = b.loop_phi(loop, b.i64(0), "acc")
+    x = b.load(T.I64, b.gep(T.I64, gdata, b.and_(loop.index, b.i64(ARRAY - 1))))
+    conds = [
+        b.icmp("eq", b.and_(b.lshr(x, b.i64(k)), b.i64(1)), b.i64(1))
+        for k in range(4)
+    ]
+    final = _branch_body(b, loop, acc, conds)
+    b.set_loop_next(loop, acc, final)
+    b.end_loop(loop)
+    _finish(module, b, acc, print_i64)
+    acc_v = 0
+    for i in range(n):
+        x = data[i & (ARRAY - 1)]
+        for k in range(4):
+            acc_v += 3 if (x >> k) & 1 else 1
+    return BuiltWorkload(module, "main", (n,), [acc_v])
+
+
+def build_truncation(scale: str) -> BuiltWorkload:
+    """Chains of trunc/zext: AVX2 lacks truncation instructions, so the
+    ELZAR version pays long emulation sequences (§VII-A: ~8x)."""
+    n, module, gdata, gout, print_i64, fn, b, data = _prelude(
+        scale, "micro_truncation", ARRAY, 101
+    )
+    (count,) = fn.args
+    loop = b.begin_loop(b.i64(0), count)
+    acc = b.loop_phi(loop, b.i64(0), "acc")
+    v = b.add(loop.index, acc)
+    for _ in range(4):
+        t32 = b.trunc(v, T.I32)
+        t16 = b.trunc(t32, T.I16)
+        v = b.add(b.zext(t16, T.I64), b.i64(1))
+    b.set_loop_next(loop, acc, v)
+    b.end_loop(loop)
+    _finish(module, b, acc, print_i64)
+    acc_v = 0
+    for i in range(n):
+        v = (i + acc_v) & ((1 << 64) - 1)
+        for _ in range(4):
+            v = ((v & 0xFFFF) + 1) & ((1 << 64) - 1)
+        acc_v = v
+    signed = acc_v if acc_v < (1 << 63) else acc_v - (1 << 64)
+    return BuiltWorkload(module, "main", (n,), [signed])
+
+
+def _mk(name: str, build, description: str) -> Workload:
+    return Workload(
+        name=name, suite="micro", build=build, profile=_PROFILE,
+        description=description,
+    )
+
+
+MICRO_WORKLOADS = [
+    _mk("micro_loads_avg", build_loads_avg, "independent loads (Table IV avg)"),
+    _mk("micro_loads_worst", build_loads_worst, "pointer chase (Table IV worst)"),
+    _mk("micro_stores_avg", build_stores_avg, "independent stores (Table IV avg)"),
+    _mk("micro_stores_worst", build_stores_worst, "dependent stores (Table IV worst)"),
+    _mk("micro_branches_avg", build_branches_avg, "predictable branches (Table IV avg)"),
+    _mk("micro_branches_worst", build_branches_worst, "random branches (Table IV worst)"),
+    _mk("micro_truncation", build_truncation, "trunc/zext chains (§VII-A)"),
+]

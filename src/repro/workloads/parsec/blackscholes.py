@@ -1,0 +1,111 @@
+"""blackscholes (PARSEC): Black–Scholes option pricing.
+
+Per option: log/sqrt/exp/Φ calls and a dozen FP multiplies — 47% FP
+instructions, only 12% memory references (Table II / §V-B). This is
+ELZAR's best case: vector FP ops cost the same as scalar ones, so the
+paper measures just 1.7x instruction increase, ELZAR beating SWIFT-R by
+34% (Figure 14), 9-35% overhead in float-only mode (§V-B), and the
+lowest SDC rate of the suite (1%, §V-C).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...cpu.intrinsics import rt_print_f64
+from ...cpu.threads import ScalabilityProfile
+from ...ir import types as T
+from ...ir.builder import IRBuilder
+from ...ir.module import Module
+from ..common import BuiltWorkload, Workload, pick, rng
+from ..libm import cndf_f64, exp_f64, log_f64, sqrt_f64
+
+
+def build(scale: str) -> BuiltWorkload:
+    n = pick(scale, perf=600, fi=40, test=20)
+    r = rng(37)
+    spot = r.uniform(20, 120, size=n)
+    strike = r.uniform(20, 120, size=n)
+    rate = r.uniform(0.01, 0.08, size=n)
+    vol = r.uniform(0.1, 0.6, size=n)
+    time = r.uniform(0.2, 2.0, size=n)
+    otype = r.randint(0, 2, size=n)  # 0 = call, 1 = put
+
+    module = Module(f"blackscholes.{scale}")
+    gs = module.add_global("spot", T.ArrayType(T.F64, n), list(spot))
+    gk = module.add_global("strike", T.ArrayType(T.F64, n), list(strike))
+    gr = module.add_global("rate", T.ArrayType(T.F64, n), list(rate))
+    gv = module.add_global("vol", T.ArrayType(T.F64, n), list(vol))
+    gt = module.add_global("time", T.ArrayType(T.F64, n), list(time))
+    go = module.add_global("otype", T.ArrayType(T.I64, n), list(otype))
+    gout = module.add_global("prices", T.ArrayType(T.F64, n))
+    print_f64 = rt_print_f64(module)
+
+    log_fn = log_f64(module)
+    sqrt_fn = sqrt_f64(module)
+    exp_fn = exp_f64(module)
+    cndf_fn = cndf_f64(module)
+
+    fn = module.add_function("main", T.FunctionType(T.F64, (T.I64,)), ["n"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    (count,) = fn.args
+
+    loop = b.begin_loop(b.i64(0), count, name="opt")
+    total = b.loop_phi(loop, b.f64(0.0), "total")
+    s = b.load(T.F64, b.gep(T.F64, gs, loop.index))
+    k = b.load(T.F64, b.gep(T.F64, gk, loop.index))
+    rr = b.load(T.F64, b.gep(T.F64, gr, loop.index))
+    v = b.load(T.F64, b.gep(T.F64, gv, loop.index))
+    t = b.load(T.F64, b.gep(T.F64, gt, loop.index))
+    ot = b.load(T.I64, b.gep(T.I64, go, loop.index))
+
+    sqrt_t = b.call(sqrt_fn, [t])
+    log_sk = b.call(log_fn, [b.fdiv(s, k)])
+    half_v2 = b.fmul(b.f64(0.5), b.fmul(v, v))
+    denom = b.fmul(v, sqrt_t)
+    d1 = b.fdiv(b.fadd(log_sk, b.fmul(b.fadd(rr, half_v2), t)), denom)
+    d2 = b.fsub(d1, denom)
+    nd1 = b.call(cndf_fn, [d1])
+    nd2 = b.call(cndf_fn, [d2])
+    discount = b.fmul(k, b.call(exp_fn, [b.fsub(b.f64(0.0), b.fmul(rr, t))]))
+    call_price = b.fsub(b.fmul(s, nd1), b.fmul(discount, nd2))
+    # put = K e^{-rt} N(-d2) - S N(-d1) = call - S + K e^{-rt}
+    put_price = b.fadd(b.fsub(call_price, s), discount)
+    is_put = b.icmp("eq", ot, b.i64(1))
+    price = b.select(is_put, put_price, call_price)
+    b.store(price, b.gep(T.F64, gout, loop.index))
+    b.set_loop_next(loop, total, b.fadd(total, price))
+    b.end_loop(loop)
+
+    b.call(print_f64, [total])
+    b.ret(total)
+
+    expected = [_reference(spot, strike, rate, vol, time, otype)]
+    # The IR libm's erf is an A&S approximation (1.5e-7 abs); the
+    # accumulated total needs a correspondingly loose tolerance.
+    return BuiltWorkload(module, "main", (n,), expected, rtol=1e-4)
+
+
+def _reference(spot, strike, rate, vol, time, otype) -> float:
+    total = 0.0
+    for s, k, r, v, t, o in zip(spot, strike, rate, vol, time, otype):
+        d1 = (math.log(s / k) + (r + 0.5 * v * v) * t) / (v * math.sqrt(t))
+        d2 = d1 - v * math.sqrt(t)
+        nd1 = 0.5 * (1.0 + math.erf(d1 / math.sqrt(2.0)))
+        nd2 = 0.5 * (1.0 + math.erf(d2 / math.sqrt(2.0)))
+        discount = k * math.exp(-r * t)
+        call = s * nd1 - discount * nd2
+        total += call if o == 0 else call - s + discount
+    return total
+
+
+WORKLOAD = Workload(
+    name="blackscholes",
+    suite="parsec",
+    build=build,
+    profile=ScalabilityProfile(parallel_fraction=0.99, sync_fraction=0.002,
+                               sync_growth=0.02),
+    description="option pricing; FP-dominated, few memory accesses",
+    fp_heavy=True,
+)

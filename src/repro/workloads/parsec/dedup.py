@@ -1,0 +1,146 @@
+"""dedup (PARSEC): chunk a byte stream, fingerprint, deduplicate.
+
+Fixed-size chunking, an Adler-style rolling checksum per chunk, a
+fingerprint hash table, and a memcpy of unique chunks to the output —
+30% loads / 14% stores (Table II). dedup is the suite's canonical
+poor-scaler (the paper cites [29]); its large synchronization share is
+what amortizes hardening overhead at high thread counts (§V-B), which
+the scalability profile below encodes.
+"""
+
+from __future__ import annotations
+
+from ...cpu.intrinsics import rt_print_i64
+from ...cpu.threads import ScalabilityProfile
+from ...ir import types as T
+from ...ir.builder import IRBuilder
+from ...ir.module import Module
+from ..common import BuiltWorkload, Workload, pick, rng
+from ..libc import memcpy_i8
+
+CHUNK = 64
+TABLE_SIZE = 512
+MOD = 65521
+
+
+def build(scale: str) -> BuiltWorkload:
+    nchunks = pick(scale, perf=220, fi=12, test=6)
+    r = rng(41)
+    # Build a stream with substantial duplication: draw chunks from a
+    # small pool.
+    pool = r.randint(0, 256, size=(nchunks // 3 + 1, CHUNK))
+    picks = r.randint(0, len(pool), size=nchunks)
+    stream = [int(c) for p in picks for c in pool[p]]
+    n = len(stream)
+
+    module = Module(f"dedup.{scale}")
+    gin = module.add_global("stream", T.ArrayType(T.I8, n), stream)
+    gout = module.add_global("outbuf", T.ArrayType(T.I8, n))
+    gtable = module.add_global("fingerprints", T.ArrayType(T.I64, TABLE_SIZE))
+    print_i64 = rt_print_i64(module)
+    memcpy = memcpy_i8(module)
+
+    fn = module.add_function("main", T.FunctionType(T.I64, (T.I64,)), ["nchunks"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    (count,) = fn.args
+    chunk_len = b.i64(CHUNK)
+
+    lc = b.begin_loop(b.i64(0), count, name="chunk")
+    dups = b.loop_phi(lc, b.i64(0), "dups")
+    out_pos = b.loop_phi(lc, b.i64(0), "out_pos")
+    base = b.mul(lc.index, chunk_len)
+
+    #
+
+    # Adler-32-style rolling checksum over the chunk.
+    cs = b.begin_loop(b.i64(0), chunk_len, name="byte")
+    a = b.loop_phi(cs, b.i64(1), "a")
+    s = b.loop_phi(cs, b.i64(0), "s")
+    byte = b.load(T.I8, b.gep(T.I8, gin, b.add(base, cs.index)))
+    a_next = b.urem(b.add(a, b.zext(byte, T.I64)), b.i64(MOD))
+    s_next = b.urem(b.add(s, a_next), b.i64(MOD))
+    b.set_loop_next(cs, a, a_next)
+    b.set_loop_next(cs, s, s_next)
+    b.end_loop(cs)
+    fingerprint = b.add(b.or_(b.shl(s, b.i64(16)), a), b.i64(1))  # never 0
+
+    # Probe the fingerprint table.
+    probe0 = b.urem(fingerprint, b.i64(TABLE_SIZE))
+    # Outcome cell: 0 = unseen, 1 = duplicate.
+    seen_slot = b.alloca(T.I64)
+    b.store(b.i64(0), seen_slot)
+    pl = b.begin_loop(b.i64(0), b.i64(TABLE_SIZE), name="probe")
+    slot = b.urem(b.add(probe0, pl.index), b.i64(TABLE_SIZE))
+    stored = b.load(T.I64, b.gep(T.I64, gtable, slot))
+    hit = b.icmp("eq", stored, fingerprint)
+    state = b.begin_if(hit)
+    b.store(b.i64(1), seen_slot)
+    b.br(pl.exit)
+    b.position_at_end(state.merge)
+    empty = b.icmp("eq", stored, b.i64(0))
+    state2 = b.begin_if(empty)
+    b.store(fingerprint, b.gep(T.I64, gtable, slot))
+    b.br(pl.exit)
+    b.position_at_end(state2.merge)
+    b.end_loop(pl)
+
+    seen = b.load(T.I64, seen_slot)
+    is_dup = b.icmp("eq", seen, b.i64(1))
+    dup_inc = b.zext(is_dup, T.I64)
+
+    # Copy unique chunks to the output buffer.
+    state3 = b.begin_if(b.icmp("eq", seen, b.i64(0)))
+    src = b.gep(T.I8, gin, base)
+    dst = b.gep(T.I8, gout, out_pos)
+    b.call(memcpy, [dst, src, chunk_len])
+    b.end_if(state3)
+    out_next = b.select(is_dup, out_pos, b.add(out_pos, chunk_len))
+
+    b.set_loop_next(lc, dups, b.add(dups, dup_inc))
+    b.set_loop_next(lc, out_pos, out_next)
+    b.end_loop(lc)
+
+    b.call(print_i64, [dups])
+    b.call(print_i64, [out_pos])
+    b.ret(dups)
+
+    expected = _reference(stream, nchunks)
+    return BuiltWorkload(module, "main", (nchunks,), expected)
+
+
+def _reference(stream, nchunks):
+    table = [0] * TABLE_SIZE
+    dups = 0
+    out_len = 0
+    for c in range(nchunks):
+        a, s = 1, 0
+        for i in range(CHUNK):
+            a = (a + stream[c * CHUNK + i]) % MOD
+            s = (s + a) % MOD
+        fp = ((s << 16) | a) + 1
+        probe = fp % TABLE_SIZE
+        seen = 0
+        for i in range(TABLE_SIZE):
+            slot = (probe + i) % TABLE_SIZE
+            if table[slot] == fp:
+                seen = 1
+                break
+            if table[slot] == 0:
+                table[slot] = fp
+                break
+        if seen:
+            dups += 1
+        else:
+            out_len += CHUNK
+    return [dups, out_len]
+
+
+WORKLOAD = Workload(
+    name="dedup",
+    suite="parsec",
+    build=build,
+    profile=ScalabilityProfile(parallel_fraction=0.90, sync_fraction=0.06,
+                               sync_growth=0.80),
+    description="chunking + fingerprint dedup; memory heavy, poor scaling",
+)

@@ -1,0 +1,135 @@
+"""fluidanimate (PARSEC): SPH-style particle interactions.
+
+For every particle pair within a neighbourhood window, a distance
+cutoff branch decides whether to compute the (FP-heavy) interaction —
+the cutoff depends on particle positions, giving the suite's worst
+branch predictability (Table II: 14.7% misses) with ~32% FP
+instructions. One of the three benchmarks where ELZAR beats SWIFT-R
+(Figure 14: -24%), and a float-only-protection candidate (§V-B:
+10-18% overhead).
+"""
+
+from __future__ import annotations
+
+from ...cpu.intrinsics import rt_print_f64
+from ...cpu.threads import ScalabilityProfile
+from ...ir import types as T
+from ...ir.builder import IRBuilder
+from ...ir.module import Module
+from ..common import BuiltWorkload, Workload, pick, rng
+from ..libm import sqrt_f64
+
+WINDOW = 12
+CUTOFF = 0.08
+DT = 0.001
+
+
+def build(scale: str) -> BuiltWorkload:
+    n = pick(scale, perf=260, fi=36, test=20)
+    r = rng(47)
+    px = r.uniform(0, 1, size=n)
+    py = r.uniform(0, 1, size=n)
+
+    module = Module(f"fluidanimate.{scale}")
+    gpx = module.add_global("px", T.ArrayType(T.F64, n), list(px))
+    gpy = module.add_global("py", T.ArrayType(T.F64, n), list(py))
+    gfx = module.add_global("fx", T.ArrayType(T.F64, n))
+    gfy = module.add_global("fy", T.ArrayType(T.F64, n))
+    print_f64 = rt_print_f64(module)
+    sqrt_fn = sqrt_f64(module)
+
+    fn = module.add_function("main", T.FunctionType(T.F64, (T.I64,)), ["n"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    (count,) = fn.args
+
+    li = b.begin_loop(b.i64(0), count, name="i")
+    xi = b.load(T.F64, b.gep(T.F64, gpx, li.index))
+    yi = b.load(T.F64, b.gep(T.F64, gpy, li.index))
+    # Neighbourhood window [i+1, min(i+1+WINDOW, n)).
+    start = b.add(li.index, b.i64(1))
+    cap = b.add(start, b.i64(WINDOW))
+    over = b.icmp("sgt", cap, count)
+    stop = b.select(over, count, cap)
+    lj = b.begin_loop(start, stop, name="j")
+    xj = b.load(T.F64, b.gep(T.F64, gpx, lj.index))
+    yj = b.load(T.F64, b.gep(T.F64, gpy, lj.index))
+    dx = b.fsub(xi, xj)
+    dy = b.fsub(yi, yj)
+    d2 = b.fadd(b.fmul(dx, dx), b.fmul(dy, dy))
+    near = b.fcmp("olt", d2, b.f64(CUTOFF * CUTOFF))
+    state = b.begin_if(near)
+    dist = b.call(sqrt_fn, [d2])
+    safe = b.fadd(dist, b.f64(1e-9))
+    w = b.fsub(b.f64(CUTOFF), dist)
+    mag = b.fdiv(b.fmul(w, w), safe)
+    fx_i = b.fmul(mag, dx)
+    fy_i = b.fmul(mag, dy)
+    slot_fx_i = b.gep(T.F64, gfx, li.index)
+    slot_fy_i = b.gep(T.F64, gfy, li.index)
+    slot_fx_j = b.gep(T.F64, gfx, lj.index)
+    slot_fy_j = b.gep(T.F64, gfy, lj.index)
+    b.store(b.fadd(b.load(T.F64, slot_fx_i), fx_i), slot_fx_i)
+    b.store(b.fadd(b.load(T.F64, slot_fy_i), fy_i), slot_fy_i)
+    b.store(b.fsub(b.load(T.F64, slot_fx_j), fx_i), slot_fx_j)
+    b.store(b.fsub(b.load(T.F64, slot_fy_j), fy_i), slot_fy_j)
+    b.end_if(state)
+    b.end_loop(lj)
+    b.end_loop(li)
+
+    # Integrate and print a checksum of positions.
+    upd = b.begin_loop(b.i64(0), count)
+    checksum = b.loop_phi(upd, b.f64(0.0), "checksum")
+    x = b.load(T.F64, b.gep(T.F64, gpx, upd.index))
+    y = b.load(T.F64, b.gep(T.F64, gpy, upd.index))
+    fx = b.load(T.F64, b.gep(T.F64, gfx, upd.index))
+    fy = b.load(T.F64, b.gep(T.F64, gfy, upd.index))
+    nx = b.fadd(x, b.fmul(b.f64(DT), fx))
+    ny = b.fadd(y, b.fmul(b.f64(DT), fy))
+    b.store(nx, b.gep(T.F64, gpx, upd.index))
+    b.store(ny, b.gep(T.F64, gpy, upd.index))
+    b.set_loop_next(upd, checksum, b.fadd(checksum, b.fadd(nx, ny)))
+    b.end_loop(upd)
+    b.call(print_f64, [checksum])
+    b.ret(checksum)
+
+    expected = [_reference(px.copy(), py.copy())]
+    return BuiltWorkload(module, "main", (n,), expected, rtol=1e-6)
+
+
+def _reference(px, py) -> float:
+    n = len(px)
+    fx = [0.0] * n
+    fy = [0.0] * n
+    import math
+
+    for i in range(n):
+        for j in range(i + 1, min(i + 1 + WINDOW, n)):
+            dx = px[i] - px[j]
+            dy = py[i] - py[j]
+            d2 = dx * dx + dy * dy
+            if d2 < CUTOFF * CUTOFF:
+                dist = math.sqrt(d2)
+                w = CUTOFF - dist
+                mag = (w * w) / (dist + 1e-9)
+                fx[i] += mag * dx
+                fy[i] += mag * dy
+                fx[j] -= mag * dx
+                fy[j] -= mag * dy
+    checksum = 0.0
+    for i in range(n):
+        nx = px[i] + DT * fx[i]
+        ny = py[i] + DT * fy[i]
+        checksum += nx + ny
+    return checksum
+
+
+WORKLOAD = Workload(
+    name="fluidanimate",
+    suite="parsec",
+    build=build,
+    profile=ScalabilityProfile(parallel_fraction=0.96, sync_fraction=0.02,
+                               sync_growth=0.30),
+    description="particle interactions with distance cutoff; branch-miss heavy FP",
+    fp_heavy=True,
+)

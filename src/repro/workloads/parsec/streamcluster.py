@@ -1,0 +1,121 @@
+"""streamcluster (PARSEC): online k-median clustering of a point stream.
+
+Each streamed point computes distances to the current centers over a
+wide feature vector (memory-streaming loads, Table II: 33% loads) and
+either joins the cheapest center or opens a new one when the cost
+exceeds a threshold. The paper measures the lowest native ILP of the
+suite (0.68) and poor thread scaling; like dedup, sub-linear scaling
+partially amortizes hardening overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cpu.intrinsics import rt_print_f64, rt_print_i64
+from ...cpu.threads import ScalabilityProfile
+from ...ir import types as T
+from ...ir.builder import IRBuilder
+from ...ir.module import Module
+from ..common import BuiltWorkload, Workload, pick, rng
+
+DIM = 16
+MAX_CENTERS = 24
+THRESHOLD = 2.0
+
+
+def build(scale: str) -> BuiltWorkload:
+    n = pick(scale, perf=420, fi=40, test=20)
+    r = rng(53)
+    points = r.uniform(0, 1, size=(n, DIM))
+
+    module = Module(f"streamcluster.{scale}")
+    gpts = module.add_global("points", T.ArrayType(T.F64, n * DIM), list(points.flatten()))
+    gcenters = module.add_global("centers", T.ArrayType(T.F64, MAX_CENTERS * DIM))
+    print_f64 = rt_print_f64(module)
+    print_i64 = rt_print_i64(module)
+
+    fn = module.add_function("main", T.FunctionType(T.F64, (T.I64,)), ["n"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    (count,) = fn.args
+    dims = b.i64(DIM)
+
+    lp = b.begin_loop(b.i64(0), count, name="p")
+    ncenters = b.loop_phi(lp, b.i64(0), "ncenters")
+    cost = b.loop_phi(lp, b.f64(0.0), "cost")
+    pbase = b.mul(lp.index, dims)
+
+    # Distance to every open center; track the minimum.
+    lc = b.begin_loop(b.i64(0), ncenters, name="c")
+    best = b.loop_phi(lc, b.f64(1e30), "best")
+    cbase = b.mul(lc.index, dims)
+    le = b.begin_loop(b.i64(0), dims, name="e")
+    acc = b.loop_phi(le, b.f64(0.0), "acc")
+    pv = b.load(T.F64, b.gep(T.F64, gpts, b.add(pbase, le.index)))
+    cv = b.load(T.F64, b.gep(T.F64, gcenters, b.add(cbase, le.index)))
+    diff = b.fsub(pv, cv)
+    b.set_loop_next(le, acc, b.fadd(acc, b.fmul(diff, diff)))
+    b.end_loop(le)
+    closer = b.fcmp("olt", acc, best)
+    b.set_loop_next(lc, best, b.select(closer, acc, best))
+    b.end_loop(lc)
+
+    # Open a new center when the stream demands it.
+    no_centers = b.icmp("eq", ncenters, b.i64(0))
+    too_far = b.fcmp("ogt", best, b.f64(THRESHOLD))
+    must_open = b.or_(no_centers, too_far)
+    has_room = b.icmp("slt", ncenters, b.i64(MAX_CENTERS))
+    open_center = b.and_(must_open, has_room)
+
+    state = b.begin_if(open_center)
+    dst = b.mul(ncenters, dims)
+    cp = b.begin_loop(b.i64(0), dims, name="copy")
+    pv2 = b.load(T.F64, b.gep(T.F64, gpts, b.add(pbase, cp.index)))
+    b.store(pv2, b.gep(T.F64, gcenters, b.add(dst, cp.index)))
+    b.end_loop(cp)
+    b.end_if(state)
+
+    next_n = b.select(open_center, b.add(ncenters, b.i64(1)), ncenters)
+    contrib = b.select(open_center, b.f64(0.0), best)
+    b.set_loop_next(lp, ncenters, next_n)
+    b.set_loop_next(lp, cost, b.fadd(cost, contrib))
+    b.end_loop(lp)
+
+    b.call(print_i64, [ncenters])
+    b.call(print_f64, [cost])
+    b.ret(cost)
+
+    expected = _reference(points)
+    return BuiltWorkload(module, "main", (n,), expected, rtol=1e-9)
+
+
+def _reference(points: np.ndarray):
+    centers = []
+    cost = 0.0
+    for p in points:
+        best = 1e30
+        for c in centers:
+            acc = 0.0
+            for e in range(DIM):
+                diff = p[e] - c[e]
+                acc += diff * diff
+            if acc < best:
+                best = acc
+        must_open = (not centers) or best > THRESHOLD
+        if must_open and len(centers) < MAX_CENTERS:
+            centers.append(list(p))
+        else:
+            cost += best
+    return [len(centers), cost]
+
+
+WORKLOAD = Workload(
+    name="streamcluster",
+    suite="parsec",
+    build=build,
+    profile=ScalabilityProfile(parallel_fraction=0.92, sync_fraction=0.05,
+                               sync_growth=0.60),
+    description="online k-median; streaming distance loops, poor scaling",
+    fp_heavy=True,
+)

@@ -1,0 +1,139 @@
+"""swaptions (PARSEC): Monte-Carlo swaption pricing.
+
+Per swaption, simulate interest-rate paths driven by pseudo-random
+normals (LCG + Irwin–Hall sum of 12 uniforms — all in hardened IR so
+native and hardened runs draw identical streams) and discount the
+payoff. ~34% FP instructions, moderate loads; the paper reports 40-60%
+overhead under float-only protection (§V-B) and a small win for
+SWIFT-R over ELZAR (Figure 14: +5% for ELZAR).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...cpu.intrinsics import rt_print_f64
+from ...cpu.threads import ScalabilityProfile
+from ...ir import types as T
+from ...ir.builder import IRBuilder
+from ...ir.module import Module
+from ..common import BuiltWorkload, Workload, pick, rng
+from ..libc import lcg_next, lcg_to_unit_f64
+from ..libm import exp_f64
+
+NSWAPTIONS = 4
+STEPS = 8
+LCG_A = 6364136223846793005
+LCG_C = 1442695040888963407
+MASK = (1 << 64) - 1
+
+
+def build(scale: str) -> BuiltWorkload:
+    trials = pick(scale, perf=120, fi=10, test=6)
+    r = rng(59)
+    strikes = r.uniform(0.02, 0.08, size=NSWAPTIONS)
+    vols = r.uniform(0.1, 0.4, size=NSWAPTIONS)
+    r0 = 0.05
+
+    module = Module(f"swaptions.{scale}")
+    gstrike = module.add_global("strike", T.ArrayType(T.F64, NSWAPTIONS), list(strikes))
+    gvol = module.add_global("vol", T.ArrayType(T.F64, NSWAPTIONS), list(vols))
+    print_f64 = rt_print_f64(module)
+    lcg = lcg_next(module)
+    to_unit = lcg_to_unit_f64(module)
+    exp_fn = exp_f64(module)
+
+    fn = module.add_function("main", T.FunctionType(T.F64, (T.I64,)), ["trials"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    (ntrials,) = fn.args
+
+    ls = b.begin_loop(b.i64(0), b.i64(NSWAPTIONS), name="s")
+    grand = b.loop_phi(ls, b.f64(0.0), "grand")
+    seed0 = b.add(b.mul(ls.index, b.i64(0x9E3779B97F4A7C15)), b.i64(12345))
+    strike = b.load(T.F64, b.gep(T.F64, gstrike, ls.index))
+    vol = b.load(T.F64, b.gep(T.F64, gvol, ls.index))
+
+    lt = b.begin_loop(b.i64(0), ntrials, name="trial")
+    payoff_sum = b.loop_phi(lt, b.f64(0.0), "payoff_sum")
+    seed = b.loop_phi(lt, seed0, "seed")
+
+    lstep = b.begin_loop(b.i64(0), b.i64(STEPS), name="step")
+    rate = b.loop_phi(lstep, b.f64(r0), "rate")
+    state = b.loop_phi(lstep, seed, "state")
+    # Irwin-Hall normal: sum of 12 uniforms - 6.
+    lu = b.begin_loop(b.i64(0), b.i64(12), name="u")
+    usum = b.loop_phi(lu, b.f64(-6.0), "usum")
+    st = b.loop_phi(lu, state, "st")
+    nst = b.call(lcg, [st])
+    uval = b.call(to_unit, [nst])
+    b.set_loop_next(lu, usum, b.fadd(usum, uval))
+    b.set_loop_next(lu, st, nst)
+    b.end_loop(lu)
+    # dr = vol * sqrt(dt) * z, dt = 1/STEPS; mean-revert toward r0 a bit.
+    dt_sqrt = math.sqrt(1.0 / STEPS)
+    shock = b.fmul(b.fmul(vol, b.f64(dt_sqrt * 0.01)), usum)
+    revert = b.fmul(b.f64(0.1 / STEPS), b.fsub(b.f64(r0), rate))
+    new_rate = b.fadd(rate, b.fadd(shock, revert))
+    b.set_loop_next(lstep, rate, new_rate)
+    b.set_loop_next(lstep, state, st)
+    b.end_loop(lstep)
+
+    # Payoff: max(rate - strike, 0), discounted at the terminal rate.
+    diff = b.fsub(rate, strike)
+    pos = b.fcmp("ogt", diff, b.f64(0.0))
+    payoff = b.select(pos, diff, b.f64(0.0))
+    discount = b.call(exp_fn, [b.fsub(b.f64(0.0), rate)])
+    value = b.fmul(payoff, discount)
+    b.set_loop_next(lt, payoff_sum, b.fadd(payoff_sum, value))
+    b.set_loop_next(lt, seed, state)
+    b.end_loop(lt)
+
+    mean = b.fdiv(payoff_sum, b.sitofp(ntrials, T.F64))
+    b.call(print_f64, [mean])
+    b.set_loop_next(ls, grand, b.fadd(grand, mean))
+    b.end_loop(ls)
+    b.call(print_f64, [grand])
+    b.ret(grand)
+
+    expected = _reference(strikes, vols, trials)
+    return BuiltWorkload(module, "main", (trials,), expected, rtol=1e-9)
+
+
+def _reference(strikes, vols, trials):
+    out = []
+    grand = 0.0
+    for s in range(NSWAPTIONS):
+        seed = (s * 0x9E3779B97F4A7C15 + 12345) & MASK
+        payoff_sum = 0.0
+        for _ in range(trials):
+            rate = 0.05
+            state = seed
+            for _ in range(STEPS):
+                usum = -6.0
+                for _ in range(12):
+                    state = (state * LCG_A + LCG_C) & MASK
+                    usum += (state >> 12) * (1.0 / (1 << 52)) + 1e-18
+                shock = vols[s] * (math.sqrt(1.0 / STEPS) * 0.01) * usum
+                revert = (0.1 / STEPS) * (0.05 - rate)
+                rate = rate + (shock + revert)
+            seed = state
+            diff = rate - strikes[s]
+            payoff = diff if diff > 0.0 else 0.0
+            payoff_sum += payoff * math.exp(-rate)
+        mean = payoff_sum / trials
+        out.append(mean)
+        grand += mean
+    out.append(grand)
+    return out
+
+
+WORKLOAD = Workload(
+    name="swaptions",
+    suite="parsec",
+    build=build,
+    profile=ScalabilityProfile(parallel_fraction=0.99, sync_fraction=0.002,
+                               sync_growth=0.02),
+    description="Monte-Carlo swaption pricing; LCG randoms + FP paths",
+    fp_heavy=True,
+)

@@ -1,0 +1,72 @@
+"""histogram (Phoenix): bin a byte image into 256 counters.
+
+Per pixel: one load of the pixel, one load of its bin, one store of the
+incremented bin — the most load/store-dominated kernel in the suite
+(Table II: 53% loads, 27% stores), which is why it shows both the worst
+ELZAR SDC rate (the extracted-address window of vulnerability, §V-C)
+and large wrapper overheads (Figure 14: ELZAR +119% vs SWIFT-R).
+The indirect bin update is not vectorizable, so Figure 1 shows ~no
+native SIMD gain.
+"""
+
+from __future__ import annotations
+
+from ...cpu.intrinsics import rt_print_i64
+from ...cpu.threads import ScalabilityProfile
+from ...ir import types as T
+from ...ir.builder import IRBuilder
+from ...ir.module import Module
+from ..common import BuiltWorkload, Workload, pick, rng
+
+BINS = 256
+
+
+def build(scale: str) -> BuiltWorkload:
+    n = pick(scale, perf=20_000, fi=600, test=800)
+    data = rng(11).randint(0, 256, size=n).astype(int)
+
+    module = Module(f"histogram.{scale}")
+    image = module.add_global("image", T.ArrayType(T.I8, n), list(data))
+    bins = module.add_global("bins", T.ArrayType(T.I64, BINS))
+    print_i64 = rt_print_i64(module)
+
+    fn = module.add_function("main", T.FunctionType(T.I64, (T.I64,)), ["n"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    (count,) = fn.args
+
+    loop = b.begin_loop(b.i64(0), count)
+    pixel = b.load(T.I8, b.gep(T.I8, image, loop.index))
+    bin_index = b.zext(pixel, T.I64)
+    slot = b.gep(T.I64, bins, bin_index)
+    current = b.load(T.I64, slot)
+    b.store(b.add(current, b.i64(1)), slot)
+    b.end_loop(loop)
+
+    # Checksum: sum(i * bins[i]) plus total count.
+    loop = b.begin_loop(b.i64(0), b.i64(BINS))
+    checksum = b.loop_phi(loop, b.i64(0), "checksum")
+    total = b.loop_phi(loop, b.i64(0), "total")
+    value = b.load(T.I64, b.gep(T.I64, bins, loop.index))
+    b.set_loop_next(loop, checksum, b.add(checksum, b.mul(value, loop.index)))
+    b.set_loop_next(loop, total, b.add(total, value))
+    b.end_loop(loop)
+    b.call(print_i64, [checksum])
+    b.call(print_i64, [total])
+    b.ret(checksum)
+
+    counts = [0] * BINS
+    for v in data:
+        counts[v] += 1
+    expected = [sum(i * c for i, c in enumerate(counts)), n]
+    return BuiltWorkload(module, "main", (n,), expected)
+
+
+WORKLOAD = Workload(
+    name="histogram",
+    suite="phoenix",
+    build=build,
+    profile=ScalabilityProfile(parallel_fraction=0.97, sync_fraction=0.01,
+                               sync_growth=0.10),
+    description="byte-image histogram; load/store dominated",
+)

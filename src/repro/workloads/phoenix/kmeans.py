@@ -1,0 +1,149 @@
+"""kmeans (Phoenix): Lloyd iterations over 2-D points.
+
+Assignment phase: per point, distance to every centroid with a
+data-dependent minimum (branchy; Table II: 15% branches); update phase:
+accumulate per-cluster sums. Distances are floating point, which is why
+kmeans is one of the three benchmarks where ELZAR *beats* SWIFT-R
+(Figure 14: -9%) — vector FP ops cost the same as scalar ones while
+SWIFT-R triplicates them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cpu.intrinsics import rt_print_f64, rt_print_i64
+from ...cpu.threads import ScalabilityProfile
+from ...ir import types as T
+from ...ir.builder import IRBuilder
+from ...ir.module import Module
+from ..common import BuiltWorkload, Workload, pick, rng
+
+K = 4
+ITERS = 3
+
+
+def build(scale: str) -> BuiltWorkload:
+    n = pick(scale, perf=2_500, fi=120, test=60)
+    r = rng(17)
+    centers = r.uniform(-50, 50, size=(K, 2))
+    points = np.concatenate(
+        [centers[i] + r.uniform(-8, 8, size=(n // K, 2)) for i in range(K)]
+    )
+    n = len(points)
+    init = points[:K].copy()
+
+    module = Module(f"kmeans.{scale}")
+    gpx = module.add_global("px", T.ArrayType(T.F64, n), list(points[:, 0]))
+    gpy = module.add_global("py", T.ArrayType(T.F64, n), list(points[:, 1]))
+    gcx = module.add_global("cx", T.ArrayType(T.F64, K), list(init[:, 0]))
+    gcy = module.add_global("cy", T.ArrayType(T.F64, K), list(init[:, 1]))
+    gsx = module.add_global("sumx", T.ArrayType(T.F64, K))
+    gsy = module.add_global("sumy", T.ArrayType(T.F64, K))
+    gcount = module.add_global("count", T.ArrayType(T.I64, K))
+    print_f64 = rt_print_f64(module)
+    print_i64 = rt_print_i64(module)
+
+    fn = module.add_function("main", T.FunctionType(T.F64, (T.I64,)), ["n"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    (count,) = fn.args
+
+    outer = b.begin_loop(b.i64(0), b.i64(ITERS), name="iter")
+
+    # Reset accumulators.
+    reset = b.begin_loop(b.i64(0), b.i64(K))
+    b.store(b.f64(0.0), b.gep(T.F64, gsx, reset.index))
+    b.store(b.f64(0.0), b.gep(T.F64, gsy, reset.index))
+    b.store(b.i64(0), b.gep(T.I64, gcount, reset.index))
+    b.end_loop(reset)
+
+    # Assignment + accumulation.
+    pts = b.begin_loop(b.i64(0), count, name="p")
+    x = b.load(T.F64, b.gep(T.F64, gpx, pts.index))
+    y = b.load(T.F64, b.gep(T.F64, gpy, pts.index))
+    ks = b.begin_loop(b.i64(0), b.i64(K), name="k")
+    best_d = b.loop_phi(ks, b.f64(1e30), "best_d")
+    best_k = b.loop_phi(ks, b.i64(0), "best_k")
+    cx = b.load(T.F64, b.gep(T.F64, gcx, ks.index))
+    cy = b.load(T.F64, b.gep(T.F64, gcy, ks.index))
+    dx = b.fsub(x, cx)
+    dy = b.fsub(y, cy)
+    dist = b.fadd(b.fmul(dx, dx), b.fmul(dy, dy))
+    closer = b.fcmp("olt", dist, best_d)
+    b.set_loop_next(ks, best_d, b.select(closer, dist, best_d))
+    b.set_loop_next(ks, best_k, b.select(closer, ks.index, best_k))
+    b.end_loop(ks)
+    sx_slot = b.gep(T.F64, gsx, best_k)
+    sy_slot = b.gep(T.F64, gsy, best_k)
+    cnt_slot = b.gep(T.I64, gcount, best_k)
+    b.store(b.fadd(b.load(T.F64, sx_slot), x), sx_slot)
+    b.store(b.fadd(b.load(T.F64, sy_slot), y), sy_slot)
+    b.store(b.add(b.load(T.I64, cnt_slot), b.i64(1)), cnt_slot)
+    b.end_loop(pts)
+
+    # Recompute centroids (guard empty clusters).
+    upd = b.begin_loop(b.i64(0), b.i64(K))
+    cnt = b.load(T.I64, b.gep(T.I64, gcount, upd.index))
+    nonempty = b.icmp("sgt", cnt, b.i64(0))
+    state = b.begin_if(nonempty)
+    cntf = b.sitofp(cnt, T.F64)
+    newx = b.fdiv(b.load(T.F64, b.gep(T.F64, gsx, upd.index)), cntf)
+    newy = b.fdiv(b.load(T.F64, b.gep(T.F64, gsy, upd.index)), cntf)
+    b.store(newx, b.gep(T.F64, gcx, upd.index))
+    b.store(newy, b.gep(T.F64, gcy, upd.index))
+    b.end_if(state)
+    b.end_loop(upd)
+
+    b.end_loop(outer)
+
+    total = b.i64(0)
+    result = b.f64(0.0)
+    out = b.begin_loop(b.i64(0), b.i64(K))
+    acc = b.loop_phi(out, b.f64(0.0), "acc")
+    cxv = b.load(T.F64, b.gep(T.F64, gcx, out.index))
+    cyv = b.load(T.F64, b.gep(T.F64, gcy, out.index))
+    b.call(print_f64, [cxv])
+    b.call(print_f64, [cyv])
+    b.set_loop_next(out, acc, b.fadd(acc, b.fadd(cxv, cyv)))
+    b.end_loop(out)
+    b.call(print_f64, [acc])
+    b.ret(acc)
+
+    expected = _reference(points, init)
+    return BuiltWorkload(module, "main", (n,), expected)
+
+
+def _reference(points: np.ndarray, init: np.ndarray):
+    cx = init[:, 0].copy()
+    cy = init[:, 1].copy()
+    for _ in range(ITERS):
+        sx = np.zeros(K)
+        sy = np.zeros(K)
+        cnt = np.zeros(K, dtype=int)
+        for px, py in points:
+            d = (px - cx) ** 2 + (py - cy) ** 2
+            k = int(np.argmin(d))
+            sx[k] += px
+            sy[k] += py
+            cnt[k] += 1
+        for k in range(K):
+            if cnt[k] > 0:
+                cx[k] = sx[k] / cnt[k]
+                cy[k] = sy[k] / cnt[k]
+    out = []
+    for k in range(K):
+        out.extend([cx[k], cy[k]])
+    out.append(float(cx.sum() + cy.sum()))
+    return out
+
+
+WORKLOAD = Workload(
+    name="kmeans",
+    suite="phoenix",
+    build=build,
+    profile=ScalabilityProfile(parallel_fraction=0.97, sync_fraction=0.01,
+                               sync_growth=0.15),
+    description="Lloyd k-means on 2-D points; branchy FP distance loops",
+    fp_heavy=True,
+)

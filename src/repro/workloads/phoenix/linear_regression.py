@@ -1,0 +1,89 @@
+"""linear_regression (Phoenix): least-squares fit over (x, y) points.
+
+One pass accumulating SX, SY, SXX, SYY, SXY — five independent
+reduction chains, which is why the paper measures the highest native
+ILP of the suite here (Table II/III: ILP 6.51) and why the ELZAR
+version, which serializes through wrapper chains, drops to 1.7 and
+shows a 5-8x overhead (§V-B).
+"""
+
+from __future__ import annotations
+
+from ...cpu.intrinsics import rt_print_f64, rt_print_i64
+from ...cpu.threads import ScalabilityProfile
+from ...ir import types as T
+from ...ir.builder import IRBuilder
+from ...ir.module import Module
+from ..common import BuiltWorkload, Workload, pick, rng
+
+
+def build(scale: str) -> BuiltWorkload:
+    n = pick(scale, perf=12_000, fi=500, test=250)
+    r = rng(13)
+    xs = r.randint(0, 100, size=n).astype(int)
+    ys = (3 * xs + 7 + r.randint(-10, 11, size=n)).astype(int)
+
+    module = Module(f"linear_regression.{scale}")
+    # Phoenix stores points as an array of (x, y) structs; the
+    # interleaved layout means the loads are stride-2, which is also why
+    # the paper's compiler gets almost no SIMD gain here (Figure 1).
+    interleaved = [v for pair in zip(xs, ys) for v in pair]
+    gpts = module.add_global("points", T.ArrayType(T.I64, 2 * n), interleaved)
+    print_i64 = rt_print_i64(module)
+    print_f64 = rt_print_f64(module)
+
+    fn = module.add_function("main", T.FunctionType(T.F64, (T.I64,)), ["n"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    (count,) = fn.args
+
+    loop = b.begin_loop(b.i64(0), count)
+    sx = b.loop_phi(loop, b.i64(0), "sx")
+    sy = b.loop_phi(loop, b.i64(0), "sy")
+    sxx = b.loop_phi(loop, b.i64(0), "sxx")
+    syy = b.loop_phi(loop, b.i64(0), "syy")
+    sxy = b.loop_phi(loop, b.i64(0), "sxy")
+    base = b.shl(loop.index, b.i64(1))
+    x = b.load(T.I64, b.gep(T.I64, gpts, base))
+    y = b.load(T.I64, b.gep(T.I64, gpts, b.add(base, b.i64(1))))
+    b.set_loop_next(loop, sx, b.add(sx, x))
+    b.set_loop_next(loop, sy, b.add(sy, y))
+    b.set_loop_next(loop, sxx, b.add(sxx, b.mul(x, x)))
+    b.set_loop_next(loop, syy, b.add(syy, b.mul(y, y)))
+    b.set_loop_next(loop, sxy, b.add(sxy, b.mul(x, y)))
+    b.end_loop(loop)
+
+    nf = b.sitofp(count, T.F64)
+    fsx = b.sitofp(sx, T.F64)
+    fsy = b.sitofp(sy, T.F64)
+    fsxx = b.sitofp(sxx, T.F64)
+    fsxy = b.sitofp(sxy, T.F64)
+    denom = b.fsub(b.fmul(nf, fsxx), b.fmul(fsx, fsx))
+    slope = b.fdiv(b.fsub(b.fmul(nf, fsxy), b.fmul(fsx, fsy)), denom)
+    intercept = b.fdiv(b.fsub(fsy, b.fmul(slope, fsx)), nf)
+    for v in (sx, sy, sxx, syy, sxy):
+        b.call(print_i64, [v])
+    b.call(print_f64, [slope])
+    b.call(print_f64, [intercept])
+    b.ret(slope)
+
+    sx_v = int(xs.sum())
+    sy_v = int(ys.sum())
+    sxx_v = int((xs * xs).sum())
+    syy_v = int((ys * ys).sum())
+    sxy_v = int((xs * ys).sum())
+    denom_v = n * sxx_v - sx_v * sx_v
+    slope_v = (n * sxy_v - sx_v * sy_v) / denom_v
+    intercept_v = (sy_v - slope_v * sx_v) / n
+    expected = [sx_v, sy_v, sxx_v, syy_v, sxy_v, slope_v, intercept_v]
+    return BuiltWorkload(module, "main", (n,), expected)
+
+
+WORKLOAD = Workload(
+    name="linear_regression",
+    suite="phoenix",
+    build=build,
+    profile=ScalabilityProfile(parallel_fraction=0.99, sync_fraction=0.003,
+                               sync_growth=0.05),
+    description="least-squares fit; five parallel reductions, high ILP",
+)

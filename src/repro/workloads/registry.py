@@ -1,0 +1,89 @@
+"""Workload registry: every benchmark the paper evaluates, by name."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .common import Workload
+from .micro import MICRO_WORKLOADS
+from .parsec.blackscholes import WORKLOAD as _blackscholes
+from .parsec.dedup import WORKLOAD as _dedup
+from .parsec.ferret import WORKLOAD as _ferret
+from .parsec.fluidanimate import WORKLOAD as _fluidanimate
+from .parsec.streamcluster import WORKLOAD as _streamcluster
+from .parsec.swaptions import WORKLOAD as _swaptions
+from .parsec.x264 import WORKLOAD as _x264
+from .phoenix.histogram import WORKLOAD as _histogram
+from .phoenix.kmeans import WORKLOAD as _kmeans
+from .phoenix.linear_regression import WORKLOAD as _linear_regression
+from .phoenix.matrix_multiply import WORKLOAD as _matrix_multiply
+from .phoenix.pca import WORKLOAD as _pca
+from .phoenix.string_match import WORKLOAD as _string_match
+from .phoenix.word_count import WORKLOAD as _word_count
+
+PHOENIX: List[Workload] = [
+    _histogram,
+    _kmeans,
+    _linear_regression,
+    _matrix_multiply,
+    _pca,
+    _string_match,
+    _word_count,
+]
+
+PARSEC: List[Workload] = [
+    _blackscholes,
+    _dedup,
+    _ferret,
+    _fluidanimate,
+    _streamcluster,
+    _swaptions,
+    _x264,
+]
+
+#: The 14 benchmarks of Figures 11/12/14/17 and Tables II/III, in the
+#: paper's presentation order.
+BENCHMARKS: List[Workload] = PHOENIX + PARSEC
+
+ALL: Dict[str, Workload] = {w.name: w for w in BENCHMARKS + MICRO_WORKLOADS}
+
+#: Paper abbreviations (used as row labels in the figures).
+SHORT_NAMES = {
+    "histogram": "hist",
+    "kmeans": "km",
+    "linear_regression": "linreg",
+    "matrix_multiply": "mmul",
+    "pca": "pca",
+    "string_match": "smatch",
+    "word_count": "wc",
+    "blackscholes": "black",
+    "dedup": "dedup",
+    "ferret": "ferret",
+    "fluidanimate": "fluid",
+    "streamcluster": "scluster",
+    "swaptions": "swap",
+    "x264": "x264",
+}
+
+#: Benchmarks excluded from the paper's fault-injection experiment
+#: (Figure 13 drops mmul and fluidanimate).
+FI_BENCHMARKS: List[Workload] = [
+    w for w in BENCHMARKS if w.name not in ("matrix_multiply", "fluidanimate")
+]
+
+#: FP-heavy benchmarks used in the float-only protection study (§V-B).
+FP_ONLY_BENCHMARKS: List[Workload] = [
+    w for w in BENCHMARKS
+    if w.name in ("blackscholes", "fluidanimate", "swaptions")
+]
+
+
+def get(name: str) -> Workload:
+    wl = ALL.get(name)
+    if wl is None:
+        short_to_full = {v: k for k, v in SHORT_NAMES.items()}
+        full = short_to_full.get(name)
+        if full is not None:
+            return ALL[full]
+        raise KeyError(f"unknown workload {name!r}; have {sorted(ALL)}")
+    return wl

@@ -1,0 +1,85 @@
+"""Validation of workload profiles against the paper's Table II.
+
+The figures depend on the workloads only through their instruction
+mixes; this module encodes the paper's measured native statistics and
+provides rank-correlation checks that our kernels preserve the
+*orderings* that drive every result (which benchmark is most
+load-heavy, most branch-missy, most cache-missy, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Table II of the paper: native runtime statistics with 16 threads
+#: (percent). Keys are the paper's row labels.
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "hist":     {"l1_miss": 0.66,  "br_miss": 0.01,  "loads": 53.21, "stores": 26.67, "branches": 9.56},
+    "km":       {"l1_miss": 1.48,  "br_miss": 0.33,  "loads": 20.83, "stores": 0.48,  "branches": 14.96},
+    "linreg":   {"l1_miss": 2.05,  "br_miss": 0.01,  "loads": 18.02, "stores": 0.21,  "branches": 3.82},
+    "mmul":     {"l1_miss": 62.39, "br_miss": 0.14,  "loads": 40.16, "stores": 0.07,  "branches": 10.10},
+    "pca":      {"l1_miss": 12.19, "br_miss": 0.27,  "loads": 14.21, "stores": 0.21,  "branches": 3.79},
+    "smatch":   {"l1_miss": 0.12,  "br_miss": 0.70,  "loads": 11.61, "stores": 14.35, "branches": 22.40},
+    "wc":       {"l1_miss": 10.94, "br_miss": 3.31,  "loads": 29.75, "stores": 23.63, "branches": 13.67},
+    "black":    {"l1_miss": 0.40,  "br_miss": 1.21,  "loads": 9.38,  "stores": 2.84,  "branches": 15.63},
+    "dedup":    {"l1_miss": 4.30,  "br_miss": 3.80,  "loads": 30.08, "stores": 13.55, "branches": 12.01},
+    "ferret":   {"l1_miss": 4.69,  "br_miss": 12.65, "loads": 14.47, "stores": 2.28,  "branches": 17.42},
+    "fluid":    {"l1_miss": 1.17,  "br_miss": 14.70, "loads": 11.77, "stores": 2.58,  "branches": 14.29},
+    "scluster": {"l1_miss": 4.17,  "br_miss": 1.47,  "loads": 32.60, "stores": 0.43,  "branches": 9.33},
+    "swap":     {"l1_miss": 0.82,  "br_miss": 0.97,  "loads": 30.98, "stores": 4.80,  "branches": 11.05},
+    "x264":     {"l1_miss": 0.34,  "br_miss": 0.31,  "loads": 26.83, "stores": 8.32,  "branches": 21.00},
+}
+
+#: Table III's paper values, for the same rank-consistency checks.
+PAPER_TABLE3_ILP_NATIVE: Dict[str, float] = {
+    "hist": 1.59, "km": 3.48, "linreg": 6.51, "mmul": 0.22, "pca": 2.61,
+    "smatch": 2.38, "wc": 1.31, "black": 1.83, "dedup": 1.04,
+    "ferret": 1.11, "fluid": 1.22, "scluster": 0.68, "swap": 1.97,
+    "x264": 2.11,
+}
+
+PAPER_TABLE3_INCR_ELZAR: Dict[str, float] = {
+    "hist": 8.56, "km": 6.37, "linreg": 10.49, "mmul": 4.47, "pca": 6.82,
+    "smatch": 32.72, "wc": 6.14, "black": 1.70, "dedup": 4.64,
+    "ferret": 4.32, "fluid": 2.43, "scluster": 3.77, "swap": 3.50,
+    "x264": 3.26,
+}
+
+
+def ranks(values: Dict[str, float]) -> Dict[str, float]:
+    """Average ranks (ties averaged), smallest value -> rank 1."""
+    ordered = sorted(values, key=lambda k: values[k])
+    out: Dict[str, float] = {}
+    i = 0
+    while i < len(ordered):
+        j = i
+        while (j + 1 < len(ordered)
+               and values[ordered[j + 1]] == values[ordered[i]]):
+            j += 1
+        avg = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            out[ordered[k]] = avg
+        i = j + 1
+    return out
+
+
+def spearman(a: Dict[str, float], b: Dict[str, float]) -> float:
+    """Spearman rank correlation over the keys both dicts share."""
+    keys = sorted(set(a) & set(b))
+    if len(keys) < 3:
+        raise ValueError("need at least 3 common keys")
+    ra = ranks({k: a[k] for k in keys})
+    rb = ranks({k: b[k] for k in keys})
+    n = len(keys)
+    mean = (n + 1) / 2
+    cov = sum((ra[k] - mean) * (rb[k] - mean) for k in keys)
+    var_a = sum((ra[k] - mean) ** 2 for k in keys)
+    var_b = sum((rb[k] - mean) ** 2 for k in keys)
+    if var_a == 0 or var_b == 0:
+        return 0.0
+    return cov / (var_a * var_b) ** 0.5
+
+
+def paper_column(metric: str) -> Dict[str, float]:
+    """One Table II column as {benchmark: value}."""
+    return {name: row[metric] for name, row in PAPER_TABLE2.items()}

@@ -1,0 +1,167 @@
+"""Tests for the case-study applications and the YCSB generator."""
+
+import pytest
+
+from repro.apps import (
+    OP_INSERT,
+    OP_READ,
+    OP_UPDATE,
+    kvstore,
+    sqldb,
+    trace_by_name,
+    webserver,
+    workload_a,
+    workload_d,
+    zipf_probabilities,
+)
+from repro.cpu import Machine, MachineConfig
+from repro.ir import verify_module
+from repro.passes import ElzarOptions, elzar_transform, mem2reg, swiftr_transform
+from repro.passes.swiftr import SwiftOptions
+
+FAST = MachineConfig(collect_timing=False)
+
+
+class TestYcsb:
+    def test_workload_a_mix(self):
+        trace = workload_a(2000, 128)
+        reads = sum(1 for op in trace.ops if op == OP_READ)
+        assert 0.4 < reads / len(trace.ops) < 0.6
+        assert all(0 <= k < 128 for k in trace.keys)
+
+    def test_workload_a_is_zipfian(self):
+        trace = workload_a(5000, 256)
+        from collections import Counter
+
+        counts = Counter(trace.keys)
+        top = sum(c for _, c in counts.most_common(10))
+        assert top > 0.3 * len(trace.keys)  # heavy head
+
+    def test_workload_d_mix_and_latest(self):
+        trace = workload_d(2000, 128)
+        inserts = sum(1 for op in trace.ops if op == OP_INSERT)
+        assert 0.02 < inserts / len(trace.ops) < 0.09
+        # Reads concentrate near the most recent keys.
+        reads = [(i, k) for i, (o, k) in enumerate(zip(trace.ops, trace.keys))
+                 if o == OP_READ]
+        late_half = [k for i, k in reads if i > len(trace.ops) // 2]
+        assert sum(late_half) / len(late_half) > 100  # keys have grown
+
+    def test_zipf_probabilities_normalized(self):
+        p = zipf_probabilities(100)
+        assert p.sum() == pytest.approx(1.0)
+        assert p[0] > p[10] > p[50]
+
+    def test_trace_by_name(self):
+        assert trace_by_name("a", 10, 16).name == "A"
+        assert trace_by_name("D", 10, 16).name == "D"
+        with pytest.raises(KeyError):
+            trace_by_name("B", 10, 16)
+
+    def test_deterministic(self):
+        a = workload_a(100, 64)
+        b = workload_a(100, 64)
+        assert a.keys == b.keys and a.ops == b.ops
+
+
+class TestKvStore:
+    @pytest.fixture(scope="class")
+    def app(self):
+        trace = workload_a(80, 64)
+        app = kvstore.build(trace, table_size=256)
+        mem2reg(app.module)
+        verify_module(app.module)
+        return app
+
+    def test_matches_reference(self, app):
+        result = Machine(app.module, FAST).run(app.entry, app.args)
+        assert result.output == [app.expected_checksum]
+
+    def test_hardened_matches(self, app):
+        hardened = elzar_transform(app.module)
+        result = Machine(hardened, FAST).run(app.entry, app.args)
+        assert result.output == [app.expected_checksum]
+
+    def test_table_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            kvstore.build(workload_a(10, 8), table_size=100)
+
+    def test_throughput_scales_with_threads(self):
+        t1 = kvstore.throughput(1000.0, 1)
+        t16 = kvstore.throughput(1000.0, 16)
+        assert t16 > 6 * t1  # near-linear
+
+    def test_throughput_inverse_in_cost(self):
+        assert kvstore.throughput(2000.0, 4) < kvstore.throughput(1000.0, 4)
+
+
+class TestSqlDb:
+    @pytest.fixture(scope="class")
+    def app(self):
+        trace = workload_a(60, 48)
+        app = sqldb.build(trace, tail_capacity=64)
+        mem2reg(app.module)
+        verify_module(app.module)
+        return app
+
+    def test_matches_reference(self, app):
+        result = Machine(app.module, FAST).run(app.entry, app.args)
+        assert result.output == [app.expected_checksum]
+
+    def test_hardened_matches(self, app):
+        hardened = swiftr_transform(app.module)
+        result = Machine(hardened, FAST).run(app.entry, app.args)
+        assert result.output == [app.expected_checksum]
+
+    def test_workload_d_inserts_found_again(self):
+        trace = workload_d(60, 32)
+        app = sqldb.build(trace, tail_capacity=64)
+        mem2reg(app.module)
+        result = Machine(app.module, FAST).run(app.entry, app.args)
+        assert result.output == [app.expected_checksum]
+
+    def test_reverse_scalability(self):
+        """Figure 15b: SQLite3 throughput *decreases* with threads."""
+        t1 = sqldb.throughput(1000.0, 1)
+        t8 = sqldb.throughput(1000.0, 8)
+        t16 = sqldb.throughput(1000.0, 16)
+        assert t1 > t8 > t16
+
+
+class TestWebServer:
+    @pytest.fixture(scope="class")
+    def app(self):
+        app = webserver.build(nrequests=10, page_size=1024)
+        mem2reg(app.module)
+        verify_module(app.module)
+        return app
+
+    def test_matches_reference(self, app):
+        result = Machine(app.module, FAST).run(app.entry, app.args)
+        assert result.output == [app.expected_checksum]
+
+    def test_sendfile_left_unhardened(self, app):
+        hardened = elzar_transform(
+            app.module, ElzarOptions(exclude=webserver.THIRD_PARTY)
+        )
+        verify_module(hardened)
+        assert hardened.get_function("sendfile").hardened is None
+        assert hardened.get_function("main").hardened == "elzar"
+        result = Machine(hardened, FAST).run(app.entry, app.args)
+        assert result.output == [app.expected_checksum]
+
+    def test_unhardened_share_keeps_overhead_low(self, app):
+        """§VI: Apache's third-party share keeps ELZAR near native."""
+        full = elzar_transform(app.module)
+        partial = elzar_transform(
+            app.module, ElzarOptions(exclude=webserver.THIRD_PARTY)
+        )
+        cfg = MachineConfig()
+        native = Machine(app.module, cfg).run(app.entry, app.args).cycles
+        full_c = Machine(full, cfg).run(app.entry, app.args).cycles
+        partial_c = Machine(partial, cfg).run(app.entry, app.args).cycles
+        assert partial_c < full_c
+        assert partial_c / native < 1.6  # ~85% of native throughput
+
+    def test_throughput_scales(self):
+        assert webserver.throughput(1000.0, 16) > 6 * webserver.throughput(1000.0, 1)

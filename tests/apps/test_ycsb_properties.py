@@ -1,0 +1,58 @@
+"""Property-based tests for the YCSB trace generator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import OP_INSERT, OP_READ, OP_UPDATE, workload_a, workload_d
+
+
+class TestWorkloadAProperties:
+    @given(nops=st.integers(10, 500), keyspace=st.integers(4, 256),
+           seed=st.integers(0, 1 << 16))
+    @settings(max_examples=40, deadline=None)
+    def test_keys_in_range_and_ops_valid(self, nops, keyspace, seed):
+        trace = workload_a(nops, keyspace, seed=seed)
+        assert len(trace.ops) == len(trace.keys) == nops
+        assert all(0 <= k < keyspace for k in trace.keys)
+        assert set(trace.ops) <= {OP_READ, OP_UPDATE}
+        assert trace.keyspace == keyspace
+
+    @given(seed=st.integers(0, 1 << 16))
+    @settings(max_examples=20, deadline=None)
+    def test_zipf_head_heavier_than_tail(self, seed):
+        trace = workload_a(3000, 128, seed=seed)
+        from collections import Counter
+
+        counts = Counter(trace.keys)
+        head = sum(counts.get(k, 0) for k in range(8))
+        tail = sum(counts.get(k, 0) for k in range(120, 128))
+        assert head > tail
+
+
+class TestWorkloadDProperties:
+    @given(nops=st.integers(20, 500), keyspace=st.integers(4, 128),
+           seed=st.integers(0, 1 << 16))
+    @settings(max_examples=40, deadline=None)
+    def test_inserts_extend_keyspace_monotonically(self, nops, keyspace, seed):
+        trace = workload_d(nops, keyspace, seed=seed)
+        newest = keyspace - 1
+        for op, key in zip(trace.ops, trace.keys):
+            if op == OP_INSERT:
+                assert key == newest + 1  # strictly fresh keys
+                newest = key
+            else:
+                assert op == OP_READ
+                assert 0 <= key <= newest  # can only read what exists
+
+    @given(seed=st.integers(0, 1 << 16))
+    @settings(max_examples=20, deadline=None)
+    def test_reads_prefer_recent_keys(self, seed):
+        trace = workload_d(2000, 64, seed=seed)
+        newest = 63
+        gaps = []
+        for op, key in zip(trace.ops, trace.keys):
+            if op == OP_INSERT:
+                newest = key
+            else:
+                gaps.append(newest - key)
+        assert sum(gaps) / len(gaps) < 20  # geometric(0.15) mean ~5.7

@@ -1,0 +1,145 @@
+"""Tests for AVX lane semantics: ptest, shuffle-xor check, majority."""
+
+import math
+
+import pytest
+
+from repro.avx import (
+    NoMajorityError,
+    bits_to_float,
+    flip_bit_float,
+    flip_bit_int,
+    float_to_bits,
+    lanes_all_equal,
+    majority_value,
+    ptest_all_zero,
+    ptest_classify,
+    recover,
+    shuffle_pairwise,
+)
+
+
+class TestPtest:
+    def test_all_zero(self):
+        assert ptest_all_zero((0, 0, 0, 0))
+        assert not ptest_all_zero((0, 1, 0, 0))
+
+    def test_classify_matches_figure9(self):
+        assert ptest_classify((0, 0, 0, 0)) == 0  # false branch
+        assert ptest_classify((1, 1, 1, 1)) == 1  # true branch
+        assert ptest_classify((1, 0, 1, 1)) == 2  # fault -> recover
+        assert ptest_classify((0, 0, 1, 0)) == 2
+
+
+class TestShuffleXorCheck:
+    """The Figure 8 check: shuffle, xor, ptest."""
+
+    def test_equal_lanes_give_all_zero_xor(self):
+        lanes = (7, 7, 7, 7)
+        shuffled = shuffle_pairwise(lanes)
+        x = tuple(a ^ b for a, b in zip(lanes, shuffled))
+        assert ptest_all_zero(x)
+
+    def test_one_corrupt_lane_detected(self):
+        lanes = (7, 7, 9, 7)
+        shuffled = shuffle_pairwise(lanes)
+        x = tuple(a ^ b for a, b in zip(lanes, shuffled))
+        assert not ptest_all_zero(x)
+
+    def test_rotation_shape(self):
+        assert shuffle_pairwise((1, 2, 3, 4)) == (2, 3, 4, 1)
+
+
+class TestMajority:
+    def test_all_equal(self):
+        assert majority_value((5, 5, 5, 5)) == 5
+
+    def test_single_fault_recovered(self):
+        """§III-C scenario 1: three identical lanes outvote one."""
+        assert majority_value((5, 9, 5, 5)) == 5
+        assert recover((5, 9, 5, 5)) == (5, 5, 5, 5)
+
+    def test_two_distinct_faults_recovered(self):
+        """§III-C scenario 2: 2 agree, other two differ from each other."""
+        assert majority_value((5, 9, 5, 11)) == 5
+
+    def test_two_two_split_stops(self):
+        """§III-C scenario 3: no majority -> program must stop."""
+        with pytest.raises(NoMajorityError):
+            majority_value((5, 5, 9, 9))
+
+    def test_all_different_stops(self):
+        with pytest.raises(NoMajorityError):
+            majority_value((1, 2, 3, 4))
+
+    def test_lanes_all_equal(self):
+        assert lanes_all_equal((3, 3, 3, 3))
+        assert not lanes_all_equal((3, 3, 3, 4))
+
+
+class TestBitViews:
+    def test_float_bits_roundtrip(self):
+        for v in (0.0, 1.0, -2.5, 1e300, 1e-300):
+            assert bits_to_float(float_to_bits(v, 64), 64) == v
+        assert bits_to_float(float_to_bits(1.5, 32), 32) == 1.5
+
+    def test_flip_bit_int(self):
+        assert flip_bit_int(0, 3, 64) == 8
+        assert flip_bit_int(8, 3, 64) == 0
+        assert flip_bit_int(0, 63, 64) == 1 << 63
+        assert flip_bit_int(0, 7, 8) == 128
+
+    def test_flip_bit_float_sign(self):
+        assert flip_bit_float(1.0, 63, 64) == -1.0
+
+    def test_flip_bit_float_changes_value(self):
+        v = flip_bit_float(1.0, 0, 64)
+        assert v != 1.0
+        # flipping the same bit twice restores
+        assert flip_bit_float(v, 0, 64) == 1.0
+
+    def test_nan_bits_stable(self):
+        bits = float_to_bits(math.nan, 64)
+        assert math.isnan(bits_to_float(bits, 64))
+
+
+class TestCostModels:
+    def test_profiles_differ_where_claimed(self):
+        from repro.avx import HASWELL, PROPOSED_AVX
+
+        assert PROPOSED_AVX.vector["extractelement"] < HASWELL.vector["extractelement"]
+        assert (
+            PROPOSED_AVX.intrinsic_latency("elzar.check.v4i64")
+            < HASWELL.intrinsic_latency("elzar.check.v4i64")
+        )
+        # Scalar costs identical: native baselines must agree.
+        assert PROPOSED_AVX.scalar == HASWELL.scalar
+
+    def test_intrinsic_prefix_matching(self):
+        from repro.avx import HASWELL
+
+        lat_c, uops_c = HASWELL.intrinsic_cost("elzar.branch_cond.v4i1")
+        lat_n, uops_n = HASWELL.intrinsic_cost("elzar.branch_cond_nocheck.v4i1")
+        # The checked variant adds the `ja` fault check (Figure 9) on
+        # top of the ptest both variants need.
+        assert uops_c > uops_n
+        assert lat_c >= lat_n
+
+    def test_unknown_intrinsic_gets_default(self):
+        from repro.avx import HASWELL
+
+        assert HASWELL.intrinsic_cost("mystery.op") == (2.0, 1)
+
+    def test_lookup_by_name(self):
+        from repro.avx import HASWELL, cost_model_by_name
+
+        assert cost_model_by_name("haswell-avx2") is HASWELL
+        with pytest.raises(KeyError):
+            cost_model_by_name("skylake")
+
+    def test_fp_latency_dispatch(self):
+        from repro.avx import HASWELL
+        from repro.ir import types as T
+
+        assert HASWELL.scalar_latency("add", T.F64) == HASWELL.scalar["fadd"]
+        assert HASWELL.scalar_latency("add", T.I64) == HASWELL.scalar["add"]

@@ -1,0 +1,43 @@
+"""Shared fixtures and IR-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu import Machine, MachineConfig
+from repro.ir import IRBuilder, Module
+from repro.ir import types as T
+
+
+@pytest.fixture
+def fast_config() -> MachineConfig:
+    """Machine config for semantic tests: no timing, no caches."""
+    return MachineConfig(collect_timing=False, cache_enabled=False)
+
+
+@pytest.fixture
+def timed_config() -> MachineConfig:
+    return MachineConfig(collect_timing=True, cache_enabled=True)
+
+
+def make_function(module: Module, name: str, ret, params, arg_names=None):
+    """Create a function + builder positioned at a fresh entry block."""
+    fn = module.add_function(name, T.FunctionType(ret, tuple(params)), arg_names)
+    builder = IRBuilder()
+    builder.position_at_end(fn.append_block("entry"))
+    return fn, builder
+
+
+def run_scalar(module: Module, name: str, args=(), config=None):
+    """Run a function on a fresh machine; returns the scalar result."""
+    machine = Machine(module, config or MachineConfig(collect_timing=False,
+                                                      cache_enabled=False))
+    return machine.run(name, args).value
+
+
+def build_expr_fn(ret_ty, body):
+    """Single-function module: ``body(builder, args) -> value to ret``."""
+    module = Module("expr")
+    fn, b = make_function(module, "f", ret_ty, [])
+    b.ret(body(b))
+    return module

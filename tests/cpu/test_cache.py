@@ -1,0 +1,144 @@
+"""Tests for the cache hierarchy simulator."""
+
+from repro.cpu import Cache, CacheHierarchy, LINE_SIZE
+
+
+class TestSingleCache:
+    def test_miss_then_hit(self):
+        c = Cache(size=1024, assoc=2, line_size=64)
+        assert c.access(5) is False
+        assert c.access(5) is True
+
+    def test_distinct_lines_independent(self):
+        c = Cache(size=1024, assoc=2, line_size=64)
+        c.access(1)
+        assert c.access(2) is False
+
+    def test_lru_eviction(self):
+        # 2-way set: lines mapping to the same set evict oldest.
+        c = Cache(size=2 * 64, assoc=2, line_size=64)  # 1 set
+        c.access(0)
+        c.access(1)
+        c.access(2)  # evicts 0
+        assert c.access(1) is True
+        assert c.access(0) is False
+
+    def test_lru_refresh_on_hit(self):
+        c = Cache(size=2 * 64, assoc=2, line_size=64)
+        c.access(0)
+        c.access(1)
+        c.access(0)  # refresh 0
+        c.access(2)  # should evict 1, not 0
+        assert c.access(0) is True
+        assert c.access(1) is False
+
+    def test_reset(self):
+        c = Cache(size=1024, assoc=2)
+        c.access(5)
+        c.reset()
+        assert c.access(5) is False
+
+    def test_geometry_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Cache(size=1000, assoc=3, line_size=64)
+
+
+class TestHierarchy:
+    def test_miss_path_and_latencies(self):
+        h = CacheHierarchy(l1_size=4 << 10, l2_size=32 << 10, l3_size=1 << 20,
+                           prefetch=False)
+        level, latency = h.access(0x10000)
+        assert level == 4  # cold: DRAM
+        assert latency == 200.0
+        level, latency = h.access(0x10000)
+        assert level == 1
+        assert latency == 4.0
+
+    def test_l1_eviction_falls_to_l2(self):
+        h = CacheHierarchy(l1_size=4 << 10, l2_size=32 << 10, l3_size=1 << 20,
+                           prefetch=False)
+        # Touch enough distinct lines to overflow L1 (64 lines) but not L2.
+        for i in range(128):
+            h.access(i * LINE_SIZE)
+        level, latency = h.access(0)
+        assert level == 2
+        assert latency == 12.0
+
+    def test_straddling_access_touches_two_lines(self):
+        h = CacheHierarchy(prefetch=False)
+        h.access(LINE_SIZE - 4, size=8)  # straddles into next line
+        level, _ = h.access(LINE_SIZE)   # second line already filled
+        assert level == 1
+
+    def test_sequential_stream_miss_ratio_without_prefetch(self):
+        h = CacheHierarchy(prefetch=False)
+        misses = 0
+        for i in range(0, 8192, 8):
+            level, _ = h.access(i)
+            if level > 1:
+                misses += 1
+        # One miss per 64-byte line = 1/8 of 8-byte accesses.
+        assert misses == 8192 // LINE_SIZE
+
+    def test_l3_size_rounding(self):
+        h = CacheHierarchy(l3_size=35 << 20, l3_assoc=16)
+        assert h.l3.num_sets * 16 * LINE_SIZE <= 35 << 20
+
+
+class TestPrefetcher:
+    def test_sequential_stream_mostly_hits(self):
+        """The streamer hides a unit-stride scan (linear_regression's
+        native behaviour on real hardware)."""
+        h = CacheHierarchy()
+        misses = 0
+        for i in range(0, 65536, 8):
+            level, _ = h.access(i)
+            if level > 1:
+                misses += 1
+        assert misses < 8  # only the stream-detection warmup misses
+
+    def test_random_accesses_not_prefetched(self):
+        import random
+
+        rng = random.Random(7)
+        h = CacheHierarchy(l1_size=2 << 10, l2_size=8 << 10,
+                           l3_size=64 << 10)
+        misses = 0
+        n = 2000
+        for _ in range(n):
+            level, _ = h.access(rng.randrange(1 << 24) * 8)
+            if level > 1:
+                misses += 1
+        assert misses > n * 0.9
+
+    def test_strided_column_walk_not_prefetched(self):
+        """matrix_multiply's B-column pattern (multi-line stride) must
+        keep missing — it is what amortizes ELZAR there (§V-B)."""
+        h = CacheHierarchy(l1_size=2 << 10, l2_size=8 << 10,
+                           l3_size=64 << 10)
+        stride = 5 * LINE_SIZE
+        misses = 0
+        for rep in range(4):
+            for i in range(200):
+                level, _ = h.access(i * stride)
+                if level == 4:
+                    misses += 1
+        assert misses >= 200  # at least the first full walk misses
+
+    def test_multiple_concurrent_streams(self):
+        h = CacheHierarchy()
+        misses = 0
+        for i in range(1000):
+            for base in (0, 1 << 20, 2 << 20, 3 << 20):
+                level, _ = h.access(base + i * 8)
+                if level > 1:
+                    misses += 1
+        assert misses < 16
+
+    def test_prefetch_counter(self):
+        h = CacheHierarchy()
+        for i in range(0, 4096, 8):
+            h.access(i)
+        assert h.prefetches > 0

@@ -1,0 +1,75 @@
+"""Tests for PerfCounters arithmetic and derived ratios."""
+
+from repro.cpu import PerfCounters
+
+
+class TestRatios:
+    def test_zero_denominators_are_safe(self):
+        c = PerfCounters()
+        assert c.l1_miss_ratio == 0.0
+        assert c.branch_miss_ratio == 0.0
+        assert c.load_fraction == 0.0
+        assert c.store_fraction == 0.0
+        assert c.branch_fraction == 0.0
+        assert c.fp_fraction == 0.0
+
+    def test_fractions_over_uops(self):
+        c = PerfCounters()
+        c.instructions = 100
+        c.uops = 200
+        c.loads = 50
+        c.stores = 20
+        c.branches = 10
+        c.fp_instructions = 40
+        assert c.load_fraction == 25.0   # 50/200, not 50/100
+        assert c.store_fraction == 10.0
+        assert c.branch_fraction == 5.0
+        assert c.fp_fraction == 20.0
+
+    def test_fractions_fall_back_to_instructions(self):
+        c = PerfCounters()
+        c.instructions = 100
+        c.loads = 25
+        assert c.load_fraction == 25.0
+
+    def test_miss_ratios(self):
+        c = PerfCounters()
+        c.l1_accesses = 200
+        c.l1_misses = 20
+        c.cond_branches = 50
+        c.branch_misses = 5
+        assert c.l1_miss_ratio == 10.0
+        assert c.branch_miss_ratio == 10.0
+
+
+class TestMergeAndHistogram:
+    def test_merge_sums_all_fields(self):
+        a = PerfCounters()
+        b = PerfCounters()
+        for field in ("instructions", "uops", "loads", "stores", "branches",
+                      "cond_branches", "branch_misses", "calls",
+                      "l1_accesses", "l1_misses", "l2_misses", "l3_misses",
+                      "fp_instructions", "int_div_instructions",
+                      "corrections", "detections", "recoveries_failed"):
+            setattr(a, field, 3)
+            setattr(b, field, 4)
+        a.merge(b)
+        for field in ("instructions", "uops", "loads", "corrections"):
+            assert getattr(a, field) == 7
+
+    def test_merge_combines_histograms(self):
+        a = PerfCounters()
+        b = PerfCounters()
+        a.by_opcode = {"add": 2}
+        b.by_opcode = {"add": 3, "mul": 1}
+        a.merge(b)
+        assert a.by_opcode == {"add": 5, "mul": 1}
+
+    def test_count_respects_flag(self):
+        c = PerfCounters()
+        c.count("add")
+        assert c.by_opcode == {}
+        c.collect_by_opcode = True
+        c.count("add")
+        c.count("add")
+        assert c.by_opcode == {"add": 2}

@@ -1,0 +1,362 @@
+"""Semantic tests for the interpreter, opcode by opcode."""
+
+import math
+
+import pytest
+
+from repro.cpu import (
+    ArithmeticFault,
+    HangError,
+    Machine,
+    MachineConfig,
+    MemoryFault,
+)
+from repro.ir import IRBuilder, Module
+from repro.ir import types as T
+from repro.ir.values import Constant
+
+from ..conftest import make_function, run_scalar
+
+
+def eval_binop(opcode, ty, a, b, config):
+    module = Module("m")
+    fn, builder = make_function(module, "f", ty, [ty, ty])
+    builder.ret(builder.binop(opcode, fn.args[0], fn.args[1]))
+    return run_scalar(module, "f", [a, b], config)
+
+
+class TestIntegerArithmetic:
+    @pytest.mark.parametrize(
+        "opcode,a,b,expected",
+        [
+            ("add", 3, 4, 7),
+            ("sub", 3, 4, (1 << 64) - 1),   # wraps
+            ("mul", 1 << 32, 1 << 32, 0),   # wraps
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 8, 256),
+            ("lshr", 256, 4, 16),
+            ("udiv", 7, 2, 3),
+            ("urem", 7, 2, 1),
+        ],
+    )
+    def test_unsigned_ops(self, opcode, a, b, expected, fast_config):
+        assert eval_binop(opcode, T.I64, a, b, fast_config) == expected
+
+    def test_sdiv_truncates_toward_zero(self, fast_config):
+        minus7 = (1 << 64) - 7
+        assert eval_binop("sdiv", T.I64, minus7, 2, fast_config) == (1 << 64) - 3
+        assert eval_binop("srem", T.I64, minus7, 2, fast_config) == (1 << 64) - 1
+
+    def test_ashr_sign_extends(self, fast_config):
+        minus8 = (1 << 64) - 8
+        assert eval_binop("ashr", T.I64, minus8, 1, fast_config) == (1 << 64) - 4
+
+    def test_shift_count_masked_by_width(self, fast_config):
+        # x86 semantics: count mod width.
+        assert eval_binop("shl", T.I64, 1, 64, fast_config) == 1
+        assert eval_binop("shl", T.I8, 1, 9, fast_config) == 2
+
+    def test_division_by_zero_traps(self, fast_config):
+        with pytest.raises(ArithmeticFault):
+            eval_binop("sdiv", T.I64, 1, 0, fast_config)
+        with pytest.raises(ArithmeticFault):
+            eval_binop("urem", T.I64, 1, 0, fast_config)
+
+    def test_narrow_width_wrapping(self, fast_config):
+        assert eval_binop("add", T.I8, 200, 100, fast_config) == 44
+        assert eval_binop("mul", T.I16, 300, 300, fast_config) == 90000 % 65536
+
+
+class TestFloatArithmetic:
+    @pytest.mark.parametrize(
+        "opcode,a,b,expected",
+        [
+            ("fadd", 1.5, 2.25, 3.75),
+            ("fsub", 1.0, 0.25, 0.75),
+            ("fmul", 3.0, 0.5, 1.5),
+            ("fdiv", 1.0, 4.0, 0.25),
+        ],
+    )
+    def test_ops(self, opcode, a, b, expected, fast_config):
+        assert eval_binop(opcode, T.F64, a, b, fast_config) == expected
+
+    def test_fdiv_by_zero_gives_inf(self, fast_config):
+        assert eval_binop("fdiv", T.F64, 1.0, 0.0, fast_config) == math.inf
+        assert math.isnan(eval_binop("fdiv", T.F64, 0.0, 0.0, fast_config))
+
+    def test_f32_rounds(self, fast_config):
+        got = eval_binop("fadd", T.F32, 0.1, 0.2, fast_config)
+        import struct
+        expected = struct.unpack(
+            "<f", struct.pack("<f", struct.unpack("<f", struct.pack("<f", 0.1))[0]
+                              + struct.unpack("<f", struct.pack("<f", 0.2))[0])
+        )[0]
+        assert got == expected
+
+    def test_frem(self, fast_config):
+        assert eval_binop("frem", T.F64, 7.5, 2.0, fast_config) == math.fmod(7.5, 2.0)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "pred,a,b,expected",
+        [
+            ("eq", 5, 5, 1),
+            ("ne", 5, 5, 0),
+            ("ult", 1, (1 << 64) - 1, 1),   # unsigned: -1 is big
+            ("slt", (1 << 64) - 1, 1, 1),   # signed: -1 < 1
+            ("sge", 0, (1 << 64) - 5, 1),
+            ("ugt", (1 << 64) - 5, 0, 1),
+        ],
+    )
+    def test_icmp(self, pred, a, b, expected, fast_config):
+        module = Module("m")
+        fn, builder = make_function(module, "f", T.I1, [T.I64, T.I64])
+        builder.ret(builder.icmp(pred, fn.args[0], fn.args[1]))
+        assert run_scalar(module, "f", [a, b], fast_config) == expected
+
+    @pytest.mark.parametrize(
+        "pred,a,b,expected",
+        [
+            ("oeq", 1.0, 1.0, 1),
+            ("olt", 1.0, 2.0, 1),
+            ("oge", 2.0, 2.0, 1),
+            ("ord", 1.0, math.nan, 0),
+            ("uno", 1.0, math.nan, 1),
+            ("one", math.nan, 1.0, 0),
+        ],
+    )
+    def test_fcmp(self, pred, a, b, expected, fast_config):
+        module = Module("m")
+        fn, builder = make_function(module, "f", T.I1, [T.F64, T.F64])
+        builder.ret(builder.fcmp(pred, fn.args[0], fn.args[1]))
+        assert run_scalar(module, "f", [a, b], fast_config) == expected
+
+
+class TestCasts:
+    def cast(self, opcode, from_ty, to_ty, value, config):
+        module = Module("m")
+        fn, b = make_function(module, "f", to_ty, [from_ty])
+        b.ret(b.cast(opcode, fn.args[0], to_ty))
+        return run_scalar(module, "f", [value], config)
+
+    def test_trunc(self, fast_config):
+        assert self.cast("trunc", T.I64, T.I8, 0x1FF, fast_config) == 0xFF
+
+    def test_zext(self, fast_config):
+        assert self.cast("zext", T.I8, T.I64, 0xFF, fast_config) == 255
+
+    def test_sext(self, fast_config):
+        assert self.cast("sext", T.I8, T.I64, 0xFF, fast_config) == (1 << 64) - 1
+        assert self.cast("sext", T.I8, T.I64, 0x7F, fast_config) == 127
+
+    def test_sitofp_and_back(self, fast_config):
+        assert self.cast("sitofp", T.I64, T.F64, (1 << 64) - 3, fast_config) == -3.0
+        assert self.cast("fptosi", T.F64, T.I64, -3.7, fast_config) == (1 << 64) - 3
+
+    def test_fptosi_nan_is_zero(self, fast_config):
+        assert self.cast("fptosi", T.F64, T.I64, math.nan, fast_config) == 0
+
+    def test_bitcast_f64_i64(self, fast_config):
+        bits = self.cast("bitcast", T.F64, T.I64, 1.0, fast_config)
+        assert bits == 0x3FF0000000000000
+        assert self.cast("bitcast", T.I64, T.F64, bits, fast_config) == 1.0
+
+    def test_fptrunc_fpext(self, fast_config):
+        v = self.cast("fptrunc", T.F64, T.F32, 0.1, fast_config)
+        import struct
+        assert v == struct.unpack("<f", struct.pack("<f", 0.1))[0]
+        assert self.cast("fpext", T.F32, T.F64, 1.5, fast_config) == 1.5
+
+
+class TestVectorSemantics:
+    def test_lanewise_add(self, fast_config):
+        module = Module("m")
+        v4 = T.vector(T.I64, 4)
+        fn, b = make_function(module, "f", T.I64, [])
+        a = Constant(v4, (1, 2, 3, 4))
+        c = Constant(v4, (10, 20, 30, 40))
+        s = b.add(a, c)
+        b.ret(b.extractelement(s, b.i64(2)))
+        assert run_scalar(module, "f", (), fast_config) == 33
+
+    def test_shuffle(self, fast_config):
+        module = Module("m")
+        v4 = T.vector(T.I64, 4)
+        fn, b = make_function(module, "f", T.I64, [])
+        a = Constant(v4, (1, 2, 3, 4))
+        s = b.shufflevector(a, a, (3, 2, 1, 0))
+        b.ret(b.extractelement(s, b.i64(0)))
+        assert run_scalar(module, "f", (), fast_config) == 4
+
+    def test_shuffle_concatenation_indexing(self, fast_config):
+        module = Module("m")
+        v4 = T.vector(T.I64, 4)
+        fn, b = make_function(module, "f", T.I64, [])
+        a = Constant(v4, (1, 2, 3, 4))
+        c = Constant(v4, (5, 6, 7, 8))
+        s = b.shufflevector(a, c, (0, 4, 1, 5))
+        b.ret(b.extractelement(s, b.i64(1)))
+        assert run_scalar(module, "f", (), fast_config) == 5
+
+    def test_broadcast_insert_extract(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        v = b.broadcast(fn.args[0], 4)
+        v = b.insertelement(v, b.i64(99), b.i64(3))
+        s0 = b.extractelement(v, b.i64(0))
+        s3 = b.extractelement(v, b.i64(3))
+        b.ret(b.add(s0, s3))
+        assert run_scalar(module, "f", [7], fast_config) == 106
+
+    def test_vector_select_with_vector_cond(self, fast_config):
+        module = Module("m")
+        v4 = T.vector(T.I64, 4)
+        fn, b = make_function(module, "f", T.I64, [])
+        a = Constant(v4, (1, 2, 3, 4))
+        c = Constant(v4, (4, 3, 2, 1))
+        cmp = b.icmp("slt", a, c)
+        picked = b.select(cmp, a, c)
+        # picked = min(a, c) lanewise = (1, 2, 2, 1)
+        total = b.i64(0)
+        acc = b.extractelement(picked, b.i64(0))
+        for lane in range(1, 4):
+            acc = b.add(acc, b.extractelement(picked, b.i64(lane)))
+        b.ret(acc)
+        assert run_scalar(module, "f", (), fast_config) == 6
+
+    def test_extract_out_of_range_faults(self, fast_config):
+        module = Module("m")
+        v4 = T.vector(T.I64, 4)
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        a = Constant(v4, (1, 2, 3, 4))
+        b.ret(b.extractelement(a, fn.args[0]))
+        with pytest.raises(MemoryFault):
+            run_scalar(module, "f", [9], fast_config)
+
+
+class TestMemoryOps:
+    def test_global_load_store_roundtrip(self, fast_config):
+        module = Module("m")
+        module.add_global("g", T.ArrayType(T.I64, 4), [9, 8, 7, 6])
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        g = module.get_global("g")
+        p = b.gep(T.I64, g, fn.args[0])
+        old = b.load(T.I64, p)
+        b.store(b.add(old, b.i64(1)), p)
+        b.ret(b.load(T.I64, p))
+        assert run_scalar(module, "f", [2], fast_config) == 8
+
+    def test_negative_gep_index(self, fast_config):
+        module = Module("m")
+        module.add_global("g", T.ArrayType(T.I64, 4), [9, 8, 7, 6])
+        fn, b = make_function(module, "f", T.I64, [])
+        g = module.get_global("g")
+        p = b.gep(T.I64, g, b.i64(3))
+        p2 = b.gep(T.I64, p, Constant(T.I64, -2))
+        b.ret(b.load(T.I64, p2))
+        assert run_scalar(module, "f", (), fast_config) == 8
+
+    def test_wild_load_faults(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        p = b.inttoptr(fn.args[0])
+        b.ret(b.load(T.I64, p))
+        with pytest.raises(MemoryFault):
+            run_scalar(module, "f", [0], fast_config)
+        with pytest.raises(MemoryFault):
+            run_scalar(module, "f", [1 << 40], fast_config)
+
+    def test_alloca_frames_released(self, fast_config):
+        module = Module("m")
+        callee, cb = make_function(module, "leaf", T.I64, [])
+        slot = cb.alloca(T.I64)
+        cb.store(cb.i64(5), slot)
+        cb.ret(cb.load(T.I64, slot))
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        acc = b.loop_phi(loop, b.i64(0))
+        v = b.call(callee, [])
+        b.set_loop_next(loop, acc, b.add(acc, v))
+        b.end_loop(loop)
+        b.ret(acc)
+        machine = Machine(module, fast_config)
+        result = machine.run("f", [1000])
+        assert result.value == 5000
+        # Stack did not grow unboundedly (LIFO release).
+        from repro.cpu import STACK_BASE
+        assert machine.memory.stack_top == STACK_BASE
+
+    def test_vector_load_store(self, fast_config):
+        module = Module("m")
+        module.add_global("g", T.ArrayType(T.I64, 8), list(range(8)))
+        v4 = T.vector(T.I64, 4)
+        fn, b = make_function(module, "f", T.I64, [])
+        g = module.get_global("g")
+        v = b.load(v4, b.gep(T.I64, g, b.i64(2)))
+        b.store(v, b.gep(T.I64, g, b.i64(4)))
+        b.ret(b.load(T.I64, b.gep(T.I64, g, b.i64(7))))
+        assert run_scalar(module, "f", (), fast_config) == 5
+
+
+class TestCallsAndControl:
+    def test_recursion(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "fact", T.I64, [T.I64])
+        n = fn.args[0]
+        is_base = b.icmp("sle", n, b.i64(1))
+        state = b.begin_if(is_base)
+        b.ret(b.i64(1))
+        b.position_at_end(state.merge)
+        rec = b.call(fn, [b.sub(n, b.i64(1))])
+        b.ret(b.mul(n, rec))
+        assert run_scalar(module, "fact", [10], fast_config) == 3628800
+
+    def test_deep_recursion_hangs(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "inf", T.I64, [T.I64])
+        b.ret(b.call(fn, [fn.args[0]]))
+        with pytest.raises(HangError):
+            run_scalar(module, "inf", [0], fast_config)
+
+    def test_instruction_budget(self):
+        module = Module("m")
+        fn, b = make_function(module, "spin", T.I64, [])
+        loop = b.begin_loop(b.i64(0), b.i64(1 << 40))
+        b.end_loop(loop)
+        b.ret(b.i64(0))
+        config = MachineConfig(collect_timing=False, max_instructions=1000)
+        with pytest.raises(HangError):
+            Machine(module, config).run("spin", ())
+
+    def test_output_collection(self, fast_config):
+        module = Module("m")
+        from repro.cpu.intrinsics import rt_print_f64, rt_print_i64
+
+        pi = rt_print_i64(module)
+        pf = rt_print_f64(module)
+        fn, b = make_function(module, "f", T.VOID, [])
+        b.call(pi, [Constant(T.I64, (1 << 64) - 2)])  # prints signed
+        b.call(pf, [b.f64(1.5)])
+        b.ret_void()
+        machine = Machine(module, fast_config)
+        result = machine.run("f", ())
+        assert result.output == [-2, 1.5]
+
+    def test_argument_count_checked(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        b.ret(fn.args[0])
+        machine = Machine(module, fast_config)
+        with pytest.raises(TypeError):
+            machine.run("f", [])
+
+    def test_undef_evaluates_to_zero(self, fast_config):
+        from repro.ir.values import UndefValue
+
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        b.ret(b.add(UndefValue(T.I64), b.i64(5)))
+        assert run_scalar(module, "f", (), fast_config) == 5

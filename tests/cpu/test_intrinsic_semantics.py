@@ -1,0 +1,194 @@
+"""Direct tests of the hardening intrinsics' runtime semantics:
+``elzar.check`` (recover + count), ``elzar.branch_cond`` (ptest
+classification), ``tmr.vote``, ``swift.check``, and the runtime
+services."""
+
+import math
+
+import pytest
+
+from repro.cpu import DetectedError, Machine, MachineConfig
+from repro.cpu import intrinsics as intr
+from repro.ir import IRBuilder, Module
+from repro.ir import types as T
+from repro.ir.values import Constant
+
+from ..conftest import make_function
+
+FAST = MachineConfig(collect_timing=False, cache_enabled=False)
+
+
+def call_intrinsic(declare, vec_ty, lanes, ret_lane=0):
+    """Build main() { v = <lanes>; r = intrinsic(v); ret r[ret_lane] }."""
+    module = Module("m")
+    fn, b = make_function(module, "main", vec_ty.elem, [])
+    callee = declare(module)
+    v = Constant(vec_ty, lanes)
+    out = b.call(callee, [v])
+    b.ret(b.extractelement(out, b.i64(ret_lane)))
+    return module
+
+
+class TestElzarCheck:
+    def test_clean_lanes_pass_through_uncounted(self):
+        v4 = T.vector(T.I64, 4)
+        module = call_intrinsic(lambda m: intr.elzar_check(m, v4), v4,
+                                (9, 9, 9, 9))
+        machine = Machine(module, FAST)
+        assert machine.run("main", ()).value == 9
+        assert machine.counters.corrections == 0
+
+    @pytest.mark.parametrize("lane", [0, 1, 2, 3])
+    def test_single_corrupt_lane_recovered(self, lane):
+        v4 = T.vector(T.I64, 4)
+        lanes = [7, 7, 7, 7]
+        lanes[lane] = 1234
+        module = call_intrinsic(lambda m: intr.elzar_check(m, v4), v4,
+                                tuple(lanes), ret_lane=lane)
+        machine = Machine(module, FAST)
+        assert machine.run("main", ()).value == 7  # corrected in place
+        assert machine.counters.corrections == 1
+
+    def test_two_two_split_detected(self):
+        v4 = T.vector(T.I64, 4)
+        module = call_intrinsic(lambda m: intr.elzar_check(m, v4), v4,
+                                (1, 1, 2, 2))
+        machine = Machine(module, FAST)
+        with pytest.raises(DetectedError):
+            machine.run("main", ())
+        assert machine.counters.recoveries_failed == 1
+
+    def test_float_lanes_compared_bitwise(self):
+        """NaN lanes must compare equal to each other (bit pattern),
+        not trigger spurious corrections."""
+        v4 = T.vector(T.F64, 4)
+        nan = math.nan
+        module = call_intrinsic(lambda m: intr.elzar_check(m, v4), v4,
+                                (nan, nan, nan, nan))
+        machine = Machine(module, FAST)
+        result = machine.run("main", ())
+        assert math.isnan(result.value)
+        assert machine.counters.corrections == 0
+
+    def test_float_corruption_recovered(self):
+        v4 = T.vector(T.F64, 4)
+        module = call_intrinsic(lambda m: intr.elzar_check(m, v4), v4,
+                                (1.5, 1.5, -2.25, 1.5), ret_lane=2)
+        machine = Machine(module, FAST)
+        assert machine.run("main", ()).value == 1.5
+        assert machine.counters.corrections == 1
+
+
+class TestBranchCond:
+    def build(self, lanes, checked=True):
+        module = Module("m")
+        fn, b = make_function(module, "main", T.I1, [])
+        callee = intr.elzar_branch_cond(module, 4, checked=checked)
+        v = Constant(T.vector(T.I1, 4), lanes)
+        b.ret(b.call(callee, [v]))
+        return module
+
+    def test_all_true(self):
+        machine = Machine(self.build((1, 1, 1, 1)), FAST)
+        assert machine.run("main", ()).value == 1
+
+    def test_all_false(self):
+        machine = Machine(self.build((0, 0, 0, 0)), FAST)
+        assert machine.run("main", ()).value == 0
+
+    @pytest.mark.parametrize("lanes,expected", [
+        ((1, 1, 0, 1), 1),  # majority true
+        ((0, 1, 0, 0), 0),  # majority false
+    ])
+    def test_mix_recovered_by_majority(self, lanes, expected):
+        machine = Machine(self.build(lanes), FAST)
+        assert machine.run("main", ()).value == expected
+        assert machine.counters.corrections == 1
+
+    def test_two_two_mix_detected(self):
+        machine = Machine(self.build((1, 1, 0, 0)), FAST)
+        with pytest.raises(DetectedError):
+            machine.run("main", ())
+
+    def test_nocheck_variant_uses_all_true_semantics(self):
+        """Unchecked AVX branching is ptest+je: 'taken' means all lanes
+        true, so a corrupted mix silently falls into the false arm."""
+        machine = Machine(self.build((1, 1, 0, 1), checked=False), FAST)
+        assert machine.run("main", ()).value == 0
+        assert machine.counters.corrections == 0
+
+
+class TestTmrVoteAndSwiftCheck:
+    def vote(self, a, b_, c, ty=T.I64):
+        module = Module("m")
+        fn, b = make_function(module, "main", ty, [])
+        callee = intr.tmr_vote(module, ty)
+        out = b.call(callee, [Constant(ty, a), Constant(ty, b_), Constant(ty, c)])
+        b.ret(out)
+        return Machine(module, FAST)
+
+    def test_all_agree(self):
+        machine = self.vote(5, 5, 5)
+        assert machine.run("main", ()).value == 5
+        assert machine.counters.corrections == 0
+
+    @pytest.mark.parametrize("copies,winner", [
+        ((9, 5, 5), 5),
+        ((5, 9, 5), 5),
+        ((5, 5, 9), 5),
+    ])
+    def test_majority_wins(self, copies, winner):
+        machine = self.vote(*copies)
+        assert machine.run("main", ()).value == winner
+        assert machine.counters.corrections == 1
+
+    def test_all_differ_detected(self):
+        machine = self.vote(1, 2, 3)
+        with pytest.raises(DetectedError):
+            machine.run("main", ())
+        assert machine.counters.recoveries_failed == 1
+
+    def test_swift_check_passes_and_fails(self):
+        module = Module("m")
+        fn, b = make_function(module, "main", T.I64, [T.I64, T.I64])
+        callee = intr.swift_check(module, T.I64)
+        b.ret(b.call(callee, [fn.args[0], fn.args[1]]))
+        machine = Machine(module, FAST)
+        assert machine.run("main", [4, 4]).value == 4
+        machine = Machine(module, FAST)
+        with pytest.raises(DetectedError):
+            machine.run("main", [4, 5])
+        assert machine.counters.detections == 1
+
+
+class TestRuntimeServices:
+    def test_rt_alloc_returns_fresh_memory(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "main", T.I64, [])
+        alloc = intr.rt_alloc(module)
+        p1 = b.call(alloc, [b.i64(64)])
+        p2 = b.call(alloc, [b.i64(64)])
+        b.store(b.i64(11), p1)
+        b.store(b.i64(22), p2)
+        b.ret(b.add(b.load(T.I64, p1), b.load(T.I64, p2)))
+        machine = Machine(module, fast_config)
+        assert machine.run("main", ()).value == 33
+
+    def test_rt_abort_traps(self, fast_config):
+        from repro.cpu import AbortError
+
+        module = Module("m")
+        fn, b = make_function(module, "main", T.VOID, [])
+        b.call(intr.rt_abort(module), [])
+        b.ret_void()
+        with pytest.raises(AbortError):
+            Machine(module, fast_config).run("main", ())
+
+    def test_host_math(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "main", T.F64, [T.F64])
+        sqrt = intr.host_unary(module, "sqrt")
+        b.ret(b.call(sqrt, [fn.args[0]]))
+        machine = Machine(module, fast_config)
+        assert machine.run("main", [9.0]).value == 3.0
+        assert math.isnan(machine.run("main", [-1.0]).value)

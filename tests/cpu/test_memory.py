@@ -1,0 +1,141 @@
+"""Tests for the flat memory subsystem."""
+
+import pytest
+
+from repro.cpu import HEAP_BASE, Memory, MemoryFault, STACK_BASE
+from repro.ir import types as T
+
+
+class TestAllocation:
+    def test_heap_starts_above_null_page(self):
+        mem = Memory()
+        addr = mem.alloc(64)
+        assert addr >= HEAP_BASE
+
+    def test_alignment(self):
+        mem = Memory()
+        mem.alloc(3)
+        addr = mem.alloc(8, align=16)
+        assert addr % 16 == 0
+
+    def test_heap_exhaustion(self):
+        mem = Memory(heap_capacity=1 << 12)
+        with pytest.raises(MemoryError):
+            mem.alloc(1 << 20)
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            Memory().alloc(-1)
+
+    def test_stack_mark_release(self):
+        mem = Memory()
+        mark = mem.stack_mark()
+        a = mem.stack_alloc(128)
+        assert a >= STACK_BASE
+        mem.stack_release(mark)
+        b = mem.stack_alloc(128)
+        assert b == a  # reused after release
+
+
+class TestAccessValidation:
+    def test_null_page_faults(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(0, 8)
+        with pytest.raises(MemoryFault):
+            mem.write_bytes(100, b"x")
+
+    def test_beyond_heap_top_faults(self):
+        mem = Memory()
+        addr = mem.alloc(16)
+        mem.read_bytes(addr, 16)
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(addr + 8, 16)  # straddles heap top
+
+    def test_gap_between_heap_and_stack_faults(self):
+        mem = Memory()
+        mem.alloc(8)
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(STACK_BASE - 4096, 8)
+
+    def test_fault_reports_details(self):
+        mem = Memory()
+        try:
+            mem.write_bytes(4, b"abcd")
+        except MemoryFault as exc:
+            assert exc.address == 4
+            assert exc.write is True
+
+
+class TestTypedAccess:
+    @pytest.mark.parametrize(
+        "ty,value",
+        [
+            (T.I8, 200),
+            (T.I16, 40000),
+            (T.I32, 4_000_000_000),
+            (T.I64, (1 << 63) + 5),
+            (T.F32, 1.5),
+            (T.F64, -2.75),
+            (T.PTR, 0x123456),
+        ],
+    )
+    def test_scalar_roundtrip(self, ty, value):
+        mem = Memory()
+        addr = mem.alloc(16)
+        mem.store_scalar(ty, addr, value)
+        assert mem.load_scalar(ty, addr) == value
+
+    def test_little_endian_layout(self):
+        mem = Memory()
+        addr = mem.alloc(8)
+        mem.store_scalar(T.I64, addr, 0x0102030405060708)
+        assert mem.read_bytes(addr, 1) == b"\x08"
+
+    def test_narrow_store_masks(self):
+        mem = Memory()
+        addr = mem.alloc(8)
+        mem.store_scalar(T.I8, addr, 0x1FF)
+        assert mem.load_scalar(T.I8, addr) == 0xFF
+
+    def test_i1_stored_as_byte(self):
+        mem = Memory()
+        addr = mem.alloc(2)
+        mem.store_scalar(T.I1, addr, 1)
+        mem.store_scalar(T.I1, addr + 1, 0)
+        assert mem.load_scalar(T.I1, addr) == 1
+        assert mem.load_scalar(T.I1, addr + 1) == 0
+
+    def test_vector_roundtrip(self):
+        mem = Memory()
+        v4 = T.vector(T.I64, 4)
+        addr = mem.alloc(32)
+        mem.store_value(v4, addr, (1, 2, 3, 4))
+        assert mem.load_value(v4, addr) == (1, 2, 3, 4)
+
+
+class TestGlobalInit:
+    def test_zero_init(self):
+        mem = Memory()
+        addr = mem.init_global(T.ArrayType(T.I64, 4), None)
+        assert mem.load_scalar(T.I64, addr + 24) == 0
+
+    def test_list_init(self):
+        mem = Memory()
+        addr = mem.init_global(T.ArrayType(T.I32, 3), [7, 8, 9])
+        assert mem.load_scalar(T.I32, addr + 4) == 8
+
+    def test_bytes_init(self):
+        mem = Memory()
+        addr = mem.init_global(T.ArrayType(T.I8, 4), b"abc")
+        assert mem.load_scalar(T.I8, addr) == ord("a")
+
+    def test_scalar_global(self):
+        mem = Memory()
+        addr = mem.init_global(T.F64, 3.25)
+        assert mem.load_scalar(T.F64, addr) == 3.25
+
+    def test_oversized_initializer_rejected(self):
+        mem = Memory()
+        with pytest.raises(ValueError):
+            mem.init_global(T.ArrayType(T.I8, 2), b"toolong")

@@ -1,0 +1,62 @@
+"""Tests for the multithreaded scalability model."""
+
+import pytest
+
+from repro.cpu import PERFECT, ScalabilityProfile, normalized_overhead, runtime_at
+from repro.cpu.threads import speedup_over_threads
+
+
+class TestRuntimeModel:
+    def test_perfect_scaling(self):
+        assert runtime_at(1000, 1, PERFECT) == pytest.approx(1000)
+        t16 = runtime_at(1000, 16, PERFECT)
+        assert t16 < 1000 / 10  # near-linear
+
+    def test_serial_fraction_limits_speedup(self):
+        profile = ScalabilityProfile(parallel_fraction=0.5)
+        assert speedup_over_threads(1000, 1000, profile) < 2.01
+
+    def test_sync_grows_with_threads(self):
+        profile = ScalabilityProfile(parallel_fraction=0.9,
+                                     sync_fraction=0.1, sync_growth=1.0)
+        t1 = runtime_at(1000, 1, profile)
+        t16 = runtime_at(1000, 16, profile)
+        # Sync term at 16 threads: 0.1*1000*16 = 1600 > everything else.
+        assert t16 > t1
+
+    def test_threads_must_be_positive(self):
+        with pytest.raises(ValueError):
+            runtime_at(1000, 0, PERFECT)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ScalabilityProfile(parallel_fraction=1.5)
+        with pytest.raises(ValueError):
+            ScalabilityProfile(sync_fraction=-0.1)
+
+
+class TestNormalizedOverhead:
+    def test_equals_cycle_ratio_for_pure_compute(self):
+        o = normalized_overhead(1000, 4000, 16, PERFECT)
+        assert o == pytest.approx(4.0)
+
+    def test_sync_amortizes_overhead(self):
+        """The dedup/streamcluster effect (§V-B): hardening overhead
+        shrinks at high thread counts for poorly scaling workloads."""
+        profile = ScalabilityProfile(parallel_fraction=0.9,
+                                     sync_fraction=0.06, sync_growth=0.8)
+        o1 = normalized_overhead(1000, 4000, 1, profile)
+        o16 = normalized_overhead(1000, 4000, 16, profile)
+        assert o16 < o1
+        assert o16 > 1.0
+
+    def test_well_scaling_workload_is_flat(self):
+        """The word_count/ferret effect: overhead constant over threads."""
+        profile = ScalabilityProfile(parallel_fraction=0.99)
+        o1 = normalized_overhead(1000, 4000, 1, profile)
+        o16 = normalized_overhead(1000, 4000, 16, profile)
+        assert o16 == pytest.approx(o1, rel=0.05)
+
+    def test_zero_native_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_overhead(0, 100, 1, PERFECT)

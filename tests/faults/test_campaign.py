@@ -1,0 +1,120 @@
+"""Tests for the fault-injection framework."""
+
+import pytest
+
+from repro.faults import (
+    CampaignConfig,
+    CampaignResult,
+    Outcome,
+    golden_run,
+    inject_once,
+    run_campaign,
+)
+from repro.cpu.interpreter import FaultPlan
+from repro.ir import Module, types as T
+from repro.passes import elzar_transform, mem2reg, swiftr_transform
+from repro.workloads import get
+
+from ..conftest import make_function
+
+
+@pytest.fixture(scope="module")
+def hist():
+    wl = get("histogram")
+    built = wl.build_at("test")
+    return mem2reg(built.module), built
+
+
+class TestOutcomes:
+    def test_system_state_mapping(self):
+        assert Outcome.HANG.system_state == "crashed"
+        assert Outcome.OS_DETECTED.system_state == "crashed"
+        assert Outcome.DETECTED.system_state == "crashed"
+        assert Outcome.CORRECTED.system_state == "correct"
+        assert Outcome.MASKED.system_state == "correct"
+        assert Outcome.SDC.system_state == "corrupted"
+
+    def test_rates(self):
+        r = CampaignResult("w", "native")
+        r.counts[Outcome.SDC] = 3
+        r.counts[Outcome.MASKED] = 6
+        r.counts[Outcome.HANG] = 1
+        assert r.total == 10
+        assert r.sdc_rate == 30.0
+        assert r.correct_rate == 60.0
+        assert r.crash_rate == 10.0
+        assert r.as_dict()["sdc"] == 30.0
+
+    def test_empty_result(self):
+        r = CampaignResult("w", "native")
+        assert r.sdc_rate == 0.0 and r.total == 0
+
+
+class TestGoldenRun:
+    def test_reference_output_and_counts(self, hist):
+        module, built = hist
+        output, eligible, executed = golden_run(module, built.entry, built.args)
+        assert output == built.expected
+        assert 0 < eligible <= executed
+
+    def test_deterministic(self, hist):
+        module, built = hist
+        a = golden_run(module, built.entry, built.args)
+        b = golden_run(module, built.entry, built.args)
+        assert a == b
+
+
+class TestInjectOnce:
+    def test_masked_fault(self, hist):
+        """Flipping a dead-upper bit of an i8-wide value is masked."""
+        module, built = hist
+        reference, eligible, executed = golden_run(module, built.entry, built.args)
+        outcome = inject_once(
+            module, built.entry, built.args,
+            FaultPlan(target_index=eligible - 1, bit=62),
+            reference, budget=executed * 4,
+        )
+        assert outcome in (Outcome.MASKED, Outcome.SDC, Outcome.OS_DETECTED)
+
+    def test_campaign_is_deterministic(self, hist):
+        module, built = hist
+        cfg = CampaignConfig(injections=25, seed=99)
+        a = run_campaign(module, built.entry, built.args, "h", "native", cfg)
+        b = run_campaign(module, built.entry, built.args, "h", "native", cfg)
+        assert a.counts == b.counts
+
+    def test_different_seeds_differ(self, hist):
+        module, built = hist
+        a = run_campaign(module, built.entry, built.args, "h", "native",
+                         CampaignConfig(injections=40, seed=1))
+        b = run_campaign(module, built.entry, built.args, "h", "native",
+                         CampaignConfig(injections=40, seed=2))
+        assert a.counts != b.counts  # overwhelmingly likely
+
+
+class TestHardeningEffect:
+    def test_elzar_cuts_sdc_rate(self, hist):
+        """The Figure 13 headline: ELZAR reduces SDC substantially."""
+        module, built = hist
+        cfg = CampaignConfig(injections=80, seed=5)
+        native = run_campaign(module, built.entry, built.args, "h", "native", cfg)
+        hardened = elzar_transform(module)
+        elzar = run_campaign(hardened, built.entry, built.args, "h", "elzar", cfg)
+        assert elzar.sdc_rate < native.sdc_rate / 2
+        assert elzar.counts[Outcome.CORRECTED] > 0
+
+    def test_swiftr_also_corrects(self, hist):
+        module, built = hist
+        cfg = CampaignConfig(injections=60, seed=6)
+        hardened = swiftr_transform(module)
+        result = run_campaign(hardened, built.entry, built.args, "h", "swiftr", cfg)
+        native = run_campaign(module, built.entry, built.args, "h", "native", cfg)
+        assert result.sdc_rate < native.sdc_rate
+
+    def test_campaign_requires_eligible_instructions(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.VOID, [])
+        b.ret_void()
+        with pytest.raises(ValueError):
+            run_campaign(module, "f", (), "empty", "native",
+                         CampaignConfig(injections=1))

@@ -1,0 +1,53 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.harness import AppSession, Session, compute_scorecard
+from repro.harness.scorecard import Claim, Scorecard
+
+
+class TestClaimMechanics:
+    def test_verdict_strings(self):
+        assert Claim("a", "s", "e", "m", True).verdict == "PASS"
+        assert Claim("a", "s", "e", "m", False).verdict == "FAIL"
+        assert Claim("a", "s", "e", "m", False, skipped=True).verdict == "SKIP"
+
+    def test_counts(self):
+        card = Scorecard([
+            Claim("a", "", "", "", True),
+            Claim("b", "", "", "", False),
+            Claim("c", "", "", "", False, skipped=True),
+        ])
+        assert card.passed == 1 and card.failed == 1 and card.skipped == 1
+
+    def test_render_contains_summary(self):
+        card = Scorecard([Claim("a", "s", "e", "m", True)])
+        assert "1 pass" in card.render()
+
+
+class TestFullScorecard:
+    @pytest.fixture(scope="class")
+    def card(self):
+        session = Session("test")
+        apps = AppSession("test")
+        return compute_scorecard(session, apps, fi_injections=0)
+
+    def test_all_computable_claims_pass(self, card):
+        failing = [c.id for c in card.claims if not c.passed and not c.skipped]
+        assert failing == [], f"failing claims: {failing}"
+
+    def test_covers_every_artefact(self, card):
+        prefixes = {c.id.split(".")[0] for c in card.claims}
+        assert {"fig1", "fig11", "fig12", "fig13", "fig14", "fig15",
+                "fig17", "table2", "table3", "table4"} <= prefixes
+
+    def test_perf_only_claims_skipped_at_test_scale(self, card):
+        by_id = {c.id: c for c in card.claims}
+        assert by_id["table2.mmul-l1"].skipped
+        assert by_id["fig13"].skipped  # injections=0
+
+    def test_experiment_export(self, card):
+        exp = card.to_experiment()
+        assert exp.id == "scorecard"
+        assert len(exp.rows) == len(card.claims)
+        assert "PASS" in exp.to_csv()

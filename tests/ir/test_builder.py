@@ -1,0 +1,174 @@
+"""Tests for the IRBuilder, including the structured loop/if helpers."""
+
+import pytest
+
+from repro.cpu import Machine, MachineConfig
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir import types as T
+from repro.ir.instructions import BranchInst, PhiInst
+
+from ..conftest import make_function, run_scalar
+
+
+class TestBasicEmission:
+    def test_auto_naming_is_unique(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        x = b.add(fn.args[0], b.i64(1))
+        y = b.mul(x, b.i64(2))
+        b.ret(y)
+        names = [i.name for i in fn.instructions() if not i.type.is_void]
+        assert len(names) == len(set(names))
+
+    def test_void_instructions_unnamed(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.VOID, [])
+        p = b.alloca(T.I64)
+        b.store(b.i64(1), p)
+        b.ret_void()
+        store = fn.entry.instructions[1]
+        assert store.name == ""
+
+    def test_requires_position(self):
+        b = IRBuilder()
+        with pytest.raises(RuntimeError):
+            b.add(IRBuilder.i64(1), IRBuilder.i64(2))
+
+    def test_constant_helpers(self):
+        assert IRBuilder.i64(5).type == T.I64
+        assert IRBuilder.i32(5).type == T.I32
+        assert IRBuilder.i8(5).type == T.I8
+        assert IRBuilder.i1(True).value == 1
+        assert IRBuilder.f64(1.0).type == T.F64
+        assert IRBuilder.f32(1.0).type == T.F32
+
+    def test_phi_inserted_before_non_phis(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        b.add(b.i64(1), b.i64(2))
+        phi = b.phi(T.I64)
+        assert fn.entry.instructions[0] is phi
+
+
+class TestLoops:
+    def test_simple_counted_loop(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        acc = b.loop_phi(loop, b.i64(0))
+        b.set_loop_next(loop, acc, b.add(acc, loop.index))
+        b.end_loop(loop)
+        b.ret(acc)
+        verify_module(module)
+        assert run_scalar(module, "f", [10], fast_config) == sum(range(10))
+
+    def test_zero_trip_loop(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        acc = b.loop_phi(loop, b.i64(42))
+        b.set_loop_next(loop, acc, b.add(acc, b.i64(1)))
+        b.end_loop(loop)
+        b.ret(acc)
+        assert run_scalar(module, "f", [0], fast_config) == 42
+
+    def test_loop_with_step(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        loop = b.begin_loop(b.i64(0), b.i64(10), step=b.i64(3))
+        acc = b.loop_phi(loop, b.i64(0))
+        b.set_loop_next(loop, acc, b.add(acc, loop.index))
+        b.end_loop(loop)
+        b.ret(acc)
+        assert run_scalar(module, "f", (), fast_config) == 0 + 3 + 6 + 9
+
+    def test_custom_predicate(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        loop = b.begin_loop(b.i64(0), b.i64(5), pred="sle")
+        acc = b.loop_phi(loop, b.i64(0))
+        b.set_loop_next(loop, acc, b.add(acc, b.i64(1)))
+        b.end_loop(loop)
+        b.ret(acc)
+        assert run_scalar(module, "f", (), fast_config) == 6  # 0..5 inclusive
+
+    def test_nested_loops(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        outer = b.begin_loop(b.i64(0), fn.args[0])
+        total = b.loop_phi(outer, b.i64(0))
+        inner = b.begin_loop(b.i64(0), fn.args[0])
+        acc = b.loop_phi(inner, total)
+        b.set_loop_next(inner, acc, b.add(acc, b.i64(1)))
+        b.end_loop(inner)
+        b.set_loop_next(outer, total, acc)
+        b.end_loop(outer)
+        b.ret(total)
+        verify_module(module)
+        assert run_scalar(module, "f", [4], fast_config) == 16
+
+    def test_missing_set_loop_next_raises(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        loop = b.begin_loop(b.i64(0), b.i64(3))
+        acc = b.loop_phi(loop, b.i64(0))
+        with pytest.raises(ValueError):
+            b.end_loop(loop)
+
+    def test_set_loop_next_unknown_phi(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        loop = b.begin_loop(b.i64(0), b.i64(3))
+        stray = PhiInst(T.I64)
+        with pytest.raises(KeyError):
+            b.set_loop_next(loop, stray, b.i64(0))
+
+
+class TestIfs:
+    def test_if_then(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        slot = b.alloca(T.I64)
+        b.store(b.i64(1), slot)
+        cond = b.icmp("sgt", fn.args[0], b.i64(0))
+        state = b.begin_if(cond)
+        b.store(b.i64(2), slot)
+        b.end_if(state)
+        b.ret(b.load(T.I64, slot))
+        verify_module(module)
+        assert run_scalar(module, "f", [5], fast_config) == 2
+        assert run_scalar(module, "f", [-5], fast_config) == 1
+
+    def test_if_then_else(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        slot = b.alloca(T.I64)
+        cond = b.icmp("sgt", fn.args[0], b.i64(0))
+        state = b.begin_if(cond, with_else=True)
+        b.store(b.i64(10), slot)
+        b.begin_else(state)
+        b.store(b.i64(20), slot)
+        b.end_if(state)
+        b.ret(b.load(T.I64, slot))
+        verify_module(module)
+        assert run_scalar(module, "f", [1], fast_config) == 10
+        assert run_scalar(module, "f", [0], fast_config) == 20
+
+    def test_begin_else_without_flag_raises(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.VOID, [T.I1])
+        state = b.begin_if(fn.args[0])
+        with pytest.raises(ValueError):
+            b.begin_else(state)
+
+    def test_early_return_inside_then(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        cond = b.icmp("eq", fn.args[0], b.i64(7))
+        state = b.begin_if(cond)
+        b.ret(b.i64(100))
+        b.position_at_end(state.merge)
+        b.ret(b.i64(0))
+        verify_module(module)
+        assert run_scalar(module, "f", [7], fast_config) == 100
+        assert run_scalar(module, "f", [8], fast_config) == 0

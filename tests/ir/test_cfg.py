@@ -1,0 +1,130 @@
+"""Tests for CFG analyses: RPO, dominators, frontiers, natural loops."""
+
+from repro.ir import DominatorTree, IRBuilder, Module, find_natural_loops
+from repro.ir import types as T
+from repro.ir.cfg import reverse_postorder
+
+from ..conftest import make_function
+
+
+def diamond():
+    """entry -> (left | right) -> merge."""
+    module = Module("m")
+    fn, b = make_function(module, "f", T.I64, [T.I1])
+    entry = fn.entry
+    left = fn.append_block("left")
+    right = fn.append_block("right")
+    merge = fn.append_block("merge")
+    b.cond_br(fn.args[0], left, right)
+    b.position_at_end(left)
+    b.br(merge)
+    b.position_at_end(right)
+    b.br(merge)
+    b.position_at_end(merge)
+    b.ret(b.i64(0))
+    return fn, entry, left, right, merge
+
+
+def looped():
+    module = Module("m")
+    fn, b = make_function(module, "f", T.I64, [T.I64])
+    loop = b.begin_loop(b.i64(0), fn.args[0])
+    acc = b.loop_phi(loop, b.i64(0))
+    b.set_loop_next(loop, acc, b.add(acc, b.i64(1)))
+    b.end_loop(loop)
+    b.ret(acc)
+    return fn, loop
+
+
+class TestRPO:
+    def test_entry_first(self):
+        fn, entry, *_ = diamond()
+        order = reverse_postorder(fn)
+        assert order[0] is entry
+
+    def test_merge_after_branches(self):
+        fn, entry, left, right, merge = diamond()
+        order = reverse_postorder(fn)
+        assert order.index(merge) > order.index(left)
+        assert order.index(merge) > order.index(right)
+
+    def test_unreachable_excluded(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.VOID, [])
+        b.ret_void()
+        dead = fn.append_block("dead")
+        b.position_at_end(dead)
+        b.ret_void()
+        assert dead not in reverse_postorder(fn)
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        fn, entry, left, right, merge = diamond()
+        dt = DominatorTree(fn)
+        assert dt.idom[entry] is None
+        assert dt.idom[left] is entry
+        assert dt.idom[right] is entry
+        assert dt.idom[merge] is entry
+
+    def test_dominates_is_reflexive_and_transitive(self):
+        fn, entry, left, right, merge = diamond()
+        dt = DominatorTree(fn)
+        assert dt.dominates(entry, entry)
+        assert dt.dominates(entry, merge)
+        assert not dt.dominates(left, merge)
+        assert not dt.strictly_dominates(entry, entry)
+        assert dt.strictly_dominates(entry, left)
+
+    def test_loop_header_dominates_body_and_exit(self):
+        fn, loop = looped()
+        dt = DominatorTree(fn)
+        assert dt.dominates(loop.header, loop.body)
+        assert dt.dominates(loop.header, loop.exit)
+        assert not dt.dominates(loop.body, loop.exit)
+
+    def test_frontiers_diamond(self):
+        fn, entry, left, right, merge = diamond()
+        df = DominatorTree(fn).frontiers()
+        assert df[left] == {merge}
+        assert df[right] == {merge}
+        assert df[entry] == set()
+
+    def test_frontier_of_loop_body_is_header(self):
+        fn, loop = looped()
+        df = DominatorTree(fn).frontiers()
+        assert loop.header in df[loop.body]
+
+
+class TestNaturalLoops:
+    def test_single_loop_found(self):
+        fn, loop = looped()
+        loops = find_natural_loops(fn)
+        assert len(loops) == 1
+        found = loops[0]
+        assert found.header is loop.header
+        assert found.blocks == {loop.header, loop.body}
+        assert found.latches == [loop.body]
+        assert loop.exit in found.exits
+
+    def test_nested_loops_found(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        outer = b.begin_loop(b.i64(0), fn.args[0])
+        total = b.loop_phi(outer, b.i64(0))
+        inner = b.begin_loop(b.i64(0), fn.args[0])
+        acc = b.loop_phi(inner, total)
+        b.set_loop_next(inner, acc, b.add(acc, b.i64(1)))
+        b.end_loop(inner)
+        b.set_loop_next(outer, total, acc)
+        b.end_loop(outer)
+        b.ret(total)
+        loops = find_natural_loops(fn)
+        assert len(loops) == 2
+        sizes = sorted(len(l.blocks) for l in loops)
+        assert sizes[0] == 2  # inner: header + body
+        assert sizes[1] >= 4  # outer contains the inner loop
+
+    def test_no_loops_in_diamond(self):
+        fn, *_ = diamond()
+        assert find_natural_loops(fn) == []

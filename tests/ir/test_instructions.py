@@ -1,0 +1,210 @@
+"""Tests for instruction construction and type checking."""
+
+import pytest
+
+from repro.ir import types as T
+from repro.ir.function import BasicBlock
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    BroadcastInst,
+    CastInst,
+    ExtractElementInst,
+    FCmpInst,
+    GepInst,
+    ICmpInst,
+    InsertElementInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    ShuffleVectorInst,
+    StoreInst,
+    UnreachableInst,
+)
+from repro.ir.values import Constant, const_int
+
+
+def i64(v):
+    return const_int(v)
+
+
+class TestBinary:
+    def test_result_type_matches_operands(self):
+        inst = BinaryInst("add", i64(1), i64(2))
+        assert inst.type == T.I64
+        assert inst.opcode == "add"
+
+    def test_mismatched_operands_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryInst("add", i64(1), const_int(2, T.I32))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryInst("madd", i64(1), i64(2))
+
+    def test_vector_binary(self):
+        v = Constant(T.vector(T.I64, 4), (1, 2, 3, 4))
+        inst = BinaryInst("mul", v, v)
+        assert inst.type == T.vector(T.I64, 4)
+
+    def test_accessors(self):
+        a, b = i64(1), i64(2)
+        inst = BinaryInst("sub", a, b)
+        assert inst.lhs is a and inst.rhs is b
+
+
+class TestCompare:
+    def test_icmp_scalar_yields_i1(self):
+        assert ICmpInst("slt", i64(1), i64(2)).type == T.I1
+
+    def test_icmp_vector_yields_i1_vector(self):
+        v = Constant(T.vector(T.I64, 4), (1, 2, 3, 4))
+        assert ICmpInst("eq", v, v).type == T.vector(T.I1, 4)
+
+    def test_bad_predicate(self):
+        with pytest.raises(ValueError):
+            ICmpInst("lt", i64(1), i64(2))
+        with pytest.raises(ValueError):
+            FCmpInst("slt", const_int(1, T.F64), const_int(1, T.F64))
+
+    def test_fcmp(self):
+        a = Constant(T.F64, 1.0)
+        assert FCmpInst("olt", a, a).type == T.I1
+
+
+class TestMemory:
+    def test_load_requires_pointer(self):
+        p = Constant(T.PTR, 0x1000)
+        assert LoadInst(T.I64, p).type == T.I64
+        with pytest.raises(TypeError):
+            LoadInst(T.I64, i64(0))
+
+    def test_store_is_void(self):
+        p = Constant(T.PTR, 0x1000)
+        inst = StoreInst(i64(1), p)
+        assert inst.type.is_void
+        assert inst.value.value == 1
+
+    def test_alloca(self):
+        inst = AllocaInst(T.I64, count=10)
+        assert inst.type == T.PTR
+        assert inst.count == 10
+
+    def test_gep_scalar(self):
+        p = Constant(T.PTR, 0x1000)
+        inst = GepInst(T.I64, p, i64(3))
+        assert inst.type == T.PTR
+        assert inst.elem_type == T.I64
+
+    def test_gep_vector_pointers(self):
+        vp = Constant(T.vector(T.PTR, 4), (1, 2, 3, 4))
+        vi = Constant(T.vector(T.I64, 4), (0, 1, 2, 3))
+        inst = GepInst(T.I64, vp, vi)
+        assert inst.type == T.vector(T.PTR, 4)
+
+
+class TestControlFlow:
+    def test_unconditional_branch(self):
+        bb = BasicBlock("x")
+        br = BranchInst(None, bb)
+        assert not br.is_conditional
+        assert br.targets() == (bb,)
+
+    def test_conditional_branch(self):
+        a, b = BasicBlock("a"), BasicBlock("b")
+        br = BranchInst(const_int(1, T.I1), a, b)
+        assert br.is_conditional
+        assert br.targets() == (a, b)
+
+    def test_conditional_requires_else(self):
+        with pytest.raises(ValueError):
+            BranchInst(const_int(1, T.I1), BasicBlock("a"))
+
+    def test_replace_target(self):
+        a, b, c = BasicBlock("a"), BasicBlock("b"), BasicBlock("c")
+        br = BranchInst(const_int(1, T.I1), a, b)
+        br.replace_target(a, c)
+        assert br.targets() == (c, b)
+
+    def test_ret(self):
+        assert RetInst(None).value is None
+        assert RetInst(i64(5)).value.value == 5
+        assert RetInst(None).is_terminator
+
+    def test_unreachable_is_terminator(self):
+        assert UnreachableInst().is_terminator
+
+
+class TestPhi:
+    def test_incoming_bookkeeping(self):
+        a, b = BasicBlock("a"), BasicBlock("b")
+        phi = PhiInst(T.I64)
+        phi.add_incoming(i64(1), a)
+        phi.add_incoming(i64(2), b)
+        assert phi.incoming_for(a).value == 1
+        assert phi.incoming_for(b).value == 2
+        with pytest.raises(KeyError):
+            phi.incoming_for(BasicBlock("c"))
+
+    def test_incoming_type_checked(self):
+        phi = PhiInst(T.I64)
+        with pytest.raises(TypeError):
+            phi.add_incoming(const_int(1, T.I32), BasicBlock("a"))
+
+    def test_replace_incoming_block(self):
+        a, c = BasicBlock("a"), BasicBlock("c")
+        phi = PhiInst(T.I64)
+        phi.add_incoming(i64(1), a)
+        phi.replace_incoming_block(a, c)
+        assert phi.incoming_for(c).value == 1
+
+
+class TestVectorOps:
+    def test_extract(self):
+        v = Constant(T.vector(T.I64, 4), (1, 2, 3, 4))
+        inst = ExtractElementInst(v, i64(0))
+        assert inst.type == T.I64
+        with pytest.raises(TypeError):
+            ExtractElementInst(i64(1), i64(0))
+
+    def test_insert(self):
+        v = Constant(T.vector(T.I64, 4), (1, 2, 3, 4))
+        inst = InsertElementInst(v, i64(9), i64(2))
+        assert inst.type == T.vector(T.I64, 4)
+        with pytest.raises(TypeError):
+            InsertElementInst(v, const_int(9, T.I32), i64(2))
+
+    def test_shuffle_mask_defines_width(self):
+        v = Constant(T.vector(T.I64, 4), (1, 2, 3, 4))
+        inst = ShuffleVectorInst(v, v, (1, 0, 3, 2))
+        assert inst.type == T.vector(T.I64, 4)
+        widened = ShuffleVectorInst(v, v, (0, 1, 2, 3, 4, 5))
+        assert widened.type.count == 6
+
+    def test_broadcast(self):
+        inst = BroadcastInst(i64(5), 4)
+        assert inst.type == T.vector(T.I64, 4)
+        with pytest.raises(TypeError):
+            BroadcastInst(Constant(T.vector(T.I64, 4), (1, 2, 3, 4)), 4)
+
+
+class TestSelectAndCast:
+    def test_select_arms_must_match(self):
+        c = const_int(1, T.I1)
+        SelectInst(c, i64(1), i64(2))
+        with pytest.raises(TypeError):
+            SelectInst(c, i64(1), const_int(2, T.I32))
+
+    def test_cast_types(self):
+        inst = CastInst("zext", const_int(5, T.I32), T.I64)
+        assert inst.type == T.I64
+        with pytest.raises(ValueError):
+            CastInst("extend", const_int(5, T.I32), T.I64)
+
+    def test_replace_operand(self):
+        a, b = i64(1), i64(2)
+        inst = BinaryInst("add", a, a)
+        inst.replace_operand(a, b)
+        assert inst.lhs is b and inst.rhs is b

@@ -1,0 +1,100 @@
+"""Tests for the Module container API."""
+
+import pytest
+
+from repro.ir import Module
+from repro.ir import types as T
+
+from ..conftest import make_function
+
+
+class TestFunctions:
+    def test_add_and_get(self):
+        module = Module("m")
+        fn = module.add_function("f", T.FunctionType(T.VOID, ()))
+        assert module.get_function("f") is fn
+        assert fn.parent is module
+
+    def test_duplicate_definition_rejected(self):
+        module = Module("m")
+        module.add_function("f", T.FunctionType(T.VOID, ()))
+        with pytest.raises(ValueError):
+            module.add_function("f", T.FunctionType(T.VOID, ()))
+
+    def test_declare_is_idempotent(self):
+        module = Module("m")
+        a = module.declare_function("ext", T.FunctionType(T.I64, (T.I64,)))
+        b = module.declare_function("ext", T.FunctionType(T.I64, (T.I64,)))
+        assert a is b
+
+    def test_declare_type_conflict_rejected(self):
+        module = Module("m")
+        module.declare_function("ext", T.FunctionType(T.I64, (T.I64,)))
+        with pytest.raises(TypeError):
+            module.declare_function("ext", T.FunctionType(T.VOID, ()))
+
+    def test_unknown_function(self):
+        with pytest.raises(KeyError):
+            Module("m").get_function("nope")
+
+    def test_defined_functions_excludes_declarations(self):
+        module = Module("m")
+        module.declare_function("ext", T.FunctionType(T.VOID, ()))
+        fn, b = make_function(module, "f", T.VOID, [])
+        b.ret_void()
+        assert [f.name for f in module.defined_functions()] == ["f"]
+
+    def test_remove_function(self):
+        module = Module("m")
+        module.add_function("f", T.FunctionType(T.VOID, ()))
+        module.remove_function("f")
+        with pytest.raises(KeyError):
+            module.get_function("f")
+
+    def test_arg_names(self):
+        module = Module("m")
+        fn = module.add_function(
+            "f", T.FunctionType(T.VOID, (T.I64, T.F64)), ["count", "scale"]
+        )
+        assert [a.name for a in fn.args] == ["count", "scale"]
+        with pytest.raises(ValueError):
+            module.add_function("g", T.FunctionType(T.VOID, (T.I64,)), ["a", "b"])
+
+
+class TestGlobals:
+    def test_add_get_and_duplicate(self):
+        module = Module("m")
+        gv = module.add_global("g", T.I64, 42)
+        assert module.get_global("g") is gv
+        with pytest.raises(ValueError):
+            module.add_global("g", T.I64)
+        with pytest.raises(KeyError):
+            module.get_global("nope")
+
+    def test_clone_signature_into(self):
+        src = Module("src")
+        src.add_global("g", T.ArrayType(T.I8, 4), [1, 2, 3, 4])
+        dst = Module("dst")
+        src.clone_signature_into(dst)
+        assert dst.get_global("g").initializer == [1, 2, 3, 4]
+        # Idempotent.
+        src.clone_signature_into(dst)
+        assert len(dst.globals) == 1
+
+
+class TestFunctionIntrinsicFlag:
+    @pytest.mark.parametrize("name,expected", [
+        ("rt.alloc", True),
+        ("avx.ptest", True),
+        ("elzar.check.v4i64", True),
+        ("tmr.vote.i64", True),
+        ("swift.check.i64", True),
+        ("host.sqrt", True),
+        ("main", False),
+        ("memset_i8", False),
+        ("m.sqrt", False),  # the IR libm is ordinary (hardenable) code
+    ])
+    def test_is_intrinsic(self, name, expected):
+        module = Module("m")
+        fn = module.declare_function(name, T.FunctionType(T.VOID, ()))
+        assert fn.is_intrinsic is expected

@@ -1,0 +1,42 @@
+"""Tests for the opcode classification that drives the hardening
+passes (paper §III-B: replicable computation vs synchronization)."""
+
+from repro.ir import opcodes as OP
+
+
+class TestClassification:
+    def test_partition_is_disjoint(self):
+        assert not (OP.REPLICABLE_OPS & OP.SYNC_OPS)
+
+    def test_every_op_is_classified(self):
+        unclassified = (
+            OP.ALL_OPS - OP.REPLICABLE_OPS - OP.SYNC_OPS - OP.VECTOR_OPS
+        )
+        assert unclassified == frozenset()
+
+    def test_sync_matches_paper(self):
+        """§III-B: memory ops, control flow, and calls synchronize."""
+        for op in ("load", "store", "call", "br", "ret", "alloca"):
+            assert OP.is_sync(op)
+            assert not OP.is_replicable(op)
+
+    def test_compute_is_replicable(self):
+        for op in ("add", "fmul", "icmp", "fcmp", "gep", "phi", "select",
+                   "zext", "sdiv"):
+            assert OP.is_replicable(op)
+            assert not OP.is_sync(op)
+
+    def test_avx_gaps_match_paper(self):
+        """§III-C/§VII-A: AVX2 lacks packed integer division and has
+        pathological truncations."""
+        assert OP.AVX_MISSING_OPS == {"sdiv", "udiv", "srem", "urem"}
+        assert "trunc" in OP.AVX_SLOW_CASTS
+
+    def test_binary_ops_partition(self):
+        assert OP.BINARY_OPS == OP.INT_BINARY_OPS | OP.FLOAT_BINARY_OPS
+        assert not (OP.INT_BINARY_OPS & OP.FLOAT_BINARY_OPS)
+
+    def test_predicates_sets(self):
+        assert "slt" in OP.ICMP_PREDICATES
+        assert "oeq" in OP.FCMP_PREDICATES
+        assert not (OP.ICMP_PREDICATES & OP.FCMP_PREDICATES)

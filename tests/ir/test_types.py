@@ -1,0 +1,146 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir import types as T
+
+
+class TestTypeConstruction:
+    def test_standard_int_widths_are_cached(self):
+        assert T.int_type(64) is T.I64
+        assert T.int_type(32) is T.I32
+        assert T.int_type(16) is T.I16
+        assert T.int_type(8) is T.I8
+        assert T.int_type(1) is T.I1
+
+    def test_esoteric_int_widths_allowed(self):
+        # LLVM sometimes produces i9-style types (paper §III-D).
+        t = T.int_type(9)
+        assert t.width == 9
+
+    def test_int_width_bounds(self):
+        with pytest.raises(ValueError):
+            T.IntType(0)
+        with pytest.raises(ValueError):
+            T.IntType(65)
+
+    def test_float_widths(self):
+        assert T.F32.bits == 32
+        assert T.F64.bits == 64
+        with pytest.raises(ValueError):
+            T.FloatType(16)
+
+    def test_vector_requires_scalar_elem(self):
+        v = T.vector(T.I64, 4)
+        assert v.elem == T.I64 and v.count == 4
+        with pytest.raises(ValueError):
+            T.vector(T.vector(T.I64, 4), 2)
+        with pytest.raises(ValueError):
+            T.vector(T.I64, 1)
+
+    def test_array_type(self):
+        a = T.ArrayType(T.F64, 10)
+        assert a.count == 10
+        with pytest.raises(ValueError):
+            T.ArrayType(T.I8, -1)
+
+    def test_function_type(self):
+        ft = T.FunctionType(T.I64, (T.PTR, T.I64))
+        assert ft.ret == T.I64
+        assert ft.params == (T.PTR, T.I64)
+
+
+class TestTypeEquality:
+    def test_structural_equality(self):
+        assert T.IntType(64) == T.I64
+        assert T.vector(T.I32, 8) == T.vector(T.I32, 8)
+        assert T.vector(T.I32, 8) != T.vector(T.I32, 4)
+        assert T.IntType(32) != T.IntType(64)
+        assert T.F32 != T.F64
+        assert T.PTR == T.PointerType()
+
+    def test_cross_kind_inequality(self):
+        assert T.I32 != T.F32
+        assert T.I64 != T.PTR
+        assert T.VOID != T.I1
+
+    def test_hashable(self):
+        s = {T.I64, T.IntType(64), T.F64, T.vector(T.I64, 4)}
+        assert len(s) == 3
+
+    def test_function_type_equality(self):
+        a = T.FunctionType(T.VOID, (T.I64,))
+        b = T.FunctionType(T.VOID, (T.I64,))
+        assert a == b
+        assert a != T.FunctionType(T.VOID, (T.I32,))
+
+
+class TestPredicates:
+    def test_scalar_predicate(self):
+        assert T.I64.is_scalar
+        assert T.F32.is_scalar
+        assert T.PTR.is_scalar
+        assert not T.vector(T.I64, 4).is_scalar
+        assert not T.VOID.is_scalar
+        assert not T.ArrayType(T.I8, 4).is_scalar
+
+    def test_kind_predicates(self):
+        assert T.I8.is_int and not T.I8.is_float
+        assert T.F64.is_float and not T.F64.is_int
+        assert T.PTR.is_pointer
+        assert T.vector(T.F32, 8).is_vector
+        assert T.VOID.is_void
+
+
+class TestSizeof:
+    @pytest.mark.parametrize(
+        "ty,size",
+        [
+            (T.I1, 1),
+            (T.I8, 1),
+            (T.I16, 2),
+            (T.I32, 4),
+            (T.I64, 8),
+            (T.F32, 4),
+            (T.F64, 8),
+            (T.PTR, 8),
+            (T.vector(T.I64, 4), 32),
+            (T.vector(T.I8, 4), 4),
+            (T.ArrayType(T.I32, 10), 40),
+        ],
+    )
+    def test_sizes(self, ty, size):
+        assert T.sizeof(ty) == size
+
+    def test_subbyte_ints_round_up(self):
+        assert T.sizeof(T.int_type(9)) == 2
+        assert T.sizeof(T.int_type(7)) == 1
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            T.sizeof(T.VOID)
+
+    def test_bitwidth(self):
+        assert T.bitwidth(T.I32) == 32
+        assert T.bitwidth(T.F64) == 64
+        assert T.bitwidth(T.PTR) == 64
+        with pytest.raises(TypeError):
+            T.bitwidth(T.vector(T.I64, 4))
+
+
+class TestTextForm:
+    @pytest.mark.parametrize(
+        "ty,text",
+        [
+            (T.I64, "i64"),
+            (T.I1, "i1"),
+            (T.F32, "float"),
+            (T.F64, "double"),
+            (T.PTR, "ptr"),
+            (T.VOID, "void"),
+            (T.vector(T.I64, 4), "<4 x i64>"),
+            (T.ArrayType(T.I8, 3), "[3 x i8]"),
+        ],
+    )
+    def test_str(self, ty, text):
+        assert str(ty) == text

@@ -1,0 +1,143 @@
+"""Tests for the IR verifier."""
+
+import pytest
+
+from repro.ir import (
+    IRBuilder,
+    Module,
+    VerificationError,
+    verify_function,
+    verify_module,
+)
+from repro.ir import types as T
+from repro.ir.instructions import BinaryInst, BranchInst, PhiInst, RetInst
+from repro.ir.values import const_int
+
+from ..conftest import make_function
+
+
+def well_formed():
+    module = Module("m")
+    fn, b = make_function(module, "f", T.I64, [T.I64])
+    loop = b.begin_loop(b.i64(0), fn.args[0])
+    acc = b.loop_phi(loop, b.i64(0))
+    b.set_loop_next(loop, acc, b.add(acc, b.i64(1)))
+    b.end_loop(loop)
+    b.ret(acc)
+    return module, fn
+
+
+class TestStructural:
+    def test_clean_module_passes(self):
+        module, _ = well_formed()
+        verify_module(module)
+
+    def test_empty_block_rejected(self):
+        module, fn = well_formed()
+        fn.append_block("empty")
+        with pytest.raises(VerificationError, match="empty"):
+            verify_module(module)
+
+    def test_missing_terminator_rejected(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        b.add(b.i64(1), b.i64(2))  # no ret
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(fn)
+
+    def test_terminator_in_middle_rejected(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        b.ret(b.i64(1))
+        fn.entry.append(RetInst(const_int(2)))
+        with pytest.raises(VerificationError, match="middle"):
+            verify_function(fn)
+
+    def test_ret_type_mismatch(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        b.ret_void()
+        with pytest.raises(VerificationError, match="ret type"):
+            verify_function(fn)
+
+    def test_branch_cond_must_be_i1(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.VOID, [T.I64])
+        other = fn.append_block("other")
+        fn.entry.append(BranchInst(fn.args[0], other, other))
+        b.position_at_end(other)
+        b.ret_void()
+        with pytest.raises(VerificationError, match="i1"):
+            verify_function(fn)
+
+    def test_foreign_block_target(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.VOID, [])
+        other_module_fn, b2 = make_function(module, "g", T.VOID, [])
+        b2.ret_void()
+        foreign = other_module_fn.entry
+        fn.entry.append(BranchInst(None, foreign))
+        with pytest.raises(VerificationError, match="foreign"):
+            verify_function(fn)
+
+
+class TestPhiChecks:
+    def test_phi_after_non_phi_rejected(self):
+        module, fn = well_formed()
+        header = fn.blocks[1]
+        phi = PhiInst(T.I64)
+        preds = fn.compute_predecessors()[header]
+        for p in preds:
+            phi.add_incoming(const_int(0), p)
+        header.append(phi)  # appended after the terminator region
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_phi_incoming_must_match_predecessors(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I1])
+        merge = fn.append_block("merge")
+        b.cond_br(fn.args[0], merge, merge)
+        b.position_at_end(merge)
+        phi = b.phi(T.I64)
+        # no incoming registered at all
+        b.ret(phi)
+        with pytest.raises(VerificationError, match="phi"):
+            verify_function(fn)
+
+
+class TestSSA:
+    def test_use_before_def_rejected(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        late = BinaryInst("add", const_int(1), const_int(2))
+        early = BinaryInst("add", late, const_int(3))
+        fn.entry.append(early)
+        fn.entry.append(late)
+        fn.entry.append(RetInst(early))
+        with pytest.raises(VerificationError, match="not dominated|not defined"):
+            verify_function(fn)
+
+    def test_use_across_sibling_branches_rejected(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I1])
+        left = fn.append_block("left")
+        right = fn.append_block("right")
+        b.cond_br(fn.args[0], left, right)
+        b.position_at_end(left)
+        x = b.add(b.i64(1), b.i64(2))
+        b.ret(x)
+        b.position_at_end(right)
+        b.ret(x)  # x does not dominate right
+        with pytest.raises(VerificationError, match="not dominated"):
+            verify_function(fn)
+
+    def test_call_to_unknown_function(self):
+        module = Module("m")
+        other = Module("other")
+        callee = other.add_function("g", T.FunctionType(T.VOID, ()))
+        fn, b = make_function(module, "f", T.VOID, [])
+        b.call(callee, [])
+        b.ret_void()
+        with pytest.raises(VerificationError, match="unknown function"):
+            verify_module(module)

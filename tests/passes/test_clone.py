@@ -1,0 +1,64 @@
+"""Tests for function/module cloning."""
+
+from repro.ir import Module, format_module, verify_module
+from repro.ir import types as T
+from repro.passes import clone_module
+
+from ..conftest import make_function, run_scalar
+
+
+def build_module():
+    module = Module("orig")
+    module.add_global("g", T.ArrayType(T.I64, 8), list(range(8)))
+    callee, cb = make_function(module, "leaf", T.I64, [T.I64])
+    cb.ret(cb.mul(callee.args[0], callee.args[0]))
+    fn, b = make_function(module, "main", T.I64, [T.I64])
+    g = module.get_global("g")
+    loop = b.begin_loop(b.i64(0), fn.args[0])
+    acc = b.loop_phi(loop, b.i64(0))
+    x = b.load(T.I64, b.gep(T.I64, g, loop.index))
+    b.set_loop_next(loop, acc, b.add(acc, b.call(callee, [x])))
+    b.end_loop(loop)
+    b.ret(acc)
+    return module
+
+
+class TestCloneModule:
+    def test_clone_verifies_and_matches_text(self):
+        original = build_module()
+        clone = clone_module(original)
+        verify_module(clone)
+        assert format_module(clone).replace(clone.name, "X") == \
+            format_module(original).replace(original.name, "X")
+
+    def test_clone_is_independent(self, fast_config):
+        original = build_module()
+        clone = clone_module(original)
+        # Mutate the clone; the original is unaffected.
+        clone.get_function("main").blocks[0].instructions.pop(0)
+        assert run_scalar(original, "main", [8], fast_config) == sum(
+            i * i for i in range(8)
+        )
+
+    def test_calls_remapped_to_clone(self):
+        original = build_module()
+        clone = clone_module(original)
+        from repro.ir.instructions import CallInst
+
+        for inst in clone.get_function("main").instructions():
+            if isinstance(inst, CallInst):
+                assert inst.callee is clone.get_function("leaf")
+                assert inst.callee is not original.get_function("leaf")
+
+    def test_same_behaviour(self, fast_config):
+        original = build_module()
+        clone = clone_module(original)
+        assert (
+            run_scalar(clone, "main", [8], fast_config)
+            == run_scalar(original, "main", [8], fast_config)
+        )
+
+    def test_globals_shared_by_object(self):
+        original = build_module()
+        clone = clone_module(original)
+        assert clone.get_global("g") is original.get_global("g")

@@ -1,0 +1,167 @@
+"""Tests for dead code elimination and constant folding."""
+
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir import types as T
+from repro.ir.instructions import BinaryInst, ICmpInst
+from repro.ir.values import Constant
+from repro.passes import constant_folding, dce, dce_function, fold_function
+from repro.passes.utils import remove_unreachable_blocks
+
+from ..conftest import make_function, run_scalar
+
+
+class TestDCE:
+    def test_unused_pure_instruction_removed(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        b.add(fn.args[0], b.i64(1))  # dead
+        b.ret(fn.args[0])
+        removed = dce_function(fn)
+        assert removed == 1
+        assert len(fn.entry.instructions) == 1
+
+    def test_dead_chain_removed_iteratively(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        x = b.add(fn.args[0], b.i64(1))
+        y = b.mul(x, b.i64(2))
+        b.xor(y, b.i64(3))  # dead, keeps x and y alive until removed
+        b.ret(fn.args[0])
+        assert dce_function(fn) == 3
+
+    def test_side_effects_kept(self, fast_config):
+        module = Module("m")
+        module.add_global("g", T.I64)
+        fn, b = make_function(module, "f", T.I64, [])
+        b.store(b.i64(5), module.get_global("g"))  # must stay
+        b.load(T.I64, module.get_global("g"))      # load result unused but may fault: kept
+        b.ret(b.i64(0))
+        dce_function(fn)
+        opcodes = [i.opcode for i in fn.entry.instructions]
+        assert "store" in opcodes and "load" in opcodes
+
+    def test_trapping_div_kept(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        b.sdiv(b.i64(1), fn.args[0])  # unused but can trap
+        b.ret(b.i64(0))
+        dce_function(fn)
+        assert any(i.opcode == "sdiv" for i in fn.entry.instructions)
+
+    def test_unreachable_blocks_removed_and_phis_fixed(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        merge = fn.append_block("merge")
+        dead = fn.append_block("dead")
+        b.br(merge)
+        b.position_at_end(dead)
+        b.br(merge)
+        b.position_at_end(merge)
+        phi = b.phi(T.I64)
+        phi.add_incoming(b.i64(1), fn.entry)
+        phi.add_incoming(b.i64(2), dead)
+        b.ret(phi)
+        removed = remove_unreachable_blocks(fn)
+        assert removed == 1
+        verify_module(module)
+        assert run_scalar(module, "f", [0], fast_config) == 1
+
+
+class TestConstantFolding:
+    def test_binary_folded(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        x = b.add(b.i64(2), b.i64(3))
+        y = b.mul(x, b.i64(4))
+        b.ret(y)
+        folded = fold_function(fn)
+        assert folded == 2
+        ret = fn.entry.instructions[-1]
+        assert isinstance(ret.value, Constant) and ret.value.value == 20
+
+    def test_division_by_zero_not_folded(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        b.ret(b.sdiv(b.i64(1), b.i64(0)))
+        assert fold_function(fn) == 0
+
+    def test_icmp_folded(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I1, [])
+        b.ret(b.icmp("slt", b.i64(-1), b.i64(0)))
+        fold_function(fn)
+        ret = fn.entry.instructions[-1]
+        assert isinstance(ret.value, Constant) and ret.value.value == 1
+
+    def test_fcmp_and_float_fold(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.F64, [])
+        x = b.fadd(b.f64(1.5), b.f64(2.5))
+        c = b.fcmp("ogt", x, b.f64(3.0))
+        b.ret(b.select(c, x, b.f64(0.0)))
+        fold_function(fn)
+        ret = fn.entry.instructions[-1]
+        assert isinstance(ret.value, Constant) and ret.value.value == 4.0
+
+    def test_cast_folded(self):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        b.ret(b.zext(b.trunc(b.i64(0x1FF), T.I8), T.I64))
+        fold_function(fn)
+        ret = fn.entry.instructions[-1]
+        assert isinstance(ret.value, Constant) and ret.value.value == 0xFF
+
+    def test_vector_fold(self):
+        module = Module("m")
+        v4 = T.vector(T.I64, 4)
+        fn, b = make_function(module, "f", T.I64, [])
+        s = b.add(Constant(v4, (1, 2, 3, 4)), Constant(v4, (10, 20, 30, 40)))
+        b.ret(b.extractelement(s, b.i64(1)))
+        fold_function(fn)
+        # The add folded; extract remains (not a folded opcode).
+        assert not any(i.opcode == "add" for i in fn.entry.instructions)
+
+    def test_semantics_preserved(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        x = b.mul(b.add(b.i64(3), b.i64(4)), b.i64(2))
+        b.ret(b.add(fn.args[0], x))
+        before = run_scalar(module, "f", [100], fast_config)
+        constant_folding(module)
+        verify_module(module)
+        assert run_scalar(module, "f", [100], fast_config) == before == 114
+
+
+class TestPassManager:
+    def test_ordering_and_verification(self):
+        from repro.passes import PassManager, dce, mem2reg
+
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        slot = b.alloca(T.I64)
+        b.store(fn.args[0], slot)
+        b.add(b.i64(1), b.i64(2))  # dead
+        b.ret(b.load(T.I64, slot))
+        pm = PassManager(verify_each=True)
+        pm.add(mem2reg).add(constant_folding).add(dce)
+        pm.run(module)
+        assert pm.pass_names == ["mem2reg", "constant_folding", "dce"]
+        assert len(list(fn.instructions())) == 1  # just the ret
+
+    def test_broken_pass_reported(self):
+        from repro.passes import PassManager
+
+        def breaker(module):
+            fn = module.get_function("f")
+            fn.entry.instructions.pop()  # drop terminator
+            return module
+
+        module = Module("m")
+        fn, b = make_function(module, "f", T.VOID, [])
+        b.ret_void()
+        pm = PassManager(verify_each=True)
+        pm.add(breaker, "breaker")
+        import pytest
+
+        with pytest.raises(RuntimeError, match="breaker"):
+            pm.run(module)

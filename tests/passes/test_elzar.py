@@ -1,0 +1,224 @@
+"""Tests for the ELZAR transformation (structure and semantics)."""
+
+import pytest
+
+from repro.cpu import DetectedError, Machine, MachineConfig
+from repro.cpu.interpreter import FaultPlan
+from repro.ir import Module, format_function, verify_module
+from repro.ir import types as T
+from repro.ir.instructions import (
+    BinaryInst,
+    BroadcastInst,
+    CallInst,
+    ExtractElementInst,
+    LoadInst,
+)
+from repro.passes import ElzarOptions, elzar_transform, mem2reg
+
+from ..conftest import make_function, run_scalar
+
+
+def sum_kernel():
+    module = Module("m")
+    module.add_global("data", T.ArrayType(T.I64, 32), list(range(32)))
+    fn, b = make_function(module, "main", T.I64, [T.I64])
+    g = module.get_global("data")
+    loop = b.begin_loop(b.i64(0), fn.args[0])
+    acc = b.loop_phi(loop, b.i64(0))
+    x = b.load(T.I64, b.gep(T.I64, g, loop.index))
+    b.set_loop_next(loop, acc, b.add(acc, x))
+    b.end_loop(loop)
+    b.ret(acc)
+    return module
+
+
+class TestStructure:
+    def test_module_verifies(self):
+        hardened = elzar_transform(sum_kernel())
+        verify_module(hardened)
+
+    def test_signatures_unchanged(self):
+        """§III-B: no changes in function signatures."""
+        base = sum_kernel()
+        hardened = elzar_transform(base)
+        assert hardened.get_function("main").ftype == base.get_function("main").ftype
+
+    def test_compute_becomes_vector(self):
+        hardened = elzar_transform(sum_kernel())
+        fn = hardened.get_function("main")
+        adds = [i for i in fn.instructions() if isinstance(i, BinaryInst)]
+        assert adds and all(i.type == T.vector(T.I64, 4) for i in adds)
+
+    def test_loads_wrapped_with_extract_and_broadcast(self):
+        """Figure 6: extract the address, scalar load, broadcast back."""
+        hardened = elzar_transform(sum_kernel())
+        fn = hardened.get_function("main")
+        loads = [i for i in fn.instructions() if isinstance(i, LoadInst)]
+        assert loads and all(i.type == T.I64 for i in loads)  # stays scalar
+        assert any(isinstance(i, ExtractElementInst) for i in fn.instructions())
+        assert any(isinstance(i, BroadcastInst) for i in fn.instructions())
+
+    def test_checks_emitted_before_loads(self):
+        hardened = elzar_transform(sum_kernel())
+        fn = hardened.get_function("main")
+        checks = [
+            i for i in fn.instructions()
+            if isinstance(i, CallInst) and i.callee.name.startswith("elzar.check")
+        ]
+        assert checks
+
+    def test_no_checks_mode_drops_them(self):
+        hardened = elzar_transform(sum_kernel(), ElzarOptions.no_checks())
+        fn = hardened.get_function("main")
+        assert not any(
+            isinstance(i, CallInst) and i.callee.name.startswith("elzar.check")
+            for i in fn.instructions()
+        )
+        # ...but branching still needs the ptest collapse (§V-B).
+        assert any(
+            isinstance(i, CallInst)
+            and i.callee.name.startswith("elzar.branch_cond_nocheck")
+            for i in fn.instructions()
+        )
+
+    def test_branches_use_checked_ptest_by_default(self):
+        hardened = elzar_transform(sum_kernel())
+        fn = hardened.get_function("main")
+        assert any(
+            isinstance(i, CallInst)
+            and i.callee.name.startswith("elzar.branch_cond.")
+            for i in fn.instructions()
+        )
+
+    def test_hardened_marker_set(self):
+        hardened = elzar_transform(sum_kernel())
+        assert hardened.get_function("main").hardened == "elzar"
+
+    def test_exclude_list_copies_verbatim(self):
+        base = sum_kernel()
+        hardened = elzar_transform(base, ElzarOptions(exclude=frozenset({"main"})))
+        fn = hardened.get_function("main")
+        assert fn.hardened is None
+        assert not any(i.type.is_vector for i in fn.instructions())
+
+
+class TestSemantics:
+    def test_same_result(self, fast_config):
+        base = sum_kernel()
+        hardened = elzar_transform(base)
+        assert (
+            run_scalar(hardened, "main", [32], fast_config)
+            == run_scalar(base, "main", [32], fast_config)
+            == sum(range(32))
+        )
+
+    def test_nested_calls_preserved(self, fast_config):
+        module = Module("m")
+        callee, cb = make_function(module, "sq", T.I64, [T.I64])
+        cb.ret(cb.mul(callee.args[0], callee.args[0]))
+        fn, b = make_function(module, "main", T.I64, [T.I64])
+        b.ret(b.call(callee, [b.add(fn.args[0], b.i64(1))]))
+        hardened = elzar_transform(module)
+        verify_module(hardened)
+        assert run_scalar(hardened, "main", [6], fast_config) == 49
+        assert hardened.get_function("sq").hardened == "elzar"
+
+    def test_division_falls_back_correctly(self, fast_config):
+        """AVX lacks packed integer division (§III-C): results must
+        still be exact."""
+        module = Module("m")
+        fn, b = make_function(module, "main", T.I64, [T.I64, T.I64])
+        b.ret(b.sdiv(fn.args[0], fn.args[1]))
+        hardened = elzar_transform(module)
+        assert run_scalar(hardened, "main", [97, 5], fast_config) == 19
+
+    def test_float_math_preserved(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "main", T.F64, [T.F64])
+        x = b.fmul(fn.args[0], b.f64(3.0))
+        c = b.fcmp("ogt", x, b.f64(10.0))
+        b.ret(b.select(c, x, b.f64(0.0)))
+        hardened = elzar_transform(module)
+        assert run_scalar(hardened, "main", [5.0], fast_config) == 15.0
+        assert run_scalar(hardened, "main", [1.0], fast_config) == 0.0
+
+    def test_i8_semantics_preserved(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "main", T.I64, [T.I64])
+        narrow = b.trunc(fn.args[0], T.I8)
+        bumped = b.add(narrow, b.i8(200))
+        b.ret(b.zext(bumped, T.I64))
+        hardened = elzar_transform(module)
+        assert run_scalar(hardened, "main", [100], fast_config) == (100 + 200) % 256
+
+
+class TestFaultTolerance:
+    def _run_with_fault(self, module, args, index, bit=5, lane=1):
+        machine = Machine(module, MachineConfig(collect_timing=False))
+        machine.arm_fault(FaultPlan(target_index=index, bit=bit, lane=lane))
+        return machine, machine.run("main", args)
+
+    def test_lane_faults_corrected_sdc_only_in_scalar_window(self):
+        """Faults in replicated (vector) values are always outvoted;
+        SDCs can only come from the scalar window of vulnerability —
+        the extracted address/loaded value between check and broadcast
+        (§V-C, histogram's 12% SDC)."""
+        base = sum_kernel()
+        golden = run_scalar(
+            elzar_transform(base), "main", [32],
+            MachineConfig(collect_timing=False),
+        )
+        hardened = elzar_transform(base)
+        corrected_somewhere = False
+        saw_window_sdc = False
+        for index in range(0, 160):
+            machine, result = self._run_with_fault(hardened, [32], index)
+            if result.value != golden:
+                saw_window_sdc = True
+                assert machine.fault_target is not None
+                assert not machine.fault_target.type.is_vector, (
+                    f"vector-value fault at index {index} caused SDC"
+                )
+            if machine.counters.corrections > 0:
+                corrected_somewhere = True
+        assert corrected_somewhere
+        assert saw_window_sdc  # the paper's vulnerability is observable
+
+    def test_two_two_split_stops_program(self, fast_config):
+        """§III-C scenario 3 surfaces as a DetectedError."""
+        from repro.cpu import intrinsics as intr
+        from repro.ir.values import Constant
+
+        module = Module("m")
+        v4 = T.vector(T.I64, 4)
+        fn, b = make_function(module, "main", T.I64, [])
+        bad = Constant(v4, (1, 1, 2, 2))
+        check = intr.elzar_check(module, v4)
+        out = b.call(check, [bad])
+        b.ret(b.extractelement(out, b.i64(0)))
+        with pytest.raises(DetectedError):
+            run_scalar(module, "main", (), fast_config)
+
+    def test_float_only_mode(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "main", T.F64, [T.F64, T.I64])
+        scaled = b.fmul(fn.args[0], b.f64(2.0))
+        idx = b.add(fn.args[1], b.i64(1))  # integer flow: unprotected
+        as_f = b.sitofp(idx, T.F64)
+        b.ret(b.fadd(scaled, as_f))
+        hardened = elzar_transform(module, ElzarOptions(float_only=True))
+        verify_module(hardened)
+        assert run_scalar(hardened, "main", [2.0, 4], fast_config) == 9.0
+        fn_h = hardened.get_function("main")
+        assert fn_h.hardened == "elzar-float"
+        # Integer add stays scalar; float mul is replicated.
+        int_adds = [
+            i for i in fn_h.instructions()
+            if isinstance(i, BinaryInst) and i.opcode == "add"
+        ]
+        fmuls = [
+            i for i in fn_h.instructions()
+            if isinstance(i, BinaryInst) and i.opcode == "fmul"
+        ]
+        assert any(not i.type.is_vector for i in int_adds)
+        assert all(i.type.is_vector for i in fmuls)

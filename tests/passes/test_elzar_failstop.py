@@ -1,0 +1,81 @@
+"""Tests for the fail-stop (detection-only) ELZAR ablation."""
+
+import pytest
+
+from repro.cpu import DetectedError, Machine, MachineConfig
+from repro.cpu.interpreter import FaultPlan
+from repro.faults import CampaignConfig, Outcome, run_campaign
+from repro.ir import verify_module
+from repro.ir.instructions import CallInst
+from repro.passes import ElzarOptions, elzar_transform, mem2reg
+from repro.workloads import get
+
+from .test_elzar import sum_kernel
+
+FAST = MachineConfig(collect_timing=False)
+
+
+class TestFailStopStructure:
+    def test_dmr_intrinsics_emitted(self):
+        hardened = elzar_transform(sum_kernel(), ElzarOptions(fail_stop=True))
+        verify_module(hardened)
+        fn = hardened.get_function("main")
+        names = {
+            i.callee.name.rsplit(".", 1)[0]
+            for i in fn.instructions() if isinstance(i, CallInst)
+        }
+        assert "elzar.check_dmr" in names
+        assert "elzar.branch_cond_dmr" in names
+        assert "elzar.check" not in names
+
+    def test_faultfree_behaviour_identical(self, fast_config):
+        base = sum_kernel()
+        tmr = elzar_transform(base)
+        dmr = elzar_transform(base, ElzarOptions(fail_stop=True))
+        a = Machine(tmr, fast_config).run("main", [32]).value
+        b = Machine(dmr, fast_config).run("main", [32]).value
+        assert a == b
+
+    def test_same_fast_path_cost(self):
+        """Detection and recovery share the fast path (the shuffle-xor-
+        ptest sequence); only the slow path differs (§III-C: recovery
+        'does not need to be optimized for speed')."""
+        base = sum_kernel()
+        tmr = elzar_transform(base)
+        dmr = elzar_transform(base, ElzarOptions(fail_stop=True))
+        c1 = Machine(tmr).run("main", [32]).cycles
+        c2 = Machine(dmr).run("main", [32]).cycles
+        assert c2 == pytest.approx(c1, rel=0.01)
+
+
+class TestFailStopBehaviour:
+    def test_lane_fault_stops_instead_of_correcting(self):
+        hardened = elzar_transform(sum_kernel(), ElzarOptions(fail_stop=True))
+        detections = corrections = 0
+        for index in range(0, 120, 3):
+            machine = Machine(hardened, FAST)
+            machine.arm_fault(FaultPlan(target_index=index, bit=5, lane=1))
+            try:
+                machine.run("main", [32])
+            except DetectedError:
+                detections += 1
+            corrections += machine.counters.corrections
+        assert detections > 0
+        assert corrections == 0  # never silently repairs
+
+    def test_campaign_detects_instead_of_correcting(self):
+        built = get("linear_regression").build_at("test")
+        base = mem2reg(built.module)
+        dmr = elzar_transform(base, ElzarOptions(fail_stop=True))
+        result = run_campaign(
+            dmr, built.entry, built.args, "linreg", "elzar-dmr",
+            CampaignConfig(injections=60, seed=3),
+        )
+        assert result.counts[Outcome.DETECTED] > 0
+        assert result.counts[Outcome.CORRECTED] == 0
+        # Detection-only still slashes SDC relative to native.
+        native = run_campaign(
+            base, built.entry, built.args, "linreg", "native",
+            CampaignConfig(injections=60, seed=3),
+        )
+        assert result.sdc_rate < native.sdc_rate

@@ -1,0 +1,128 @@
+"""Focused tests for the float-only (stripped-down, §V-B) ELZAR mode:
+domain crossings, checks at the boundary, and cost relative to full
+protection."""
+
+import math
+
+import pytest
+
+from repro.cpu import Machine, MachineConfig
+from repro.ir import Module, verify_module
+from repro.ir import types as T
+from repro.ir.instructions import BinaryInst, CallInst
+from repro.passes import ElzarOptions, elzar_transform
+
+from ..conftest import make_function, run_scalar
+
+FAST = MachineConfig(collect_timing=False)
+FLOAT_ONLY = ElzarOptions(float_only=True)
+
+
+class TestDomainCrossings:
+    def test_sitofp_enters_protected_domain(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "main", T.F64, [T.I64])
+        f = b.sitofp(fn.args[0], T.F64)  # int (unprotected) -> float
+        b.ret(b.fmul(f, b.f64(2.5)))
+        hardened = elzar_transform(module, FLOAT_ONLY)
+        verify_module(hardened)
+        assert run_scalar(hardened, "main", [4], fast_config) == 10.0
+        # The fmul is replicated.
+        fmuls = [i for i in hardened.get_function("main").instructions()
+                 if isinstance(i, BinaryInst) and i.opcode == "fmul"]
+        assert all(i.type.is_vector for i in fmuls)
+
+    def test_fptosi_leaves_protected_domain_with_check(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "main", T.I64, [T.F64])
+        scaled = b.fmul(fn.args[0], b.f64(4.0))  # protected
+        as_int = b.fptosi(scaled, T.I64)         # crossing out
+        b.ret(b.add(as_int, b.i64(1)))
+        hardened = elzar_transform(module, FLOAT_ONLY)
+        verify_module(hardened)
+        assert run_scalar(hardened, "main", [2.5], fast_config) == 11
+        # The crossing is a synchronization point: checked.
+        checks = [i for i in hardened.get_function("main").instructions()
+                  if isinstance(i, CallInst)
+                  and i.callee.name.startswith("elzar.check")]
+        assert checks
+
+    def test_bitcast_crossings_roundtrip(self, fast_config):
+        """The libm bit tricks: float -> bits -> float must survive."""
+        module = Module("m")
+        fn, b = make_function(module, "main", T.F64, [T.F64])
+        bits = b.bitcast(fn.args[0], T.I64)           # leaves FP domain
+        cleared = b.and_(bits, b.i64(0x7FFFFFFFFFFFFFFF))  # fabs
+        back = b.bitcast(cleared, T.F64)              # re-enters
+        b.ret(b.fadd(back, b.f64(1.0)))
+        hardened = elzar_transform(module, FLOAT_ONLY)
+        verify_module(hardened)
+        assert run_scalar(hardened, "main", [-2.5], fast_config) == 3.5
+
+    def test_fcmp_collapses_only_at_sync_points(self, fast_config):
+        """fcmp results stay replicated; selects consume them lane-wise
+        and branches collapse them via ptest."""
+        module = Module("m")
+        fn, b = make_function(module, "main", T.F64, [T.F64])
+        c = b.fcmp("olt", fn.args[0], b.f64(0.0))
+        flipped = b.select(c, b.fsub(b.f64(0.0), fn.args[0]), fn.args[0])
+        state = b.begin_if(b.fcmp("ogt", flipped, b.f64(100.0)))
+        b.ret(b.f64(100.0))
+        b.position_at_end(state.merge)
+        b.ret(flipped)
+        hardened = elzar_transform(module, FLOAT_ONLY)
+        verify_module(hardened)
+        assert run_scalar(hardened, "main", [-3.0], fast_config) == 3.0
+        assert run_scalar(hardened, "main", [500.0], fast_config) == 100.0
+        names = {
+            i.callee.name.rsplit(".", 1)[0]
+            for i in hardened.get_function("main").instructions()
+            if isinstance(i, CallInst)
+        }
+        assert "elzar.branch_cond" in names
+
+
+class TestFaultCoverage:
+    def test_float_faults_corrected_int_faults_not(self):
+        """The §V-B trade-off in one test: lane faults in FP values are
+        outvoted; the unprotected integer flow stays vulnerable."""
+        module = Module("m")
+        fn, b = make_function(module, "main", T.F64, [T.F64, T.I64])
+        prot = b.fmul(fn.args[0], b.f64(3.0))
+        unprot = b.mul(fn.args[1], b.i64(3))
+        b.ret(b.fadd(prot, b.sitofp(unprot, T.F64)))
+        hardened = elzar_transform(module, FLOAT_ONLY)
+        golden = Machine(hardened, FAST).run("main", [2.0, 5]).value
+        from repro.cpu import FaultPlan
+
+        sdc = corrected = 0
+        for index in range(0, 30):
+            machine = Machine(hardened, FAST)
+            machine.arm_fault(FaultPlan(target_index=index, bit=7, lane=1))
+            try:
+                result = machine.run("main", [2.0, 5])
+            except Exception:
+                continue
+            if result.value != golden:
+                sdc += 1
+                assert machine.fault_target is not None
+                assert not machine.fault_target.type.is_vector
+            corrected += machine.counters.corrections
+        assert corrected > 0  # FP lanes protected
+        assert sdc > 0        # integer flow unprotected
+
+    def test_cheaper_than_full_on_fp_kernels(self):
+        from repro.passes import inline_module, mem2reg
+        from repro.workloads import get
+
+        built = get("swaptions").build_at("test")
+        mem2reg(built.module)
+        inline_module(built.module)
+        mem2reg(built.module)
+        full = elzar_transform(built.module)
+        stripped = elzar_transform(built.module, FLOAT_ONLY)
+        c_full = Machine(full, MachineConfig()).run(built.entry, built.args).cycles
+        c_stripped = Machine(stripped, MachineConfig()).run(
+            built.entry, built.args
+        ).cycles
+        assert c_stripped < c_full

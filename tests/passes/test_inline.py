@@ -1,0 +1,166 @@
+"""Tests for the function inliner."""
+
+import pytest
+
+from repro.cpu import Machine, MachineConfig
+from repro.ir import Module, verify_module
+from repro.ir import types as T
+from repro.ir.instructions import CallInst
+from repro.passes import inline_function_calls, inline_module, mem2reg
+
+from ..conftest import make_function, run_scalar
+
+FAST = MachineConfig(collect_timing=False)
+
+
+def call_count(fn):
+    return sum(
+        1 for i in fn.instructions()
+        if isinstance(i, CallInst) and not i.callee.is_intrinsic
+    )
+
+
+def simple_module():
+    module = Module("m")
+    sq, cb = make_function(module, "sq", T.I64, [T.I64])
+    cb.ret(cb.mul(sq.args[0], sq.args[0]))
+    fn, b = make_function(module, "main", T.I64, [T.I64])
+    loop = b.begin_loop(b.i64(0), fn.args[0])
+    acc = b.loop_phi(loop, b.i64(0))
+    b.set_loop_next(loop, acc, b.add(acc, b.call(sq, [loop.index])))
+    b.end_loop(loop)
+    b.ret(acc)
+    return module
+
+
+class TestInlining:
+    def test_straightline_callee(self, fast_config):
+        module = simple_module()
+        before = run_scalar(module, "main", [9], fast_config)
+        inlined = inline_module(module)
+        verify_module(module)
+        assert call_count(module.get_function("main")) == 0
+        assert run_scalar(module, "main", [9], fast_config) == before
+
+    def test_multi_exit_callee(self, fast_config):
+        module = Module("m")
+        clamp, cb = make_function(module, "clamp", T.I64, [T.I64])
+        big = cb.icmp("sgt", clamp.args[0], cb.i64(100))
+        state = cb.begin_if(big)
+        cb.ret(cb.i64(100))
+        cb.position_at_end(state.merge)
+        cb.ret(clamp.args[0])
+        fn, b = make_function(module, "main", T.I64, [T.I64, T.I64])
+        s = b.add(b.call(clamp, [fn.args[0]]), b.call(clamp, [fn.args[1]]))
+        b.ret(s)
+        before = run_scalar(module, "main", [7, 500], fast_config)
+        inline_module(module)
+        verify_module(module)
+        assert call_count(module.get_function("main")) == 0
+        assert run_scalar(module, "main", [7, 500], fast_config) == before == 107
+
+    def test_transitive_inlining(self, fast_config):
+        module = Module("m")
+        inner, ib = make_function(module, "inner", T.I64, [T.I64])
+        ib.ret(ib.add(inner.args[0], ib.i64(1)))
+        outer, ob = make_function(module, "outer", T.I64, [T.I64])
+        ob.ret(ob.mul(ob.call(inner, [outer.args[0]]), ob.i64(2)))
+        fn, b = make_function(module, "main", T.I64, [T.I64])
+        b.ret(b.call(outer, [fn.args[0]]))
+        inline_module(module)
+        verify_module(module)
+        assert call_count(module.get_function("main")) == 0
+        assert run_scalar(module, "main", [10], fast_config) == 22
+
+    def test_recursive_callee_not_inlined(self, fast_config):
+        module = Module("m")
+        fact, fb = make_function(module, "fact", T.I64, [T.I64])
+        base = fb.icmp("sle", fact.args[0], fb.i64(1))
+        state = fb.begin_if(base)
+        fb.ret(fb.i64(1))
+        fb.position_at_end(state.merge)
+        rec = fb.call(fact, [fb.sub(fact.args[0], fb.i64(1))])
+        fb.ret(fb.mul(fact.args[0], rec))
+        fn, b = make_function(module, "main", T.I64, [])
+        b.ret(b.call(fact, [b.i64(6)]))
+        inline_module(module)
+        verify_module(module)
+        # fact stays out of line (self-recursive).
+        assert call_count(module.get_function("main")) == 1
+        assert run_scalar(module, "main", (), fast_config) == 720
+
+    def test_threshold_respected(self):
+        module = simple_module()
+        inline_module(module, threshold=0)
+        assert call_count(module.get_function("main")) == 1
+
+    def test_exclude_respected(self, fast_config):
+        module = simple_module()
+        inline_module(module, exclude=frozenset({"sq"}))
+        assert call_count(module.get_function("main")) == 1
+
+    def test_intrinsics_never_inlined(self, fast_config):
+        from repro.cpu.intrinsics import rt_print_i64
+
+        module = Module("m")
+        p = rt_print_i64(module)
+        fn, b = make_function(module, "main", T.VOID, [])
+        b.call(p, [b.i64(5)])
+        b.ret_void()
+        inline_module(module)
+        machine = Machine(module, FAST)
+        machine.run("main", ())
+        assert machine.output == [5]
+
+    def test_void_callee(self, fast_config):
+        module = Module("m")
+        module.add_global("g", T.I64)
+        setg, sb = make_function(module, "setg", T.VOID, [T.I64])
+        sb.store(setg.args[0], module.get_global("g"))
+        sb.ret_void()
+        fn, b = make_function(module, "main", T.I64, [])
+        b.call(setg, [b.i64(77)])
+        b.ret(b.load(T.I64, module.get_global("g")))
+        inline_module(module)
+        verify_module(module)
+        assert run_scalar(module, "main", (), fast_config) == 77
+
+    def test_call_result_used_by_successor_phi(self, fast_config):
+        """Call result flowing into a phi of a successor block."""
+        module = Module("m")
+        sq, cb = make_function(module, "sq", T.I64, [T.I64])
+        cb.ret(cb.mul(sq.args[0], sq.args[0]))
+        fn, b = make_function(module, "main", T.I64, [T.I64, T.I1])
+        merge = fn.append_block("merge")
+        other = fn.append_block("other")
+        v = b.call(sq, [fn.args[0]])
+        entry_block = b.block
+        b.cond_br(fn.args[1], merge, other)
+        b.position_at_end(other)
+        b.br(merge)
+        b.position_at_end(merge)
+        phi = b.phi(T.I64)
+        phi.add_incoming(v, entry_block)
+        phi.add_incoming(b.i64(0), other)
+        b.ret(phi)
+        verify_module(module)
+        before_t = run_scalar(module, "main", [5, 1], fast_config)
+        before_f = run_scalar(module, "main", [5, 0], fast_config)
+        inline_module(module)
+        verify_module(module)
+        assert run_scalar(module, "main", [5, 1], fast_config) == before_t == 25
+        assert run_scalar(module, "main", [5, 0], fast_config) == before_f == 0
+
+    def test_workload_pipeline_preserved(self, fast_config):
+        from repro.workloads import get, outputs_match
+
+        built = get("blackscholes").build_at("test")
+        mem2reg(built.module)
+        before = Machine(built.module, FAST).run(built.entry, built.args).output
+        inline_module(built.module)
+        mem2reg(built.module)
+        verify_module(built.module)
+        after = Machine(built.module, FAST).run(built.entry, built.args).output
+        assert outputs_match(after, before, built.rtol)
+        # The libm chain is gone from main.
+        assert call_count(built.module.get_function("main")) == 0

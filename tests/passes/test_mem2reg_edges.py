@@ -1,0 +1,121 @@
+"""Additional mem2reg edge cases: multiple allocas, nested control
+flow, cross-block liveness, mixed promotable/non-promotable slots."""
+
+from repro.cpu import Machine, MachineConfig
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir import types as T
+from repro.ir.instructions import AllocaInst, PhiInst
+from repro.passes import promote_function
+
+from ..conftest import make_function, run_scalar
+
+
+def count_allocas(fn):
+    return sum(1 for i in fn.instructions() if isinstance(i, AllocaInst))
+
+
+class TestMultipleSlots:
+    def test_two_interacting_slots(self, fast_config):
+        """min/max tracked in two slots across a loop."""
+        module = Module("m")
+        module.add_global("a", T.ArrayType(T.I64, 16),
+                          [9, 2, 14, 7, 1, 11, 3, 8, 6, 13, 0, 5, 12, 4, 10, 15])
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        lo = b.alloca(T.I64)
+        hi = b.alloca(T.I64)
+        b.store(b.i64(1 << 40), lo)
+        b.store(b.i64(-(1 << 40)), hi)
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        x = b.load(T.I64, b.gep(T.I64, module.get_global("a"), loop.index))
+        below = b.icmp("slt", x, b.load(T.I64, lo))
+        st = b.begin_if(below)
+        b.store(x, lo)
+        b.end_if(st)
+        above = b.icmp("sgt", x, b.load(T.I64, hi))
+        st2 = b.begin_if(above)
+        b.store(x, hi)
+        b.end_if(st2)
+        b.end_loop(loop)
+        b.ret(b.sub(b.load(T.I64, hi), b.load(T.I64, lo)))
+        expected = run_scalar(module, "f", [16], fast_config)
+        assert promote_function(fn) == 2
+        verify_module(module)
+        assert count_allocas(fn) == 0
+        assert run_scalar(module, "f", [16], fast_config) == expected == 15
+
+    def test_mixed_promotable_and_escaping(self, fast_config):
+        module = Module("m")
+        sink, sb = make_function(module, "sink", T.VOID, [T.PTR])
+        sb.store(sb.i64(99), sink.args[0])
+        sb.ret_void()
+        fn, b = make_function(module, "f", T.I64, [])
+        good = b.alloca(T.I64)
+        escaping = b.alloca(T.I64)
+        b.store(b.i64(1), good)
+        b.call(sink, [escaping])
+        b.ret(b.add(b.load(T.I64, good), b.load(T.I64, escaping)))
+        assert promote_function(fn) == 1
+        verify_module(module)
+        assert count_allocas(fn) == 1
+        assert run_scalar(module, "f", (), fast_config) == 100
+
+
+class TestNestedControlFlow:
+    def test_if_inside_loop_inside_if(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64, T.I1])
+        slot = b.alloca(T.I64)
+        b.store(b.i64(0), slot)
+        outer = b.begin_if(fn.args[1])
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        even = b.icmp("eq", b.and_(loop.index, b.i64(1)), b.i64(0))
+        inner = b.begin_if(even)
+        b.store(b.add(b.load(T.I64, slot), loop.index), slot)
+        b.end_if(inner)
+        b.end_loop(loop)
+        b.end_if(outer)
+        b.ret(b.load(T.I64, slot))
+        expected_on = run_scalar(module, "f", [10, 1], fast_config)
+        expected_off = run_scalar(module, "f", [10, 0], fast_config)
+        promote_function(fn)
+        verify_module(module)
+        assert count_allocas(fn) == 0
+        assert run_scalar(module, "f", [10, 1], fast_config) == expected_on == 20
+        assert run_scalar(module, "f", [10, 0], fast_config) == expected_off == 0
+
+    def test_phi_count_reasonable(self):
+        """Pruned-SSA-ish: only join points get phis."""
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I1])
+        slot = b.alloca(T.I64)
+        b.store(b.i64(1), slot)
+        st = b.begin_if(fn.args[0], with_else=True)
+        b.store(b.i64(2), slot)
+        b.begin_else(st)
+        b.store(b.i64(3), slot)
+        b.end_if(st)
+        b.ret(b.load(T.I64, slot))
+        promote_function(fn)
+        phis = sum(1 for i in fn.instructions() if isinstance(i, PhiInst))
+        assert phis == 1
+
+    def test_float_and_pointer_slots(self, fast_config):
+        module = Module("m")
+        module.add_global("g", T.ArrayType(T.I64, 4), [5, 6, 7, 8])
+        fn, b = make_function(module, "f", T.I64, [T.I1])
+        fslot = b.alloca(T.F64)
+        pslot = b.alloca(T.PTR)
+        b.store(b.f64(1.5), fslot)
+        b.store(b.gep(T.I64, module.get_global("g"), b.i64(1)), pslot)
+        st = b.begin_if(fn.args[0])
+        b.store(b.gep(T.I64, module.get_global("g"), b.i64(3)), pslot)
+        b.end_if(st)
+        loaded = b.load(T.I64, b.load(T.PTR, pslot))
+        scaled = b.fptosi(b.fmul(b.load(T.F64, fslot), b.f64(2.0)), T.I64)
+        b.ret(b.add(loaded, scaled))
+        expected_t = run_scalar(module, "f", [1], fast_config)
+        expected_f = run_scalar(module, "f", [0], fast_config)
+        assert promote_function(fn) == 2
+        verify_module(module)
+        assert run_scalar(module, "f", [1], fast_config) == expected_t == 11
+        assert run_scalar(module, "f", [0], fast_config) == expected_f == 9

@@ -1,0 +1,93 @@
+"""Tests for CFG simplification."""
+
+import pytest
+
+from repro.cpu import Machine, MachineConfig
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir import types as T
+from repro.passes import inline_module, mem2reg
+from repro.passes.simplify_cfg import simplify_cfg, simplify_function_cfg
+
+from ..conftest import make_function, run_scalar
+
+FAST = MachineConfig(collect_timing=False)
+
+
+class TestConstantBranchFolding:
+    def test_true_branch_folded(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [])
+        then_b = fn.append_block("then")
+        else_b = fn.append_block("else")
+        b.cond_br(b.i1(True), then_b, else_b)
+        b.position_at_end(then_b)
+        b.ret(b.i64(1))
+        b.position_at_end(else_b)
+        b.ret(b.i64(2))
+        assert simplify_function_cfg(fn) > 0
+        verify_module(module)
+        assert run_scalar(module, "f", (), fast_config) == 1
+        assert len(fn.blocks) == 1  # folded + merged + unreachable gone
+
+    def test_false_branch_folded_with_phi_fixup(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        then_b = fn.append_block("then")
+        merge = fn.append_block("merge")
+        b.cond_br(b.i1(False), then_b, merge)
+        entry = fn.entry
+        b.position_at_end(then_b)
+        b.br(merge)
+        b.position_at_end(merge)
+        phi = b.phi(T.I64)
+        phi.add_incoming(b.i64(10), then_b)
+        phi.add_incoming(fn.args[0], entry)
+        b.ret(phi)
+        simplify_function_cfg(fn)
+        verify_module(module)
+        assert run_scalar(module, "f", [42], fast_config) == 42
+
+
+class TestChainMerging:
+    def test_inline_chains_collapse(self, fast_config):
+        module = Module("m")
+        sq, cb = make_function(module, "sq", T.I64, [T.I64])
+        cb.ret(cb.mul(sq.args[0], sq.args[0]))
+        fn, b = make_function(module, "main", T.I64, [T.I64])
+        total = b.add(b.call(sq, [fn.args[0]]), b.call(sq, [b.i64(3)]))
+        b.ret(total)
+        inline_module(module)
+        before = len(module.get_function("main").blocks)
+        assert before > 1
+        simplify_cfg(module)
+        verify_module(module)
+        after = len(module.get_function("main").blocks)
+        assert after == 1
+        assert run_scalar(module, "main", [4], fast_config) == 25
+
+    def test_loops_preserved(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "f", T.I64, [T.I64])
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        acc = b.loop_phi(loop, b.i64(0))
+        b.set_loop_next(loop, acc, b.add(acc, loop.index))
+        b.end_loop(loop)
+        b.ret(acc)
+        simplify_function_cfg(fn)
+        verify_module(module)
+        assert run_scalar(module, "f", [10], fast_config) == 45
+
+    def test_workloads_survive_simplification(self, fast_config):
+        from repro.workloads import BENCHMARKS, outputs_match
+
+        for wl in BENCHMARKS[:6]:
+            built = wl.build_at("test")
+            mem2reg(built.module)
+            inline_module(built.module)
+            mem2reg(built.module)
+            base = Machine(built.module, FAST).run(built.entry, built.args)
+            simplify_cfg(built.module)
+            verify_module(built.module)
+            after = Machine(built.module, FAST).run(built.entry, built.args)
+            assert outputs_match(after.output, base.output, built.rtol), wl.name
+            assert after.counters.branches <= base.counters.branches

@@ -1,0 +1,148 @@
+"""Tests for the SWIFT-R (TMR) and SWIFT (DMR) transformations."""
+
+import pytest
+
+from repro.cpu import DetectedError, Machine, MachineConfig
+from repro.cpu.interpreter import FaultPlan
+from repro.ir import Module, verify_module
+from repro.ir import types as T
+from repro.ir.instructions import BinaryInst, CallInst, LoadInst
+from repro.passes import SwiftOptions, swift_transform, swiftr_transform
+
+from ..conftest import make_function, run_scalar
+from .test_elzar import sum_kernel
+
+
+class TestStructure:
+    def test_verifies_and_marks(self):
+        hardened = swiftr_transform(sum_kernel())
+        verify_module(hardened)
+        assert hardened.get_function("main").hardened == "swiftr"
+
+    def test_compute_triplicated(self):
+        base = sum_kernel()
+        base_adds = sum(
+            1 for i in base.get_function("main").instructions()
+            if isinstance(i, BinaryInst)
+        )
+        hardened = swiftr_transform(base)
+        tmr_adds = sum(
+            1 for i in hardened.get_function("main").instructions()
+            if isinstance(i, BinaryInst)
+        )
+        assert tmr_adds == 3 * base_adds
+
+    def test_loads_not_triplicated(self):
+        """§III-B: memory operations are not replicated."""
+        base = sum_kernel()
+        base_loads = sum(
+            1 for i in base.get_function("main").instructions()
+            if isinstance(i, LoadInst)
+        )
+        hardened = swiftr_transform(base)
+        tmr_loads = sum(
+            1 for i in hardened.get_function("main").instructions()
+            if isinstance(i, LoadInst)
+        )
+        assert tmr_loads == base_loads
+
+    def test_votes_before_sync_instructions(self):
+        hardened = swiftr_transform(sum_kernel())
+        fn = hardened.get_function("main")
+        votes = [
+            i for i in fn.instructions()
+            if isinstance(i, CallInst) and i.callee.name.startswith("tmr.vote")
+        ]
+        assert votes
+
+    def test_dmr_uses_swift_checks(self):
+        hardened = swift_transform(sum_kernel())
+        fn = hardened.get_function("main")
+        assert fn.hardened == "swift"
+        checks = [
+            i for i in fn.instructions()
+            if isinstance(i, CallInst) and i.callee.name.startswith("swift.check")
+        ]
+        assert checks
+        # Only two copies of each computation.
+        base_adds = sum(
+            1 for i in sum_kernel().get_function("main").instructions()
+            if isinstance(i, BinaryInst)
+        )
+        dmr_adds = sum(1 for i in fn.instructions() if isinstance(i, BinaryInst))
+        assert dmr_adds == 2 * base_adds
+
+    def test_copies_validation(self):
+        with pytest.raises(ValueError):
+            SwiftOptions(copies=4)
+        with pytest.raises(ValueError):
+            swift_transform(sum_kernel(), SwiftOptions(copies=3))
+
+    def test_no_checks_no_votes(self):
+        options = SwiftOptions(
+            copies=3, check_loads=False, check_stores=False,
+            check_branches=False, check_other=False,
+        )
+        hardened = swiftr_transform(sum_kernel(), options)
+        fn = hardened.get_function("main")
+        assert not any(
+            isinstance(i, CallInst) and i.callee.name.startswith("tmr.")
+            for i in fn.instructions()
+        )
+
+
+class TestSemantics:
+    def test_same_result(self, fast_config):
+        base = sum_kernel()
+        assert (
+            run_scalar(swiftr_transform(base), "main", [32], fast_config)
+            == run_scalar(base, "main", [32], fast_config)
+        )
+
+    def test_float_kernel(self, fast_config):
+        module = Module("m")
+        fn, b = make_function(module, "main", T.F64, [T.F64])
+        x = b.fmul(fn.args[0], fn.args[0])
+        c = b.fcmp("olt", x, b.f64(100.0))
+        b.ret(b.select(c, x, b.f64(-1.0)))
+        hardened = swiftr_transform(module)
+        assert run_scalar(hardened, "main", [3.0], fast_config) == 9.0
+        assert run_scalar(hardened, "main", [30.0], fast_config) == -1.0
+
+
+class TestFaultTolerance:
+    def test_single_copy_fault_outvoted(self):
+        """A fault in one of the three copies is outvoted at the next
+        synchronization point."""
+        hardened = swiftr_transform(sum_kernel())
+        golden = Machine(
+            hardened, MachineConfig(collect_timing=False)
+        ).run("main", [32]).value
+        sdc = 0
+        corrected = 0
+        for index in range(0, 200, 3):
+            machine = Machine(hardened, MachineConfig(collect_timing=False))
+            machine.arm_fault(FaultPlan(target_index=index, bit=4, lane=0))
+            try:
+                result = machine.run("main", [32])
+            except DetectedError:
+                continue
+            if result.value != golden:
+                sdc += 1
+                # Only shared (unreplicated) values can produce SDC.
+            corrected += machine.counters.corrections
+        assert corrected > 0
+        # The triplicated compute dominates; most faults are voted out.
+        assert sdc <= 12
+
+    def test_dmr_detects_instead_of_correcting(self):
+        hardened = swift_transform(sum_kernel())
+        detections = 0
+        for index in range(0, 120, 5):
+            machine = Machine(hardened, MachineConfig(collect_timing=False))
+            machine.arm_fault(FaultPlan(target_index=index, bit=4, lane=0))
+            try:
+                machine.run("main", [32])
+            except DetectedError:
+                detections += 1
+        assert detections > 0

@@ -1,0 +1,86 @@
+"""Additional SWIFT-R/SWIFT behaviours: vote elision on shared values,
+exclusion lists, and interaction with calls/libraries."""
+
+from repro.cpu import Machine, MachineConfig
+from repro.ir import Module, verify_module
+from repro.ir import types as T
+from repro.ir.instructions import CallInst
+from repro.passes import SwiftOptions, mem2reg, swiftr_transform
+
+from ..conftest import make_function, run_scalar
+
+FAST = MachineConfig(collect_timing=False)
+
+
+def vote_count(fn):
+    return sum(
+        1 for i in fn.instructions()
+        if isinstance(i, CallInst) and i.callee.name.startswith("tmr.vote")
+    )
+
+
+class TestVoteElision:
+    def test_addresses_voted_but_shared_value_elided(self):
+        """Addresses are triplicated gep instructions and must be voted
+        before the memory access (§III-B); the *loaded value* however is
+        one shared SSA value across the three flows, so storing it back
+        adds no third vote — an optimizing SWIFT-R (like the paper's
+        reimplementation, §V-D) skips votes on identical copies."""
+        module = Module("m")
+        module.add_global("a", T.ArrayType(T.I64, 4), [1, 2, 3, 4])
+        module.add_global("b", T.ArrayType(T.I64, 4))
+        fn, builder = make_function(module, "main", T.VOID, [])
+        a, b = module.get_global("a"), module.get_global("b")
+        x = builder.load(T.I64, builder.gep(T.I64, a, builder.i64(0)))
+        builder.store(x, builder.gep(T.I64, b, builder.i64(0)))
+        builder.ret_void()
+        hardened = swiftr_transform(module)
+        # Exactly two votes: the load address and the store address —
+        # none for the shared loaded value.
+        assert vote_count(hardened.get_function("main")) == 2
+
+    def test_vote_on_computed_value(self):
+        module = Module("m")
+        module.add_global("b", T.ArrayType(T.I64, 4))
+        fn, builder = make_function(module, "main", T.VOID, [T.I64])
+        b = module.get_global("b")
+        y = builder.mul(fn.args[0], builder.i64(3))  # triplicated
+        builder.store(y, builder.gep(T.I64, b, builder.i64(0)))
+        builder.ret_void()
+        hardened = swiftr_transform(module)
+        # Two votes: the computed value and the store address.
+        assert vote_count(hardened.get_function("main")) == 2
+
+
+class TestExclusion:
+    def test_excluded_function_copied_verbatim(self, fast_config):
+        module = Module("m")
+        leaf, lb = make_function(module, "third_party", T.I64, [T.I64])
+        lb.ret(lb.mul(leaf.args[0], leaf.args[0]))
+        fn, builder = make_function(module, "main", T.I64, [T.I64])
+        builder.ret(builder.call(leaf, [fn.args[0]]))
+        hardened = swiftr_transform(
+            module, SwiftOptions(exclude=frozenset({"third_party"}))
+        )
+        verify_module(hardened)
+        assert hardened.get_function("third_party").hardened is None
+        assert hardened.get_function("main").hardened == "swiftr"
+        assert run_scalar(hardened, "main", [9], fast_config) == 81
+
+
+class TestWithLibm:
+    def test_swiftr_hardens_ir_libm(self, fast_config):
+        from repro.workloads.libm import sqrt_f64
+
+        module = Module("m")
+        sqrt_fn = sqrt_f64(module)
+        fn, builder = make_function(module, "main", T.F64, [T.F64])
+        builder.ret(builder.call(sqrt_fn, [fn.args[0]]))
+        hardened = swiftr_transform(module)
+        verify_module(hardened)
+        assert hardened.get_function("m.sqrt").hardened == "swiftr"
+        import math
+
+        got = run_scalar(hardened, "main", [2.0], fast_config)
+        assert got == run_scalar(module, "main", [2.0], fast_config)
+        assert abs(got - math.sqrt(2.0)) < 1e-12

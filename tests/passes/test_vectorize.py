@@ -1,0 +1,289 @@
+"""Tests for the loop auto-vectorizer."""
+
+import pytest
+
+from repro.cpu import Machine, MachineConfig
+from repro.ir import Module, verify_module
+from repro.ir import types as T
+from repro.ir.instructions import LoadInst, StoreInst
+from repro.passes import clone_module
+from repro.passes.vectorize import vectorize, vectorize_function
+
+from ..conftest import make_function, run_scalar
+
+
+def map_kernel(n=37):
+    """out[i] = a[i] * 2 + 1 — a plainly vectorizable loop."""
+    module = Module("m")
+    module.add_global("a", T.ArrayType(T.I64, 64), list(range(64)))
+    module.add_global("out", T.ArrayType(T.I64, 64))
+    fn, b = make_function(module, "main", T.I64, [T.I64])
+    a = module.get_global("a")
+    out = module.get_global("out")
+    loop = b.begin_loop(b.i64(0), fn.args[0])
+    x = b.load(T.I64, b.gep(T.I64, a, loop.index))
+    y = b.add(b.mul(x, b.i64(2)), b.i64(1))
+    b.store(y, b.gep(T.I64, out, loop.index))
+    b.end_loop(loop)
+    b.ret(b.load(T.I64, b.gep(T.I64, out, b.i64(5))))
+    return module
+
+
+def reduction_kernel():
+    module = Module("m")
+    module.add_global("a", T.ArrayType(T.F64, 64), [float(i % 9) for i in range(64)])
+    fn, b = make_function(module, "main", T.F64, [T.I64])
+    a = module.get_global("a")
+    loop = b.begin_loop(b.i64(0), fn.args[0])
+    acc = b.loop_phi(loop, b.f64(3.0))
+    x = b.load(T.F64, b.gep(T.F64, a, loop.index))
+    b.set_loop_next(loop, acc, b.fadd(acc, x))
+    b.end_loop(loop)
+    b.ret(acc)
+    return module
+
+
+class TestLegality:
+    def test_map_loop_vectorized(self):
+        module = map_kernel()
+        assert vectorize_function(module.get_function("main")) == 1
+        verify_module(module)
+
+    def test_reduction_vectorized(self):
+        module = reduction_kernel()
+        assert vectorize_function(module.get_function("main")) == 1
+        verify_module(module)
+
+    def test_indirect_access_rejected(self):
+        """histogram's bins[pixel] pattern must not vectorize."""
+        module = Module("m")
+        module.add_global("a", T.ArrayType(T.I64, 64), list(range(64)))
+        module.add_global("bins", T.ArrayType(T.I64, 64))
+        fn, b = make_function(module, "main", T.VOID, [T.I64])
+        a = module.get_global("a")
+        bins = module.get_global("bins")
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        x = b.load(T.I64, b.gep(T.I64, a, loop.index))
+        slot = b.gep(T.I64, bins, x)  # data-dependent index
+        b.store(b.add(b.load(T.I64, slot), b.i64(1)), slot)
+        b.end_loop(loop)
+        b.ret_void()
+        assert vectorize_function(module.get_function("main")) == 0
+
+    def test_call_in_body_rejected(self):
+        module = Module("m")
+        from repro.cpu.intrinsics import rt_print_i64
+
+        p = rt_print_i64(module)
+        fn, b = make_function(module, "main", T.VOID, [T.I64])
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        b.call(p, [loop.index])
+        b.end_loop(loop)
+        b.ret_void()
+        assert vectorize_function(module.get_function("main")) == 0
+
+    def test_multiblock_body_rejected(self):
+        module = Module("m")
+        fn, b = make_function(module, "main", T.I64, [T.I64])
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        acc = b.loop_phi(loop, b.i64(0))
+        c = b.icmp("eq", b.and_(loop.index, b.i64(1)), b.i64(0))
+        state = b.begin_if(c)
+        b.end_if(state)
+        b.set_loop_next(loop, acc, b.add(acc, b.i64(1)))
+        b.end_loop(loop)
+        b.ret(acc)
+        assert vectorize_function(module.get_function("main")) == 0
+
+    def test_potentially_aliasing_store_rejected(self):
+        """Same array loaded and stored -> stay scalar."""
+        module = Module("m")
+        module.add_global("a", T.ArrayType(T.I64, 64), list(range(64)))
+        fn, b = make_function(module, "main", T.VOID, [T.I64])
+        a = module.get_global("a")
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        x = b.load(T.I64, b.gep(T.I64, a, loop.index))
+        b.store(b.add(x, b.i64(1)), b.gep(T.I64, a, loop.index))
+        b.end_loop(loop)
+        b.ret_void()
+        assert vectorize_function(module.get_function("main")) == 0
+
+    def test_non_unit_step_rejected(self):
+        module = Module("m")
+        module.add_global("a", T.ArrayType(T.I64, 64), list(range(64)))
+        fn, b = make_function(module, "main", T.I64, [T.I64])
+        a = module.get_global("a")
+        loop = b.begin_loop(b.i64(0), fn.args[0], step=b.i64(2))
+        acc = b.loop_phi(loop, b.i64(0))
+        x = b.load(T.I64, b.gep(T.I64, a, loop.index))
+        b.set_loop_next(loop, acc, b.add(acc, x))
+        b.end_loop(loop)
+        b.ret(acc)
+        assert vectorize_function(module.get_function("main")) == 0
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("n", [0, 1, 3, 4, 5, 37, 64])
+    def test_map_results_identical(self, n, fast_config):
+        base = map_kernel()
+        vec = vectorize(clone_module(base))
+        # Compare whole output arrays.
+        m1 = Machine(base, fast_config)
+        m1.run("main", [n])
+        m2 = Machine(vec, fast_config)
+        m2.run("main", [n])
+        assert m1.read_global("out") == m2.read_global("out")
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 7, 31, 64])
+    def test_reduction_results_identical(self, n, fast_config):
+        base = reduction_kernel()
+        vec = vectorize(clone_module(base))
+        # FP reassociation: vector reduction sums in a different order,
+        # so allow tiny tolerance.
+        r1 = run_scalar(base, "main", [n], fast_config)
+        r2 = run_scalar(vec, "main", [n], fast_config)
+        assert r2 == pytest.approx(r1, rel=1e-12)
+
+    def test_vector_loads_emitted(self):
+        module = map_kernel()
+        vectorize(module)
+        fn = module.get_function("main")
+        assert any(
+            isinstance(i, LoadInst) and i.type.is_vector for i in fn.instructions()
+        )
+        assert any(
+            isinstance(i, StoreInst) and i.value.type.is_vector
+            for i in fn.instructions()
+        )
+
+    def test_speedup_on_large_input(self):
+        base = map_kernel()
+        vec = vectorize(clone_module(base))
+        cfg = MachineConfig()
+        c1 = Machine(base, cfg).run("main", [64]).cycles
+        c2 = Machine(vec, cfg).run("main", [64]).cycles
+        assert c2 < c1
+
+
+class TestEdgeCases:
+    def test_mul_reduction(self, fast_config):
+        module = Module("m")
+        module.add_global("a", T.ArrayType(T.I64, 16), [(i % 3) + 1 for i in range(16)])
+        fn, b = make_function(module, "main", T.I64, [T.I64])
+        a = module.get_global("a")
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        acc = b.loop_phi(loop, b.i64(1))
+        x = b.load(T.I64, b.gep(T.I64, a, loop.index))
+        b.set_loop_next(loop, acc, b.mul(acc, x))
+        b.end_loop(loop)
+        b.ret(acc)
+        base = run_scalar(module, "main", [13], fast_config)
+        vec = vectorize(clone_module(module))
+        verify_module(vec)
+        assert run_scalar(vec, "main", [13], fast_config) == base
+
+    def test_xor_and_or_reductions(self, fast_config):
+        for opcode in ("xor", "and", "or"):
+            module = Module("m")
+            module.add_global(
+                "a", T.ArrayType(T.I64, 32), [(i * 2654435761) % 977 for i in range(32)]
+            )
+            fn, b = make_function(module, "main", T.I64, [T.I64])
+            a = module.get_global("a")
+            loop = b.begin_loop(b.i64(0), fn.args[0])
+            init = b.i64((1 << 64) - 1) if opcode == "and" else b.i64(0)
+            acc = b.loop_phi(loop, init)
+            x = b.load(T.I64, b.gep(T.I64, a, loop.index))
+            b.set_loop_next(loop, acc, b.binop(opcode, acc, x))
+            b.end_loop(loop)
+            b.ret(acc)
+            base = run_scalar(module, "main", [29], fast_config)
+            vec = vectorize(clone_module(module))
+            verify_module(vec)
+            assert run_scalar(vec, "main", [29], fast_config) == base, opcode
+
+    def test_non_constant_reduction_init(self, fast_config):
+        """Init from a function argument: inserted into lane 0 in the
+        preheader."""
+        module = Module("m")
+        module.add_global("a", T.ArrayType(T.I64, 32), list(range(32)))
+        fn, b = make_function(module, "main", T.I64, [T.I64, T.I64])
+        a = module.get_global("a")
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        acc = b.loop_phi(loop, fn.args[1])
+        x = b.load(T.I64, b.gep(T.I64, a, loop.index))
+        b.set_loop_next(loop, acc, b.add(acc, x))
+        b.end_loop(loop)
+        b.ret(acc)
+        base = run_scalar(module, "main", [19, 1000], fast_config)
+        vec = vectorize(clone_module(module))
+        verify_module(vec)
+        assert run_scalar(vec, "main", [19, 1000], fast_config) == base
+
+    def test_negative_trip_count(self, fast_config):
+        module = map_kernel()
+        vec = vectorize(clone_module(module))
+        m1 = Machine(module, fast_config)
+        m1.run("main", [(-5) & ((1 << 64) - 1)])
+        m2 = Machine(vec, fast_config)
+        m2.run("main", [(-5) & ((1 << 64) - 1)])
+        assert m1.read_global("out") == m2.read_global("out")
+
+    def test_loop_index_used_in_computation(self, fast_config):
+        """out[i] = a[i] * i — the index feeds arithmetic, which the
+        vectorizer materializes as <i, i+1, i+2, i+3>."""
+        module = Module("m")
+        module.add_global("a", T.ArrayType(T.I64, 64), [3] * 64)
+        module.add_global("out", T.ArrayType(T.I64, 64))
+        fn, b = make_function(module, "main", T.VOID, [T.I64])
+        a = module.get_global("a")
+        out = module.get_global("out")
+        loop = b.begin_loop(b.i64(0), fn.args[0])
+        x = b.load(T.I64, b.gep(T.I64, a, loop.index))
+        b.store(b.mul(x, loop.index), b.gep(T.I64, out, loop.index))
+        b.end_loop(loop)
+        b.ret_void()
+        vec = vectorize(clone_module(module))
+        verify_module(vec)
+        m1 = Machine(module, fast_config)
+        m1.run("main", [37])
+        m2 = Machine(vec, fast_config)
+        m2.run("main", [37])
+        assert m1.read_global("out") == m2.read_global("out")
+        assert m1.read_global("out")[5] == 15
+
+    def test_two_loops_in_one_function(self, fast_config):
+        module = Module("m")
+        module.add_global("a", T.ArrayType(T.I64, 32), list(range(32)))
+        module.add_global("b2", T.ArrayType(T.I64, 32))
+        fn, b = make_function(module, "main", T.I64, [T.I64])
+        a = module.get_global("a")
+        b2 = module.get_global("b2")
+        loop1 = b.begin_loop(b.i64(0), fn.args[0])
+        x = b.load(T.I64, b.gep(T.I64, a, loop1.index))
+        b.store(b.add(x, b.i64(1)), b.gep(T.I64, b2, loop1.index))
+        b.end_loop(loop1)
+        loop2 = b.begin_loop(b.i64(0), fn.args[0])
+        acc = b.loop_phi(loop2, b.i64(0))
+        y = b.load(T.I64, b.gep(T.I64, b2, loop2.index))
+        b.set_loop_next(loop2, acc, b.add(acc, y))
+        b.end_loop(loop2)
+        b.ret(acc)
+        from repro.passes.vectorize import vectorize_function
+
+        base = run_scalar(module, "main", [30], fast_config)
+        vec = clone_module(module)
+        assert vectorize_function(vec.get_function("main")) == 2
+        verify_module(vec)
+        assert run_scalar(vec, "main", [30], fast_config) == base
+
+    def test_float_loop_bound_from_argument(self, fast_config):
+        """Bound is an argument (not a constant) — still canonical."""
+        module = reduction_kernel()
+        vec = vectorize(clone_module(module))
+        verify_module(vec)
+        import pytest as _pytest
+
+        assert run_scalar(vec, "main", [50], fast_config) == _pytest.approx(
+            run_scalar(module, "main", [50], fast_config), rel=1e-12
+        )

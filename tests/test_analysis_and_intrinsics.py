@@ -1,0 +1,123 @@
+"""Tests for the analysis helpers, intrinsic declarations, and the
+Experiment container."""
+
+import pytest
+
+from repro.analysis import arithmetic_mean, fmt, geometric_mean, render_table
+from repro.cpu import intrinsics as intr
+from repro.harness.base import Experiment
+from repro.ir import Module
+from repro.ir import types as T
+
+
+class TestReport:
+    def test_fmt(self):
+        assert fmt(None) == "-"
+        assert fmt(1.23456, 2) == "1.23"
+        assert fmt(7) == "7"
+        assert fmt("x") == "x"
+
+    def test_render_table_alignment(self):
+        text = render_table("T", ("a", "bb"), [(1, 2.5), (10, 3.25)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        data_lines = [l for l in lines if "2.50" in l or "3.25" in l]
+        assert len(data_lines) == 2
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) <= 2  # rules and rows align
+
+    def test_means(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert geometric_mean([1.0, 4.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+        assert geometric_mean([]) == 0.0
+
+
+class TestExperiment:
+    def make(self):
+        return Experiment(
+            id="figX", title="demo", headers=("name", "v"),
+            rows=[("a", 1.0), ("b", 2.0)],
+        )
+
+    def test_render_contains_id(self):
+        assert "[figX]" in self.make().render()
+
+    def test_row_by_label(self):
+        exp = self.make()
+        assert exp.row_by_label("b")[1] == 2.0
+        with pytest.raises(KeyError):
+            exp.row_by_label("zzz")
+
+    def test_column(self):
+        assert self.make().column(1) == [1.0, 2.0]
+
+
+class TestIntrinsics:
+    def test_type_tags(self):
+        assert intr.type_tag(T.I64) == "i64"
+        assert intr.type_tag(T.F32) == "f32"
+        assert intr.type_tag(T.PTR) == "p64"
+        assert intr.type_tag(T.vector(T.I1, 4)) == "v4i1"
+        assert intr.type_tag(T.vector(T.F64, 4)) == "v4f64"
+        with pytest.raises(TypeError):
+            intr.type_tag(T.VOID)
+
+    def test_monomorphised_names(self):
+        module = Module("m")
+        check = intr.elzar_check(module, T.vector(T.I64, 4))
+        assert check.name == "elzar.check.v4i64"
+        assert check.is_intrinsic
+        vote = intr.tmr_vote(module, T.F64)
+        assert vote.name == "tmr.vote.f64"
+        assert len(vote.ftype.params) == 3
+
+    def test_declarations_cached(self):
+        module = Module("m")
+        a = intr.elzar_check(module, T.vector(T.I64, 4))
+        b = intr.elzar_check(module, T.vector(T.I64, 4))
+        assert a is b
+
+    def test_branch_cond_variants(self):
+        module = Module("m")
+        checked = intr.elzar_branch_cond(module, 4, checked=True)
+        nocheck = intr.elzar_branch_cond(module, 4, checked=False)
+        assert checked.name != nocheck.name
+        assert checked.ftype.ret == T.I1
+
+    def test_conflicting_redeclaration_rejected(self):
+        module = Module("m")
+        module.declare_function("rt.alloc", T.FunctionType(T.PTR, (T.I64,)))
+        with pytest.raises(TypeError):
+            module.declare_function("rt.alloc", T.FunctionType(T.VOID, ()))
+
+
+class TestExperimentExport:
+    def make(self):
+        return Experiment(
+            id="figX", title="demo", headers=("name", "v"),
+            rows=[("a", 1.0), ("b", None)],
+        )
+
+    def test_to_dict(self):
+        d = self.make().to_dict()
+        assert d["id"] == "figX"
+        assert d["rows"][0] == {"name": "a", "v": 1.0}
+
+    def test_to_csv(self):
+        text = self.make().to_csv()
+        lines = text.strip().splitlines()
+        assert lines[0] == "name,v"
+        assert lines[1] == "a,1.0"
+        assert lines[2] == "b,"  # None -> empty cell
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        self.make().save(path)
+        assert path.read_text().startswith("name,v")
+
+    def test_dict_is_json_serializable(self):
+        import json
+
+        json.dumps(self.make().to_dict())

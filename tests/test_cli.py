@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import _EXPERIMENTS, main
+
+
+class TestCliInProcess:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig11", "table4", "fp-only"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_single_experiment_at_test_scale(self, capsys):
+        assert main(["table4", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "truncation" in out
+        assert "elapsed" in out
+
+    def test_fig13_with_tiny_campaign(self, capsys):
+        assert main(["fig13", "--scale", "test", "--injections", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "corrupted" in out.lower() or "SDC" in out
+
+    def test_registry_complete(self):
+        expected = {
+            "fig1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig17",
+            "table2", "table3", "table4", "fp-only",
+        }
+        assert set(_EXPERIMENTS) == expected
+
+
+class TestCliSubprocess:
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "fig11" in result.stdout

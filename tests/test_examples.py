@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+The heavyweight examples (perf-scale pricing, the full paper driver)
+are exercised with reduced parameters or skipped; these tests assert
+the examples' code paths work, not their runtime.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "ELZAR-hardened IR" in out
+        assert "still correct" in out
+        assert "majority-vote corrections performed" in out
+
+    def test_fault_injection_campaign_small(self):
+        out = run_example("fault_injection_campaign.py", "20")
+        assert "histogram/native" in out
+        assert "SDC" in out
+
+    def test_inspect_hardening(self):
+        out = run_example("inspect_hardening.py", "histogram")
+        assert "swift-r" in out
+        assert "elzar" in out
+
+    @pytest.mark.slow
+    def test_kvstore_ycsb(self):
+        out = run_example("kvstore_ycsb.py")
+        assert "ELZAR reaches" in out
+
+    @pytest.mark.slow
+    def test_harden_blackscholes(self):
+        out = run_example("harden_blackscholes.py")
+        assert "book_value" in out

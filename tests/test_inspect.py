@@ -1,0 +1,80 @@
+"""Tests for the static module inspection tools."""
+
+import pytest
+
+from repro.analysis import diff_reports, inspect_function, inspect_module
+from repro.passes import (
+    ElzarOptions,
+    elzar_transform,
+    mem2reg,
+    swiftr_transform,
+)
+from repro.workloads import get
+
+
+@pytest.fixture(scope="module")
+def hist():
+    built = get("histogram").build_at("test")
+    mem2reg(built.module)
+    return built
+
+
+class TestInspectFunction:
+    def test_native_has_no_vectors_or_checks(self, hist):
+        report = inspect_function(hist.module.get_function("main"))
+        assert report.hardened == ""
+        assert report.vector_instructions == 0
+        assert report.check_calls == 0
+        assert report.replication_coverage == 0.0
+        assert report.loads > 0 and report.stores > 0 and report.branches > 0
+        assert report.instructions == sum(report.opcode_histogram.values())
+
+    def test_elzar_report(self, hist):
+        hardened = elzar_transform(hist.module)
+        report = inspect_function(hardened.get_function("main"))
+        assert report.hardened == "elzar"
+        assert report.vector_instructions > 0
+        assert report.check_calls > 0
+        assert report.wrapper_instructions > 0
+        assert report.replication_coverage > 0.5
+
+    def test_swiftr_report(self, hist):
+        hardened = swiftr_transform(hist.module)
+        report = inspect_function(hardened.get_function("main"))
+        assert report.hardened == "swiftr"
+        assert report.vector_instructions == 0
+        assert report.check_calls > 0  # tmr.vote calls
+        assert report.wrapper_instructions == 0
+
+
+class TestModuleReports:
+    def test_module_aggregation(self, hist):
+        hardened = elzar_transform(hist.module)
+        report = inspect_module(hardened)
+        assert report.instructions == sum(
+            f.instructions for f in report.functions.values()
+        )
+        assert report.check_calls > 0
+        rows = report.summary_rows()
+        assert any(r[0] == "main" for r in rows)
+
+    def test_diff_reports_growth(self, hist):
+        before = inspect_module(hist.module)
+        after_elzar = inspect_module(elzar_transform(hist.module))
+        after_swiftr = inspect_module(swiftr_transform(hist.module))
+        growth_e = dict(
+            (r[0], r[3]) for r in diff_reports(before, after_elzar)
+        )
+        growth_s = dict(
+            (r[0], r[3]) for r in diff_reports(before, after_swiftr)
+        )
+        assert growth_e["main"] > 1.0
+        assert growth_s["main"] > 2.0  # triplication
+
+    def test_nochecks_reduces_static_checks(self, hist):
+        full = inspect_module(elzar_transform(hist.module))
+        bare = inspect_module(
+            elzar_transform(hist.module, ElzarOptions.no_checks())
+        )
+        assert bare.check_calls < full.check_calls
+        assert bare.wrapper_instructions == full.wrapper_instructions

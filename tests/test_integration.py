@@ -1,0 +1,103 @@
+"""End-to-end integration tests: the full paper pipeline on small
+inputs — build, optimize, vectorize/harden, simulate, inject faults —
+plus textual round-trips of transformed modules."""
+
+import pytest
+
+from repro import (
+    FaultPlan,
+    Machine,
+    MachineConfig,
+    harden,
+    inline_module,
+    mem2reg,
+)
+from repro.faults import CampaignConfig, Outcome, run_campaign
+from repro.ir import format_module, parse_module, verify_module
+from repro.passes import clone_module
+from repro.passes.vectorize import vectorize
+from repro.workloads import get, outputs_match
+
+FAST = MachineConfig(collect_timing=False)
+
+
+def pipeline(name, scale="test"):
+    built = get(name).build_at(scale)
+    mem2reg(built.module)
+    inline_module(built.module)
+    mem2reg(built.module)
+    verify_module(built.module)
+    return built
+
+
+class TestFullPipeline:
+    def test_histogram_end_to_end(self):
+        built = pipeline("histogram")
+        native = Machine(built.module, FAST).run(built.entry, built.args)
+        assert outputs_match(native.output, built.expected, built.rtol)
+
+        for scheme in ("elzar", "swiftr", "swift"):
+            hardened = harden(built.module, scheme)
+            verify_module(hardened)
+            result = Machine(hardened, FAST).run(built.entry, built.args)
+            assert result.output == native.output, scheme
+
+    def test_harden_rejects_unknown_scheme(self):
+        built = pipeline("histogram")
+        with pytest.raises(ValueError):
+            harden(built.module, "quintuple")
+
+    def test_harden_forwards_options(self):
+        built = pipeline("blackscholes")
+        hardened = harden(built.module, "elzar", float_only=True)
+        assert hardened.get_function("main").hardened == "elzar-float"
+
+    def test_vectorized_then_simulated(self):
+        built = pipeline("string_match")
+        vec = vectorize(clone_module(built.module))
+        verify_module(vec)
+        native = Machine(built.module, MachineConfig())
+        simd = Machine(vec, MachineConfig())
+        r1 = native.run(built.entry, built.args)
+        r2 = simd.run(built.entry, built.args)
+        assert r1.output == r2.output
+        assert r2.cycles < r1.cycles  # bzero vectorizes (Figure 1)
+
+    def test_hardened_module_text_roundtrip(self):
+        """ELZAR output prints and parses back to an equivalent module."""
+        built = pipeline("linear_regression")
+        hardened = harden(built.module, "elzar")
+        text = format_module(hardened)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        a = Machine(hardened, FAST).run(built.entry, built.args)
+        b = Machine(reparsed, FAST).run(built.entry, built.args)
+        assert b.output == a.output
+        assert b.counters.instructions == a.counters.instructions
+
+    def test_campaign_on_hardened_pipeline(self):
+        built = pipeline("linear_regression")
+        hardened = harden(built.module, "elzar")
+        cfg = CampaignConfig(injections=40, seed=11)
+        native = run_campaign(built.module, built.entry, built.args,
+                              "linreg", "native", cfg)
+        elzar = run_campaign(hardened, built.entry, built.args,
+                             "linreg", "elzar", cfg)
+        assert elzar.sdc_rate <= native.sdc_rate
+        assert elzar.total == native.total == 40
+
+    def test_window_of_vulnerability_documented_behaviour(self):
+        """§V-C: an SDC under ELZAR implies the fault hit a scalar
+        (extracted) value, never a replicated one."""
+        built = pipeline("histogram")
+        hardened = harden(built.module, "elzar")
+        golden = Machine(hardened, FAST).run(built.entry, built.args).output
+        for index in range(0, 400, 13):
+            machine = Machine(hardened, FAST)
+            machine.arm_fault(FaultPlan(target_index=index, bit=3, lane=1))
+            try:
+                result = machine.run(built.entry, built.args)
+            except Exception:
+                continue
+            if result.output != golden and machine.fault_target is not None:
+                assert not machine.fault_target.type.is_vector

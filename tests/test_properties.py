@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis).
+
+Core invariants:
+
+1. *Transformation equivalence*: for randomly generated straight-line
+   and looped programs, native, ELZAR, SWIFT-R and SWIFT executions
+   produce identical results.
+2. *TMR correction*: a single lane flip in any replicated value never
+   changes an ELZAR-hardened program's output.
+3. *Majority voting*: recover() fixes every single-lane corruption and
+   stops on 2-2 splits.
+4. *Memory*: typed round-trips hold for arbitrary values.
+5. *Cache/LRU and predictor sanity* under random access streams.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.avx import NoMajorityError, majority_value, ptest_classify, recover
+from repro.cpu import Cache, Machine, MachineConfig, Memory
+from repro.cpu.interpreter import FaultPlan, _to_signed
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir import types as T
+from repro.passes import elzar_transform, swift_transform, swiftr_transform
+
+FAST = MachineConfig(collect_timing=False, cache_enabled=False)
+
+INT_OPS = ["add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"]
+DIV_OPS = ["sdiv", "udiv", "srem", "urem"]
+
+
+def _build_expression_program(ops, consts, use_loop, trip):
+    """A random integer kernel: a chain of binary ops folded into a
+    reduction loop when ``use_loop``."""
+    module = Module("prop")
+    fn = module.add_function("main", T.FunctionType(T.I64, (T.I64,)), ["x"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    x = fn.args[0]
+
+    def chain(value, salt):
+        for i, (op, c) in enumerate(zip(ops, consts)):
+            rhs = b.i64((c + salt * 31 + i) & 0xFFFF | 1)
+            if op in DIV_OPS:
+                value = b.binop(op, value, rhs)
+            else:
+                value = b.binop(op, value, rhs)
+        return value
+
+    if use_loop:
+        loop = b.begin_loop(b.i64(0), b.i64(trip))
+        acc = b.loop_phi(loop, x)
+        b.set_loop_next(loop, acc, chain(b.add(acc, loop.index), 1))
+        b.end_loop(loop)
+        result = acc
+    else:
+        result = chain(x, 0)
+    b.ret(result)
+    verify_module(module)
+    return module
+
+
+@st.composite
+def expression_programs(draw):
+    ops = draw(st.lists(st.sampled_from(INT_OPS + DIV_OPS), min_size=1,
+                        max_size=6))
+    consts = draw(st.lists(st.integers(0, 1 << 16), min_size=len(ops),
+                           max_size=len(ops)))
+    use_loop = draw(st.booleans())
+    trip = draw(st.integers(0, 8))
+    return _build_expression_program(ops, consts, use_loop, trip)
+
+
+class TestTransformEquivalence:
+    @given(module=expression_programs(), x=st.integers(0, (1 << 64) - 1))
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_all_schemes_agree(self, module, x):
+        native = Machine(module, FAST).run("main", [x]).value
+        for transform in (elzar_transform, swiftr_transform, swift_transform):
+            hardened = transform(module)
+            got = Machine(hardened, FAST).run("main", [x]).value
+            assert got == native, transform.__name__
+
+    @given(
+        a=st.floats(allow_nan=False, allow_infinity=False, width=64),
+        c=st.floats(allow_nan=False, allow_infinity=False, width=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_float_pipeline_agrees(self, a, c):
+        module = Module("fp")
+        fn = module.add_function("main", T.FunctionType(T.F64, (T.F64,)), ["x"])
+        b = IRBuilder()
+        b.position_at_end(fn.append_block("entry"))
+        y = b.fmul(fn.args[0], b.f64(c))
+        z = b.fadd(y, b.f64(1.0))
+        cmp = b.fcmp("olt", z, b.f64(0.0))
+        b.ret(b.select(cmp, b.fsub(b.f64(0.0), z), z))
+        native = Machine(module, FAST).run("main", [a]).value
+        for transform in (elzar_transform, swiftr_transform):
+            got = Machine(transform(module), FAST).run("main", [a]).value
+            assert got == native or (math.isnan(got) and math.isnan(native))
+
+
+class TestTmrCorrection:
+    @given(
+        x=st.integers(0, (1 << 32) - 1),
+        index=st.integers(0, 40),
+        bit=st.integers(0, 63),
+        lane=st.integers(0, 3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_vector_lane_flips_never_corrupt(self, x, index, bit, lane):
+        """Any single SEU in a *replicated* value is outvoted; SDC can
+        only arise in the scalar extract window (checked separately)."""
+        module = _build_expression_program(
+            ["add", "mul", "xor"], [5, 9, 3], True, 5
+        )
+        hardened = elzar_transform(module)
+        golden = Machine(hardened, FAST).run("main", [x]).value
+        machine = Machine(hardened, FAST)
+        machine.arm_fault(FaultPlan(target_index=index, bit=bit, lane=lane))
+        try:
+            result = machine.run("main", [x])
+        except Exception:
+            return  # detected/crash outcomes are acceptable, SDC is not
+        if machine.fault_target is not None and machine.fault_target.type.is_vector:
+            assert result.value == golden
+
+
+class TestMajorityProperties:
+    @given(
+        value=st.integers(0, (1 << 64) - 1),
+        lane=st.integers(0, 3),
+        corrupt=st.integers(0, (1 << 64) - 1),
+    )
+    def test_single_corruption_always_recovered(self, value, lane, corrupt):
+        lanes = [value] * 4
+        lanes[lane] = corrupt
+        assert recover(tuple(lanes)) == (value,) * 4 or corrupt == value
+
+    @given(value=st.integers(0, 255), other=st.integers(0, 255))
+    def test_two_two_split_raises_iff_distinct(self, value, other):
+        lanes = (value, value, other, other)
+        if value == other:
+            assert majority_value(lanes) == value
+        else:
+            with pytest.raises(NoMajorityError):
+                majority_value(lanes)
+
+    @given(lanes=st.lists(st.integers(0, 1), min_size=4, max_size=4))
+    def test_ptest_classify_total(self, lanes):
+        kind = ptest_classify(lanes)
+        if all(lanes):
+            assert kind == 1
+        elif not any(lanes):
+            assert kind == 0
+        else:
+            assert kind == 2
+
+
+class TestMemoryProperties:
+    @given(value=st.integers(0, (1 << 64) - 1))
+    def test_i64_roundtrip(self, value):
+        mem = Memory()
+        addr = mem.alloc(8)
+        mem.store_scalar(T.I64, addr, value)
+        assert mem.load_scalar(T.I64, addr) == value
+
+    @given(value=st.floats(allow_nan=False, width=64))
+    def test_f64_roundtrip(self, value):
+        mem = Memory()
+        addr = mem.alloc(8)
+        mem.store_scalar(T.F64, addr, value)
+        assert mem.load_scalar(T.F64, addr) == value
+
+    @given(value=st.integers(-(1 << 63), (1 << 63) - 1))
+    def test_signed_view_roundtrip(self, value):
+        unsigned = value & ((1 << 64) - 1)
+        assert _to_signed(unsigned, 64) == value
+
+
+class TestCacheProperties:
+    @given(stream=st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_immediate_rereference_always_hits(self, stream):
+        c = Cache(size=4 << 10, assoc=8)
+        for line in stream:
+            c.access(line)
+            assert c.access(line) is True
+
+    @given(stream=st.lists(st.integers(0, 7), min_size=1, max_size=100))
+    def test_small_working_set_never_evicts(self, stream):
+        c = Cache(size=4 << 10, assoc=8)  # 8 sets x 8 ways
+        seen = set()
+        for line in stream:
+            hit = c.access(line)
+            if line in seen:
+                assert hit  # 8 distinct lines cannot overflow 64 entries
+            seen.add(line)

@@ -1,0 +1,149 @@
+"""Property-based tests over the IR itself: printer/parser round-trips
+on randomly generated programs, esoteric integer widths (§III-D), and
+hardened-code invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Machine, MachineConfig
+from repro.ir import (
+    IRBuilder,
+    Module,
+    format_module,
+    parse_module,
+    verify_module,
+)
+from repro.ir import types as T
+from repro.ir.values import Constant
+from repro.ir.instructions import CallInst
+from repro.passes import elzar_transform, mem2reg, swiftr_transform
+
+FAST = MachineConfig(collect_timing=False, cache_enabled=False)
+
+_SCALAR_OPS = ["add", "sub", "mul", "and", "or", "xor", "shl", "lshr"]
+
+
+def _random_program(ops, consts, widths, with_branch):
+    module = Module("fuzz")
+    fn = module.add_function("main", T.FunctionType(T.I64, (T.I64,)), ["x"])
+    b = IRBuilder()
+    b.position_at_end(fn.append_block("entry"))
+    v = fn.args[0]
+    for op, c, w in zip(ops, consts, widths):
+        ty = T.int_type(w)
+        narrowed = b.trunc(v, ty) if w < 64 else v
+        rhs = IRBuilder.i64(c) if w == 64 else Constant(ty, c)
+        mixed = b.binop(op, narrowed, rhs)
+        v = b.zext(mixed, T.I64) if w < 64 else mixed
+    if with_branch:
+        cond = b.icmp("slt", v, b.i64(1 << 32))
+        state = b.begin_if(cond, with_else=True)
+        then_v = b.add(v, b.i64(1))
+        b.begin_else(state)
+        else_v = b.xor(v, b.i64(0xFF))
+        b.end_if(state)
+        phi = b.phi(T.I64)
+        phi.add_incoming(then_v, state.then_end)
+        phi.add_incoming(else_v, state.else_block)
+        v = phi
+    b.ret(v)
+    verify_module(module)
+    return module
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(1, 6))
+    ops = draw(st.lists(st.sampled_from(_SCALAR_OPS), min_size=n, max_size=n))
+    consts = draw(st.lists(st.integers(0, 255), min_size=n, max_size=n))
+    widths = draw(st.lists(st.sampled_from([8, 16, 32, 64]), min_size=n,
+                           max_size=n))
+    with_branch = draw(st.booleans())
+    return _random_program(ops, consts, widths, with_branch)
+
+
+class TestPrinterParserFuzz:
+    @given(module=programs(), x=st.integers(0, (1 << 64) - 1))
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_roundtrip_preserves_text_and_behaviour(self, module, x):
+        text = format_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert format_module(reparsed) == text
+        a = Machine(module, FAST).run("main", [x]).value
+        b = Machine(reparsed, FAST).run("main", [x]).value
+        assert a == b
+
+    @given(module=programs())
+    @settings(max_examples=30, deadline=None)
+    def test_hardened_modules_roundtrip(self, module):
+        hardened = elzar_transform(module)
+        text = format_module(hardened)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert format_module(reparsed) == text
+
+
+class TestEsotericWidths:
+    """§III-D: LLVM sometimes produces i1/i9-style types; they are
+    extended to supported widths with the right signedness."""
+
+    @pytest.mark.parametrize("width", [1, 7, 9, 17, 33])
+    def test_odd_width_arithmetic_survives_hardening(self, width, fast_config):
+        module = Module("m")
+        fn = module.add_function("main", T.FunctionType(T.I64, (T.I64,)), ["x"])
+        b = IRBuilder()
+        b.position_at_end(fn.append_block("entry"))
+        ty = T.int_type(width)
+        narrow = b.trunc(fn.args[0], ty)
+        bumped = b.binop("add", narrow, Constant(ty, 1))
+        b.ret(b.zext(bumped, T.I64))
+        native = Machine(module, fast_config).run("main", [(1 << width) - 1]).value
+        assert native == 0  # wraps within the odd width
+        for transform in (elzar_transform, swiftr_transform):
+            hardened = transform(module)
+            got = Machine(hardened, fast_config).run("main", [(1 << width) - 1]).value
+            assert got == native
+
+    @pytest.mark.parametrize("width", [7, 9])
+    def test_sext_of_odd_width(self, width, fast_config):
+        module = Module("m")
+        fn = module.add_function("main", T.FunctionType(T.I64, (T.I64,)), ["x"])
+        b = IRBuilder()
+        b.position_at_end(fn.append_block("entry"))
+        ty = T.int_type(width)
+        narrow = b.trunc(fn.args[0], ty)
+        b.ret(b.sext(narrow, T.I64))
+        top_bit_set = (1 << width) - 1  # all ones: negative in width
+        native = Machine(module, fast_config).run("main", [top_bit_set]).value
+        assert native == (1 << 64) - 1  # sign-extended -1
+        hardened = elzar_transform(module)
+        assert Machine(hardened, fast_config).run("main", [top_bit_set]).value == native
+
+
+class TestHardenedInvariants:
+    @given(module=programs())
+    @settings(max_examples=30, deadline=None)
+    def test_elzar_emits_no_vector_sync_ops(self, module):
+        """Loads/stores/calls in ELZAR output always operate on scalars
+        (§III-B: memory and control flow are not replicated)."""
+        hardened = elzar_transform(module)
+        for fn in hardened.defined_functions():
+            for inst in fn.instructions():
+                if inst.opcode == "load":
+                    assert not inst.type.is_vector
+                elif inst.opcode == "store":
+                    assert not inst.value.type.is_vector
+                elif isinstance(inst, CallInst) and not inst.callee.is_intrinsic:
+                    for arg in inst.args:
+                        assert not arg.type.is_vector
+
+    @given(module=programs())
+    @settings(max_examples=30, deadline=None)
+    def test_swiftr_output_has_no_vectors_at_all(self, module):
+        hardened = swiftr_transform(module)
+        for fn in hardened.defined_functions():
+            for inst in fn.instructions():
+                assert not inst.type.is_vector

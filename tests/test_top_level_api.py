@@ -1,0 +1,54 @@
+"""Tests for the top-level ``repro`` package surface."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestHardenFacade:
+    @pytest.fixture()
+    def module(self):
+        from repro.ir import types as T
+
+        m = repro.Module("m")
+        fn = m.add_function("f", T.FunctionType(T.I64, (T.I64,)), ["x"])
+        b = repro.IRBuilder()
+        b.position_at_end(fn.append_block("entry"))
+        b.ret(b.mul(fn.args[0], b.i64(7)))
+        return m
+
+    @pytest.mark.parametrize("scheme,marker", [
+        ("elzar", "elzar"),
+        ("swiftr", "swiftr"),
+        ("swift", "swift"),
+    ])
+    def test_schemes(self, module, scheme, marker):
+        hardened = repro.harden(module, scheme)
+        assert hardened.get_function("f").hardened == marker
+        machine = repro.Machine(
+            hardened, repro.MachineConfig(collect_timing=False)
+        )
+        assert machine.run("f", [6]).value == 42
+
+    def test_options_forwarded(self, module):
+        hardened = repro.harden(module, "elzar", check_loads=False,
+                                float_only=True)
+        assert hardened.get_function("f").hardened == "elzar-float"
+
+    def test_unknown_scheme(self, module):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            repro.harden(module, "qmr")
+
+    def test_input_module_untouched(self, module):
+        before = repro.format_module(module)
+        repro.harden(module, "elzar")
+        assert repro.format_module(module) == before

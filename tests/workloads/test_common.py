@@ -1,0 +1,59 @@
+"""Tests for the workload framework utilities."""
+
+import pytest
+
+from repro.workloads import outputs_match, pick, rng
+from repro.workloads.common import SCALES, BuiltWorkload
+
+
+class TestOutputsMatch:
+    def test_exact_ints(self):
+        assert outputs_match([1, 2, 3], [1, 2, 3])
+        assert not outputs_match([1, 2, 3], [1, 2, 4])
+
+    def test_length_mismatch(self):
+        assert not outputs_match([1, 2], [1, 2, 3])
+
+    def test_float_tolerance(self):
+        assert outputs_match([1.0 + 1e-12], [1.0], rtol=1e-9)
+        assert not outputs_match([1.0 + 1e-6], [1.0], rtol=1e-9)
+
+    def test_tolerance_scales_with_magnitude(self):
+        assert outputs_match([1e12 + 1.0], [1e12], rtol=1e-9)
+        assert not outputs_match([1e12 + 1e5], [1e12], rtol=1e-9)
+
+    def test_small_values_use_absolute_floor(self):
+        # scale = max(|expected|, 1.0): tiny expected values compare
+        # with an absolute tolerance of rtol.
+        assert outputs_match([1e-12], [0.0], rtol=1e-9)
+        assert not outputs_match([1e-6], [0.0], rtol=1e-9)
+
+    def test_none_is_wildcard(self):
+        assert outputs_match([123, 4.5], [None, 4.5])
+
+    def test_mixed_int_float(self):
+        assert outputs_match([3], [3.0])
+        assert outputs_match([3.0], [3])
+
+
+class TestHelpers:
+    def test_pick(self):
+        assert pick("perf", 1, 2, 3) == 1
+        assert pick("fi", 1, 2, 3) == 2
+        assert pick("test", 1, 2, 3) == 3
+        with pytest.raises(KeyError):
+            pick("huge", 1, 2, 3)
+
+    def test_rng_deterministic(self):
+        assert rng(7).randint(0, 1 << 30) == rng(7).randint(0, 1 << 30)
+        assert rng(7).randint(0, 1 << 30) != rng(8).randint(0, 1 << 30)
+
+    def test_scales_constant(self):
+        assert SCALES == ("perf", "fi", "test")
+
+    def test_built_workload_defaults(self):
+        from repro.ir import Module
+
+        built = BuiltWorkload(Module("m"), "main", (1,))
+        assert built.expected is None
+        assert built.rtol == 1e-9

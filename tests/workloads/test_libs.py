@@ -1,0 +1,169 @@
+"""Tests for the IR libc and libm."""
+
+import math
+
+import pytest
+
+from repro.cpu import Machine, MachineConfig
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir import types as T
+from repro.workloads import libc, libm
+
+from ..conftest import make_function
+
+
+@pytest.fixture
+def machine_for():
+    def build(module):
+        verify_module(module)
+        return Machine(module, MachineConfig(collect_timing=False,
+                                             cache_enabled=False))
+
+    return build
+
+
+class TestLibc:
+    def test_memset(self, machine_for):
+        module = Module("m")
+        module.add_global("buf", T.ArrayType(T.I8, 16), list(range(16)))
+        fn = libc.memset_i8(module)
+        machine = machine_for(module)
+        buf = machine.globals_addr["buf"]
+        machine.run("memset_i8", [buf + 2, 0xAB, 8])
+        data = machine.read_global("buf")
+        assert data[:2] == [0, 1]
+        assert data[2:10] == [0xAB] * 8
+        assert data[10:] == list(range(10, 16))
+
+    def test_memcpy(self, machine_for):
+        module = Module("m")
+        module.add_global("src", T.ArrayType(T.I8, 8), list(range(8)))
+        module.add_global("dst", T.ArrayType(T.I8, 8))
+        libc.memcpy_i8(module)
+        machine = machine_for(module)
+        machine.run("memcpy_i8", [machine.globals_addr["dst"],
+                                  machine.globals_addr["src"], 8])
+        assert machine.read_global("dst") == list(range(8))
+
+    def test_memcmp(self, machine_for):
+        module = Module("m")
+        module.add_global("a", T.ArrayType(T.I8, 4), [1, 2, 3, 4])
+        module.add_global("b", T.ArrayType(T.I8, 4), [1, 2, 9, 4])
+        libc.memcmp_i8(module)
+        machine = machine_for(module)
+        a, bb = machine.globals_addr["a"], machine.globals_addr["b"]
+        assert machine.run("memcmp_i8", [a, bb, 2]).value == 0
+        assert machine.run("memcmp_i8", [a, bb, 4]).value == 1
+
+    def test_strcmp_len(self, machine_for):
+        module = Module("m")
+        module.add_global("a", T.ArrayType(T.I8, 4), [1, 2, 3, 4])
+        module.add_global("b", T.ArrayType(T.I8, 4), [1, 2, 9, 4])
+        libc.strcmp_len(module)
+        machine = machine_for(module)
+        a, bb = machine.globals_addr["a"], machine.globals_addr["b"]
+        assert machine.run("strcmp_len", [a, bb, 4]).value == 2  # first diff
+        assert machine.run("strcmp_len", [a, a, 4]).value == 4   # equal
+
+    def test_lcg_matches_reference(self, machine_for):
+        module = Module("m")
+        libc.lcg_next(module)
+        machine = machine_for(module)
+        state = 42
+        for _ in range(5):
+            state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        got = 42
+        for _ in range(5):
+            got = machine.run("lcg_next", [got]).value
+        assert got == state
+
+    def test_lcg_to_unit_in_range(self, machine_for):
+        module = Module("m")
+        libc.lcg_to_unit_f64(module)
+        machine = machine_for(module)
+        for seed in (1, 2, 1 << 63, (1 << 64) - 1):
+            v = machine.run("lcg_to_unit_f64", [seed]).value
+            assert 0.0 < v < 1.0001
+
+    def test_idempotent_definition(self):
+        module = Module("m")
+        first = libc.memset_i8(module)
+        second = libc.memset_i8(module)
+        assert first is second
+
+
+class TestLibm:
+    @pytest.fixture(scope="class")
+    def mathmod(self):
+        module = Module("mathtest")
+        for builder in (libm.sqrt_f64, libm.exp_f64, libm.log_f64,
+                        libm.erf_f64, libm.cndf_f64, libm.fabs_f64):
+            builder(module)
+        libm.pow_f64(module)
+        verify_module(module)
+        return Machine(module, MachineConfig(collect_timing=False,
+                                             cache_enabled=False))
+
+    @pytest.mark.parametrize("x", [1e-6, 0.25, 1.0, 2.0, 3.14159, 1e6, 1e12])
+    def test_sqrt(self, mathmod, x):
+        assert mathmod.run("m.sqrt", [x]).value == pytest.approx(
+            math.sqrt(x), rel=1e-12
+        )
+
+    def test_sqrt_nonpositive(self, mathmod):
+        assert mathmod.run("m.sqrt", [0.0]).value == 0.0
+        assert mathmod.run("m.sqrt", [-4.0]).value == 0.0
+
+    @pytest.mark.parametrize("x", [-20.0, -1.0, 0.0, 0.5, 1.0, 10.0, 300.0])
+    def test_exp(self, mathmod, x):
+        assert mathmod.run("m.exp", [x]).value == pytest.approx(
+            math.exp(x), rel=1e-12
+        )
+
+    def test_exp_saturates(self, mathmod):
+        assert mathmod.run("m.exp", [800.0]).value == math.inf
+        assert mathmod.run("m.exp", [-800.0]).value == 0.0
+
+    @pytest.mark.parametrize("x", [1e-10, 0.1, 1.0, 2.718281828, 1000.0, 1e15])
+    def test_log(self, mathmod, x):
+        assert mathmod.run("m.log", [x]).value == pytest.approx(
+            math.log(x), rel=1e-12, abs=1e-12
+        )
+
+    def test_log_zero(self, mathmod):
+        assert mathmod.run("m.log", [0.0]).value == -math.inf
+
+    @pytest.mark.parametrize("x", [-3.0, -1.0, -0.1, 0.0, 0.1, 1.0, 3.0])
+    def test_erf(self, mathmod, x):
+        assert mathmod.run("m.erf", [x]).value == pytest.approx(
+            math.erf(x), abs=2e-7
+        )
+
+    def test_cndf_properties(self, mathmod):
+        assert mathmod.run("m.cndf", [0.0]).value == pytest.approx(0.5, abs=1e-7)
+        phi2 = mathmod.run("m.cndf", [2.0]).value
+        phim2 = mathmod.run("m.cndf", [-2.0]).value
+        assert phi2 + phim2 == pytest.approx(1.0, abs=1e-6)
+        assert phi2 == pytest.approx(0.97725, abs=1e-4)
+
+    def test_fabs(self, mathmod):
+        assert mathmod.run("m.fabs", [-2.5]).value == 2.5
+        assert mathmod.run("m.fabs", [2.5]).value == 2.5
+
+    def test_pow(self, mathmod):
+        assert mathmod.run("m.pow", [2.0, 10.0]).value == pytest.approx(1024.0, rel=1e-9)
+        assert mathmod.run("m.pow", [9.0, 0.5]).value == pytest.approx(3.0, rel=1e-9)
+        assert mathmod.run("m.pow", [-1.0, 2.0]).value == 0.0  # documented clamp
+
+    def test_hardened_libm_matches_native(self):
+        """The whole point (§IV-A): hardened math == native math, so
+        golden-run comparison works."""
+        from repro.passes import elzar_transform
+
+        module = Module("m")
+        libm.erf_f64(module)
+        hardened = elzar_transform(module)
+        native = Machine(module, MachineConfig(collect_timing=False))
+        harden = Machine(hardened, MachineConfig(collect_timing=False))
+        for x in (-2.0, -0.3, 0.0, 0.7, 2.5):
+            assert native.run("m.erf", [x]).value == harden.run("m.erf", [x]).value

@@ -1,0 +1,185 @@
+"""Tests for the benchmark kernels: correctness against references and
+preservation under every transformation."""
+
+import pytest
+
+from repro.cpu import Machine, MachineConfig
+from repro.ir import verify_module
+from repro.passes import (
+    ElzarOptions,
+    clone_module,
+    elzar_transform,
+    mem2reg,
+    swift_transform,
+    swiftr_transform,
+)
+from repro.passes.vectorize import vectorize
+from repro.workloads import (
+    ALL,
+    BENCHMARKS,
+    MICRO_WORKLOADS,
+    SHORT_NAMES,
+    get,
+    outputs_match,
+)
+
+FAST = MachineConfig(collect_timing=False)
+BENCH_NAMES = [w.name for w in BENCHMARKS]
+MICRO_NAMES = [w.name for w in MICRO_WORKLOADS]
+
+
+@pytest.fixture(scope="module")
+def built_cache():
+    cache = {}
+
+    def build(name):
+        if name not in cache:
+            built = get(name).build_at("test")
+            mem2reg(built.module)
+            verify_module(built.module)
+            cache[name] = built
+        return cache[name]
+
+    return build
+
+
+class TestRegistry:
+    def test_fourteen_benchmarks(self):
+        assert len(BENCHMARKS) == 14
+        assert len(SHORT_NAMES) == 14
+
+    def test_lookup_by_short_name(self):
+        assert get("hist").name == "histogram"
+        assert get("smatch").name == "string_match"
+        with pytest.raises(KeyError):
+            get("nope")
+
+    def test_scales_validated(self):
+        with pytest.raises(ValueError):
+            get("histogram").build_at("huge")
+
+    def test_fi_excludes_mmul_and_fluid(self):
+        from repro.workloads import FI_BENCHMARKS
+
+        names = {w.name for w in FI_BENCHMARKS}
+        assert "matrix_multiply" not in names
+        assert "fluidanimate" not in names
+        assert len(names) == 12
+
+    def test_fp_only_set(self):
+        from repro.workloads import FP_ONLY_BENCHMARKS
+
+        assert {w.name for w in FP_ONLY_BENCHMARKS} == {
+            "blackscholes", "fluidanimate", "swaptions",
+        }
+
+
+@pytest.mark.parametrize("name", BENCH_NAMES + MICRO_NAMES)
+class TestReferenceOutputs:
+    def test_native_matches_reference(self, name, built_cache):
+        built = built_cache(name)
+        result = Machine(built.module, FAST).run(built.entry, built.args)
+        assert outputs_match(result.output, built.expected, built.rtol), (
+            result.output, built.expected,
+        )
+
+
+@pytest.mark.parametrize("name", BENCH_NAMES)
+class TestTransformPreservation:
+    def _outputs(self, module, built):
+        return Machine(module, FAST).run(built.entry, built.args).output
+
+    def test_elzar_preserves_output(self, name, built_cache):
+        built = built_cache(name)
+        base = self._outputs(built.module, built)
+        hardened = elzar_transform(built.module)
+        verify_module(hardened)
+        assert outputs_match(self._outputs(hardened, built), base, built.rtol)
+
+    def test_swiftr_preserves_output(self, name, built_cache):
+        built = built_cache(name)
+        base = self._outputs(built.module, built)
+        hardened = swiftr_transform(built.module)
+        verify_module(hardened)
+        assert outputs_match(self._outputs(hardened, built), base, built.rtol)
+
+    def test_vectorize_preserves_output(self, name, built_cache):
+        built = built_cache(name)
+        base = self._outputs(built.module, built)
+        vec = vectorize(clone_module(built.module))
+        verify_module(vec)
+        assert outputs_match(self._outputs(vec, built), base, built.rtol)
+
+    def test_float_only_preserves_output(self, name, built_cache):
+        built = built_cache(name)
+        base = self._outputs(built.module, built)
+        hardened = elzar_transform(built.module, ElzarOptions(float_only=True))
+        verify_module(hardened)
+        assert outputs_match(self._outputs(hardened, built), base, built.rtol)
+
+
+class TestWorkloadCharacters:
+    """The per-workload instruction mixes that drive the figures."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        out = {}
+        # A proportionally scaled-down cache for test-sized datasets
+        # (see MachineConfig's scaling note).
+        config = MachineConfig(l1_size=512, l2_size=4 << 10, l3_size=256 << 10)
+        for name in ("histogram", "blackscholes", "matrix_multiply",
+                     "word_count", "ferret", "string_match"):
+            built = get(name).build_at("test")
+            mem2reg(built.module)
+            out[name] = Machine(built.module, config).run(
+                built.entry, built.args
+            ).counters
+        return out
+
+    def test_histogram_is_memory_dominated(self, stats):
+        c = stats["histogram"]
+        assert c.load_fraction + c.store_fraction > 25.0
+        assert c.fp_fraction == 0.0
+
+    def test_blackscholes_is_fp_dominated(self, stats):
+        c = stats["blackscholes"]
+        assert c.fp_fraction > 25.0
+        assert c.load_fraction < 12.0
+
+    def test_matrix_multiply_misses_cache(self, stats):
+        """Column-stride walks of B thrash the (scaled) L1 — the
+        paper's 62% L1-miss workload."""
+        assert stats["matrix_multiply"].l1_miss_ratio > 10.0
+        assert (
+            stats["matrix_multiply"].l1_miss_ratio
+            > stats["string_match"].l1_miss_ratio
+        )
+
+    def test_ferret_mispredicts(self, stats):
+        assert stats["ferret"].branch_miss_ratio > 4.0
+
+    def test_word_count_branch_heavy(self, stats):
+        assert stats["word_count"].branch_fraction > 10.0
+
+    def test_native_runs_have_no_avx(self, stats):
+        for name, c in stats.items():
+            assert c.avx_instructions == 0, name
+
+
+class TestMicroStructure:
+    def test_truncation_micro_has_truncs(self):
+        built = get("micro_truncation").build_at("test")
+        mem2reg(built.module)
+        fn = built.module.get_function("main")
+        truncs = [i for i in fn.instructions() if i.opcode == "trunc"]
+        assert len(truncs) >= 8
+
+    def test_micro_not_vectorizable(self):
+        """Table IV microbenchmarks must not auto-vectorize, or the
+        native baseline would not be the paper's scalar baseline."""
+        from repro.passes.vectorize import vectorize_function
+
+        for wl in MICRO_WORKLOADS:
+            built = wl.build_at("test")
+            mem2reg(built.module)
+            assert vectorize_function(built.module.get_function("main")) == 0, wl.name
