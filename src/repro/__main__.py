@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro fig11 [--scale test|perf]
     python -m repro all [--scale test|perf] [--injections N]
+    python -m repro bench [--scale test|perf] [--json PATH]
 """
 
 from __future__ import annotations
@@ -61,12 +62,28 @@ def main(argv=None) -> int:
                         help="SEUs per program for fig13 (paper: 2500)")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write each experiment as DIR/<id>.csv")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="for 'bench': also write results as JSON")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name in _EXPERIMENTS:
             print(name)
         print("scorecard")
+        print("bench")
+        return 0
+
+    if args.experiment == "bench":
+        from .bench import bench_engine_throughput, write_report
+
+        # Same scale convention as fig13: full measurement runs at the
+        # fault-injection scale, --scale test is the fast smoke pass.
+        rows = bench_engine_throughput(
+            scale="fi" if args.scale == "perf" else "test"
+        )
+        if args.json:
+            write_report(rows, args.json)
+            print(f"-- wrote {args.json}")
         return 0
 
     if args.experiment == "scorecard":

@@ -1,0 +1,118 @@
+"""Engine throughput benchmark: decoded vs reference interpreter.
+
+Measures simulated instructions per wall-clock second for every kernel
+under both execution engines (``MachineConfig.engine``), both with and
+without the timing model, and reports the speedup of the pre-decoded
+engine. ``python -m repro bench`` and
+``benchmarks/bench_engine_throughput.py`` both drive this module; the
+latter persists the numbers to ``BENCH_engine.json``.
+
+The decoded engine must be a pure performance change: outputs,
+counters, and cycles are asserted equal between the two engines for
+every workload measured (any drift fails the benchmark rather than
+silently reporting a speedup for a different simulation).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .cpu.interpreter import Machine, MachineConfig
+from .workloads import ALL
+
+DEFAULT_WORKLOADS = (
+    "histogram", "kmeans", "linear_regression", "matrix_multiply",
+    "blackscholes", "streamcluster", "swaptions",
+)
+
+
+def _run(module, entry, args, engine: str, collect_timing: bool):
+    machine = Machine(
+        module, MachineConfig(engine=engine, collect_timing=collect_timing)
+    )
+    start = time.perf_counter()
+    result = machine.run(entry, args)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def bench_workload(name: str, scale: str = "fi", repeats: int = 3,
+                   collect_timing: bool = True) -> Dict:
+    """Best-of-``repeats`` throughput for one kernel on both engines."""
+    built = ALL[name].build_at(scale)
+    module, entry, args = built.module, built.entry, built.args
+
+    # Warm the decode cache so the one-time decode cost is not billed to
+    # the first timed repeat (it is amortised across campaign runs).
+    _run(module, entry, args, "decoded", collect_timing)
+
+    times = {"decoded": [], "reference": []}
+    results = {}
+    for _ in range(repeats):
+        for engine in ("decoded", "reference"):
+            result, elapsed = _run(module, entry, args, engine, collect_timing)
+            times[engine].append(elapsed)
+            results[engine] = result
+
+    dec, ref = results["decoded"], results["reference"]
+    if dec.output != ref.output:
+        raise AssertionError(f"{name}: engine outputs differ")
+    if dec.counters.as_dict() != ref.counters.as_dict():
+        raise AssertionError(f"{name}: engine counters differ")
+    if collect_timing and dec.cycles != ref.cycles:
+        raise AssertionError(f"{name}: engine cycle counts differ")
+
+    instructions = dec.counters.instructions
+    best = {engine: min(ts) for engine, ts in times.items()}
+    return {
+        "workload": name,
+        "scale": scale,
+        "instructions": instructions,
+        "decoded_seconds": best["decoded"],
+        "reference_seconds": best["reference"],
+        "decoded_ips": instructions / best["decoded"],
+        "reference_ips": instructions / best["reference"],
+        "speedup": best["reference"] / best["decoded"],
+    }
+
+
+def bench_engine_throughput(scale: str = "fi", repeats: int = 3,
+                            workloads: Optional[Sequence[str]] = None,
+                            collect_timing: bool = True,
+                            verbose: bool = True) -> List[Dict]:
+    names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
+    rows = []
+    for name in names:
+        row = bench_workload(name, scale, repeats, collect_timing)
+        rows.append(row)
+        if verbose:
+            print(
+                f"{name:<18} {row['instructions']:>10} instrs  "
+                f"decoded {row['decoded_ips'] / 1e3:>7.0f}k ips  "
+                f"reference {row['reference_ips'] / 1e3:>7.0f}k ips  "
+                f"speedup {row['speedup']:.2f}x"
+            )
+    if verbose and rows:
+        geomean = 1.0
+        for row in rows:
+            geomean *= row["speedup"]
+        geomean **= 1.0 / len(rows)
+        print(f"{'geomean speedup':<18} {geomean:.2f}x")
+    return rows
+
+
+def write_report(rows: List[Dict], path: str = "BENCH_engine.json") -> None:
+    geomean = 1.0
+    for row in rows:
+        geomean *= row["speedup"]
+    report = {
+        "benchmark": "engine_throughput",
+        "unit": "simulated instructions per second",
+        "geomean_speedup": geomean ** (1.0 / len(rows)) if rows else None,
+        "rows": rows,
+    }
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")

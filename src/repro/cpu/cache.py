@@ -75,8 +75,15 @@ class StreamPrefetcher:
                 self._streams[i] = line + 1
                 self._last_used[i] = self._clock
                 return [line + k for k in range(1, self.depth + 1)]
-        # Allocate the least-recently-used stream slot.
-        victim = min(range(len(self._streams)), key=lambda i: self._last_used[i])
+        # Allocate the least-recently-used stream slot (first minimum,
+        # matching min-with-key semantics, without the lambda overhead).
+        last_used = self._last_used
+        victim = 0
+        best = last_used[0]
+        for i in range(1, len(last_used)):
+            if last_used[i] < best:
+                best = last_used[i]
+                victim = i
         self._streams[victim] = line + 1
         self._last_used[victim] = self._clock
         return []

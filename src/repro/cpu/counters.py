@@ -44,6 +44,21 @@ class PerfCounters:
         if self.collect_by_opcode:
             self.by_opcode[opcode] = self.by_opcode.get(opcode, 0) + 1
 
+    _INT_FIELDS = (
+        "instructions", "uops", "avx_instructions", "loads", "stores",
+        "branches", "cond_branches", "branch_misses", "calls",
+        "l1_accesses", "l1_misses", "l2_misses", "l3_misses",
+        "fp_instructions", "int_div_instructions", "corrections",
+        "detections", "recoveries_failed",
+    )
+
+    def as_dict(self) -> Dict:
+        """Plain-data snapshot of every counter (benchmark baselines,
+        differential tests, cross-process campaign aggregation)."""
+        out = {name: getattr(self, name) for name in self._INT_FIELDS}
+        out["by_opcode"] = dict(self.by_opcode)
+        return out
+
     # Derived ratios (all in percent, matching Table II) ----------------------
 
     @property

@@ -64,11 +64,11 @@ from .timing import TimingModel
 
 _MASK64 = (1 << 64) - 1
 
-# Each simulated call nests several Python frames; raise the recursion
-# limit once at import so the default MachineConfig.max_call_depth is
-# reachable before Python's own limit cuts in.
-if sys.getrecursionlimit() < 8000:
-    sys.setrecursionlimit(8000)
+# Each simulated call nests several Python frames; Machine.run raises
+# the recursion limit to this (and restores it afterwards) so the
+# default MachineConfig.max_call_depth is reachable before Python's own
+# limit cuts in. Importing this module does not mutate process state.
+_RUN_RECURSION_LIMIT = 8000
 
 #: Vector-typed instructions that do NOT contend for the vector ALU
 #: port group (memory ops use the load/store ports; control flow and
@@ -99,6 +99,10 @@ class MachineConfig:
     #: Which functions fault injection may target (None = every defined
     #: non-intrinsic function in the module).
     fault_eligible: Optional[Callable[[Function], bool]] = None
+    #: Execution engine: "decoded" runs the pre-decoded fast path
+    #: (repro.cpu.engine, bit-identical results); "reference" runs the
+    #: original tree-walking interpreter.
+    engine: str = "decoded"
 
 
 @dataclass
@@ -283,11 +287,47 @@ class Machine:
         self.fault_target: Optional[Instruction] = None
         self.eligible_executed = 0
         self._eligible_fn_cache: Dict[int, bool] = {}
-        #: Optional per-eligible-instruction hook ``(inst, fn) -> None``
-        #: used by the trace/demarcation step (paper §IV-B).
-        self.trace_eligible = None
+        self._trace_eligible = None
+        self._count_only = False
+        #: True when any per-eligible-instruction bookkeeping is needed
+        #: (armed plans, count-only profiling, or a trace hook); the
+        #: decoded engine skips that bookkeeping entirely otherwise.
+        self._fault_active = False
         self._current_fn: Optional[Function] = None
+        self._depth = -1
         self._layout_globals()
+
+    # Eligible-instruction bookkeeping modes ------------------------------------
+
+    def _refresh_fault_mode(self) -> None:
+        self._fault_active = (
+            bool(self.fault_plans)
+            or self._count_only
+            or self._trace_eligible is not None
+        )
+
+    @property
+    def trace_eligible(self):
+        """Optional per-eligible-instruction hook ``(inst, fn) -> None``
+        used by the trace/demarcation step (paper §IV-B)."""
+        return self._trace_eligible
+
+    @trace_eligible.setter
+    def trace_eligible(self, hook) -> None:
+        self._trace_eligible = hook
+        self._refresh_fault_mode()
+
+    @property
+    def count_only(self) -> bool:
+        """Profiling mode: count eligible dynamic instructions (into
+        ``eligible_executed``) without arming any fault. Campaign golden
+        runs use this instead of a never-firing sentinel plan."""
+        return self._count_only
+
+    @count_only.setter
+    def count_only(self, value: bool) -> None:
+        self._count_only = bool(value)
+        self._refresh_fault_mode()
 
     # Setup ----------------------------------------------------------------------
 
@@ -342,6 +382,7 @@ class Machine:
         self.fault_injected = False
         self.fault_target = None
         self.eligible_executed = 0
+        self._refresh_fault_mode()
 
     def _fault_eligible_fn(self, fn: Function) -> bool:
         cached = self._eligible_fn_cache.get(id(fn))
@@ -394,7 +435,26 @@ class Machine:
             raise TypeError(
                 f"@{fn_name} expects {len(fn.args)} args, got {len(arg_values)}"
             )
-        value = self._exec_function(fn, arg_values, [0.0] * len(arg_values), 0)
+        saved_limit = sys.getrecursionlimit()
+        if saved_limit < _RUN_RECURSION_LIMIT:
+            sys.setrecursionlimit(_RUN_RECURSION_LIMIT)
+        try:
+            if self.config.engine == "decoded":
+                from .engine import decoded_module, exec_decoded_function
+
+                dfn = decoded_module(
+                    self.module, self.config.cost_model, self.globals_addr
+                ).function(fn)
+                value = exec_decoded_function(
+                    self, dfn, arg_values, [0.0] * len(arg_values)
+                )
+            else:
+                value = self._exec_function(
+                    fn, arg_values, [0.0] * len(arg_values), 0
+                )
+        finally:
+            if saved_limit < _RUN_RECURSION_LIMIT:
+                sys.setrecursionlimit(saved_limit)
         cycles = self.timing.cycles if self.timing is not None else 0.0
         ilp = self.timing.ilp if self.timing is not None else 0.0
         return RunResult(

@@ -31,6 +31,12 @@ from typing import Dict, Sequence
 
 from ..avx.costs import BRANCH_MISS_PENALTY, ISSUE_WIDTH, ROB_SIZE, CostModel
 
+#: Default for ``TimingModel.issue``'s ``port`` parameter: look the port
+#: up in the cost model by opcode. Callers that pre-resolve the lookup
+#: (the pre-decoded engine) pass the ``(name, busy)`` tuple — or None —
+#: directly.
+_PORT_LOOKUP = object()
+
 
 class TimingModel:
     def __init__(
@@ -71,8 +77,15 @@ class TimingModel:
         extra_latency: float = 0.0,
         uops: int = 1,
         is_vector: bool = False,
+        port=_PORT_LOOKUP,
     ) -> float:
-        """Issue one instruction; returns its completion time."""
+        """Issue one instruction; returns its completion time.
+
+        Hot path: called once per dynamic instruction, so the port
+        reservation (:meth:`_reserve_port`) is inlined and attribute
+        traffic minimised. The arithmetic is unchanged — the decoded
+        and reference engines must produce bit-identical cycle counts.
+        """
         self.issued += 1
         self.uops_issued += uops
         start = self.issue_time
@@ -85,20 +98,29 @@ class TimingModel:
         for t in operand_times:
             if t > start:
                 start = t
-        port = self.costs.ports.get(opcode)
+        if port is _PORT_LOOKUP:
+            port = self.costs.ports.get(opcode)
         if port is not None:
-            start = self._reserve_port(port[0], port[1], start)
+            port_free = self._port_free
+            name = port[0]
+            clock = port_free.get(name, 0.0)
+            if clock > start:
+                start = clock
+            port_free[name] = clock + port[1]
         if is_vector:
-            start = self._reserve_port(
-                "vecalu", self.costs.vector_alu_rtp * uops, start
-            )
+            port_free = self._port_free
+            clock = port_free.get("vecalu", 0.0)
+            if clock > start:
+                start = clock
+            port_free["vecalu"] = clock + self.costs.vector_alu_rtp * uops
         done = start + latency + extra_latency
         if done > self.finish_time:
             self.finish_time = done
         # In-order retirement frontier (monotone completion).
-        if done > self._retire_frontier:
-            self._retire_frontier = done
-        rob.append(self._retire_frontier)
+        frontier = self._retire_frontier
+        if done > frontier:
+            self._retire_frontier = frontier = done
+        rob.append(frontier)
         self.issue_time += uops / self.issue_width
         return done
 

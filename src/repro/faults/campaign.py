@@ -11,13 +11,26 @@ Our trace step is the golden run itself: it counts the *eligible*
 dynamic instructions (value-producing, inside hardenable functions —
 intrinsics and runtime services are excluded, like the paper excludes
 unhardened libraries).
+
+Two performance layers (the paper amortized this cost across a
+25-machine cluster, §IV-B):
+
+- **Golden-run cache**: fault-free runs are memoized on the module,
+  keyed by ``(module.version, entry, args, eligibility)``, so figure
+  scripts and ablations stop repeating identical golden executions.
+- **Parallel injections**: ``run_campaign(..., workers=N)`` shards the
+  injection loop across forked worker processes. All fault plans are
+  pre-drawn from one seeded RNG in the serial draw order, so the
+  outcome counts are bit-identical for every worker count (and to the
+  serial path); platforms without ``fork`` fall back to serial.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..cpu.errors import (
     AbortError,
@@ -43,6 +56,9 @@ class CampaignConfig:
     #: Optional fault-region predicate (paper §IV-B demarcation): which
     #: functions injections may target. See :mod:`repro.faults.trace`.
     fault_eligible: Optional[Callable] = None
+    #: Worker processes for the injection loop. 1 = serial; N > 1
+    #: forks N workers (outcome counts are identical either way).
+    workers: int = 1
 
 
 def _fresh_machine(module: Module, max_instructions: Optional[int] = None,
@@ -55,14 +71,86 @@ def _fresh_machine(module: Module, max_instructions: Optional[int] = None,
     return Machine(module, config)
 
 
+def _eligibility_key(fault_eligible: Optional[Callable]):
+    """Cache-key component for an eligibility predicate, or None when
+    the predicate cannot be keyed (caching is skipped then). The
+    predicate classes in :mod:`repro.faults.trace` expose ``cache_key``."""
+    if fault_eligible is None:
+        return ()
+    return getattr(fault_eligible, "cache_key", None)
+
+
+def _args_key(args: Sequence):
+    try:
+        key = tuple(args)
+        hash(key)
+        return key
+    except TypeError:
+        return repr(tuple(args))
+
+
 def golden_run(module: Module, entry: str, args: Sequence,
                fault_eligible: Optional[Callable] = None):
     """Fault-free execution; returns (output, eligible_instructions,
-    total_instructions)."""
+    total_instructions).
+
+    Runs the machine in ``count_only`` mode (eligible-instruction
+    profiling without arming any fault). Results are cached on the
+    module, invalidated by its version stamp.
+    """
+    ekey = _eligibility_key(fault_eligible)
+    key = None
+    if ekey is not None:
+        key = (module.version, entry, _args_key(args), ekey)
+        cached = module._golden_cache.get(key)
+        if cached is not None:
+            output, eligible, executed = cached
+            return list(output), eligible, executed
     machine = _fresh_machine(module, fault_eligible=fault_eligible)
-    machine.arm_fault(FaultPlan(target_index=-1, bit=0))  # count eligibles only
+    machine.count_only = True
     result = machine.run(entry, args)
-    return result.output, machine.eligible_executed, result.counters.instructions
+    if key is not None:
+        module._golden_cache[key] = (
+            tuple(result.output), machine.eligible_executed,
+            result.counters.instructions,
+        )
+    return list(result.output), machine.eligible_executed, \
+        result.counters.instructions
+
+
+def _draw_plans(eligible: int, config: CampaignConfig) -> List[FaultPlan]:
+    """All fault plans for a campaign, in the serial draw order — the
+    plan list (hence the outcome multiset) is a pure function of
+    (eligible, seed, injections), independent of worker count."""
+    rng = random.Random(config.seed)
+    return [
+        FaultPlan(
+            target_index=rng.randrange(eligible),
+            bit=rng.randrange(64),
+            lane=rng.randrange(4),
+        )
+        for _ in range(config.injections)
+    ]
+
+
+# Fork-inherited campaign context: (module, entry, args, reference,
+# budget, rtol, fault_eligible). Set in the parent right before the
+# pool forks; never pickled, so modules and predicates need not be
+# picklable.
+_FORK_CONTEXT = None
+
+
+def _run_shard(plans: List[FaultPlan]) -> List[Outcome]:
+    module, entry, args, reference, budget, rtol, fault_eligible = _FORK_CONTEXT
+    return [
+        inject_once(module, entry, args, plan, reference, budget, rtol,
+                    fault_eligible)
+        for plan in plans
+    ]
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def run_campaign(
@@ -72,25 +160,43 @@ def run_campaign(
     workload: str = "",
     version: str = "",
     config: Optional[CampaignConfig] = None,
+    workers: Optional[int] = None,
 ) -> CampaignResult:
     """Inject ``config.injections`` single faults into fresh executions
-    of ``entry`` and classify every outcome."""
+    of ``entry`` and classify every outcome.
+
+    ``workers`` (or ``config.workers``) > 1 shards the injections over
+    forked processes; counts are bit-identical to the serial run.
+    """
+    global _FORK_CONTEXT
     config = config or CampaignConfig()
+    if workers is None:
+        workers = config.workers
     reference, eligible, executed = golden_run(
         module, entry, args, config.fault_eligible
     )
     if eligible == 0:
         raise ValueError(f"no eligible instructions in @{entry}")
     budget = int(executed * config.hang_factor) + 10_000
-    rng = random.Random(config.seed)
+    plans = _draw_plans(eligible, config)
     result = CampaignResult(workload=workload, version=version)
 
-    for _ in range(config.injections):
-        plan = FaultPlan(
-            target_index=rng.randrange(eligible),
-            bit=rng.randrange(64),
-            lane=rng.randrange(4),
-        )
+    workers = max(1, min(workers, len(plans) or 1))
+    if workers > 1 and _fork_available():
+        shards = [plans[i::workers] for i in range(workers)]
+        _FORK_CONTEXT = (module, entry, args, reference, budget,
+                         config.rtol, config.fault_eligible)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=workers) as pool:
+                for outcomes in pool.map(_run_shard, shards):
+                    for outcome in outcomes:
+                        result.counts[outcome] += 1
+        finally:
+            _FORK_CONTEXT = None
+        return result
+
+    for plan in plans:
         outcome = inject_once(module, entry, args, plan, reference,
                               budget, config.rtol, config.fault_eligible)
         result.counts[outcome] += 1

@@ -8,15 +8,20 @@ libraries). This module is that step for the simulator: collect a
 per-function dynamic profile of *fault-eligible* (value-producing)
 instructions and build eligibility predicates for restricted
 campaigns.
+
+The predicates are small classes rather than lambdas so they (a)
+survive ``fork``/pickle into campaign worker processes and (b) carry a
+``cache_key`` the golden-run cache can key on (see
+:func:`repro.faults.campaign.golden_run`).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Sequence
+from typing import Dict, FrozenSet, Sequence
 
-from ..cpu.interpreter import FaultPlan, Machine, MachineConfig
+from ..cpu.interpreter import Machine, MachineConfig
 from ..ir.function import Function
 from ..ir.module import Module
 
@@ -55,19 +60,51 @@ def collect_trace(module: Module, entry: str, args: Sequence) -> TraceSummary:
         summary.opcodes[inst.opcode] += 1
 
     machine = Machine(module, MachineConfig(collect_timing=False))
-    machine.arm_fault(FaultPlan(target_index=-1, bit=0))
+    machine.count_only = True
     machine.trace_eligible = record
     machine.run(entry, args)
     return summary
 
 
-def hardened_only(module: Module) -> Callable[[Function], bool]:
+class HardenedOnly:
     """Eligibility predicate: inject only into functions a hardening
     pass transformed (the paper's default region)."""
-    return lambda fn: bool(fn.hardened) and not fn.is_intrinsic
+
+    cache_key = ("hardened_only",)
+
+    def __call__(self, fn: Function) -> bool:
+        return bool(fn.hardened) and not fn.is_intrinsic
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, HardenedOnly)
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key)
 
 
-def functions_only(names: FrozenSet[str]) -> Callable[[Function], bool]:
+class FunctionsOnly:
     """Eligibility predicate restricted to the named functions."""
-    name_set = frozenset(names)
-    return lambda fn: fn.name in name_set and not fn.is_intrinsic
+
+    def __init__(self, names: FrozenSet[str]):
+        self.names = frozenset(names)
+        self.cache_key = ("functions_only", self.names)
+
+    def __call__(self, fn: Function) -> bool:
+        return fn.name in self.names and not fn.is_intrinsic
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FunctionsOnly) and self.names == other.names
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key)
+
+
+def hardened_only(module: Module) -> HardenedOnly:
+    """Eligibility predicate: inject only into functions a hardening
+    pass transformed (the paper's default region)."""
+    return HardenedOnly()
+
+
+def functions_only(names: FrozenSet[str]) -> FunctionsOnly:
+    """Eligibility predicate restricted to the named functions."""
+    return FunctionsOnly(names)

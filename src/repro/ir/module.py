@@ -14,6 +14,26 @@ class Module:
         self.name = name
         self.functions: Dict[str, Function] = {}
         self.globals: Dict[str, GlobalVariable] = {}
+        #: Monotonic structure stamp. Anything that caches derived data
+        #: keyed on the module (the pre-decoded execution engine, the
+        #: campaign golden-run cache) keys on this and is invalidated
+        #: when it changes. Structural edits here bump it automatically;
+        #: IR passes that mutate function bodies in place must call
+        #: :meth:`bump_version` (the in-tree passes and ``PassManager``
+        #: all do).
+        self.version: int = 0
+        #: (version, cost-model id) -> decoded module (see repro.cpu.engine).
+        self._decoded_cache: Dict = {}
+        #: (version, entry, args digest, eligibility key) -> golden-run
+        #: triple (see repro.faults.campaign.golden_run).
+        self._golden_cache: Dict = {}
+
+    def bump_version(self) -> int:
+        """Invalidate caches derived from this module's IR."""
+        self.version += 1
+        self._decoded_cache.clear()
+        self._golden_cache.clear()
+        return self.version
 
     # Functions ---------------------------------------------------------------
 
@@ -24,6 +44,7 @@ class Module:
         fn = Function(name, ftype, arg_names)
         fn.parent = self
         self.functions[name] = fn
+        self.bump_version()
         return fn
 
     def declare_function(self, name: str, ftype: T.FunctionType) -> Function:
@@ -46,6 +67,7 @@ class Module:
 
     def remove_function(self, name: str) -> None:
         del self.functions[name]
+        self.bump_version()
 
     def defined_functions(self) -> List[Function]:
         return [f for f in self.functions.values() if not f.is_declaration]
@@ -58,6 +80,7 @@ class Module:
             raise ValueError(f"global {name} already defined")
         gv = GlobalVariable(name, content_type, initializer, constant)
         self.globals[name] = gv
+        self.bump_version()
         return gv
 
     def get_global(self, name: str) -> GlobalVariable:

@@ -29,6 +29,7 @@ from .utils import replace_all_uses
 def constant_folding(module: Module) -> Module:
     for fn in module.defined_functions():
         fold_function(fn)
+    module.bump_version()
     return module
 
 

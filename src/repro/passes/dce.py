@@ -12,6 +12,7 @@ from .utils import build_use_map, has_side_effects, remove_unreachable_blocks
 def dce(module: Module) -> Module:
     for fn in module.defined_functions():
         dce_function(fn)
+    module.bump_version()
     return module
 
 

@@ -39,6 +39,7 @@ def inline_module(module: Module, threshold: int = DEFAULT_THRESHOLD,
     managed separately, §IV-A)."""
     for fn in module.defined_functions():
         inline_function_calls(fn, module, threshold, exclude)
+    module.bump_version()
     return module
 
 

@@ -28,6 +28,7 @@ from .utils import build_use_map
 def mem2reg(module: Module) -> Module:
     for fn in module.defined_functions():
         promote_function(fn)
+    module.bump_version()
     return module
 
 

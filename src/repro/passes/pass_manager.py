@@ -30,6 +30,9 @@ class PassManager:
         for name, pass_fn in self._passes:
             result = pass_fn(module)
             module = result if result is not None else module
+            # Passes mutate IR (often in place): invalidate decoded-form
+            # and golden-run caches keyed on the module version.
+            module.bump_version()
             if self.verify_each:
                 try:
                     verify_module(module)

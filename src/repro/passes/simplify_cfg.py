@@ -23,6 +23,7 @@ from .utils import remove_unreachable_blocks
 def simplify_cfg(module: Module) -> Module:
     for fn in module.defined_functions():
         simplify_function_cfg(fn)
+    module.bump_version()
     return module
 
 

@@ -82,6 +82,7 @@ def vectorize(module: Module, exclude: frozenset = frozenset()) -> Module:
     for fn in module.defined_functions():
         if fn.name not in exclude:
             vectorize_function(fn)
+    module.bump_version()
     return module
 
 

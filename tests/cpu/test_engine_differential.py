@@ -1,0 +1,186 @@
+"""Differential tests: pre-decoded engine vs reference interpreter.
+
+The decoded engine (``repro.cpu.engine``) is a pure performance
+optimisation — for every workload it must reproduce the reference
+interpreter *bit for bit*: outputs, every architectural counter
+(instructions, uops, loads, stores, branches, cache hierarchy, branch
+misses, by-opcode histogram), cycle counts, ILP, and the fault-injection
+observables (eligible counts, injection site, outcome). These tests
+sweep all 14 kernels, the three case-study apps, hardened builds, and
+armed fault runs through both engines and require exact equality.
+"""
+
+import random
+import sys
+
+import pytest
+
+from repro.apps import kvstore, sqldb, webserver, workload_a
+from repro.cpu import Machine, MachineConfig
+from repro.cpu.interpreter import FaultPlan
+from repro.faults import CampaignConfig, golden_run, run_campaign
+from repro.passes import elzar_transform, mem2reg
+from repro.workloads import ALL
+from repro.workloads.registry import BENCHMARKS
+
+KERNELS = [w.name for w in BENCHMARKS]
+
+
+def run_engine(module, entry, args, engine, collect_timing=True, plan=None,
+               max_instructions=None):
+    config = MachineConfig(engine=engine, collect_timing=collect_timing)
+    if max_instructions is not None:
+        config.max_instructions = max_instructions
+    machine = Machine(module, config)
+    if plan is not None:
+        machine.arm_fault(plan)
+    outcome = None
+    result = None
+    try:
+        result = machine.run(entry, args)
+    except Exception as exc:  # classified later; both engines must match
+        outcome = (type(exc).__name__, str(exc))
+    return machine, result, outcome
+
+
+def assert_identical(module, entry, args, collect_timing=True):
+    _, ref, ref_exc = run_engine(module, entry, args, "reference",
+                                 collect_timing)
+    _, dec, dec_exc = run_engine(module, entry, args, "decoded",
+                                 collect_timing)
+    assert dec_exc == ref_exc
+    if ref is None:
+        return None, None
+    assert dec.value == ref.value
+    assert dec.output == ref.output
+    assert dec.counters.as_dict() == ref.counters.as_dict()
+    if collect_timing:
+        assert dec.cycles == ref.cycles
+        assert dec.ilp == ref.ilp
+    return dec, ref
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_kernel_native_identical(name):
+    built = ALL[name].build_at("test")
+    assert_identical(built.module, built.entry, built.args)
+
+
+@pytest.mark.parametrize("name", ["histogram", "blackscholes", "kmeans"])
+def test_kernel_hardened_identical(name):
+    built = ALL[name].build_at("test")
+    module = mem2reg(built.module)
+    hardened = elzar_transform(module)
+    assert_identical(hardened, built.entry, built.args)
+
+
+@pytest.mark.parametrize("builder", [
+    lambda: kvstore.build(workload_a(60, 32), table_size=256),
+    lambda: sqldb.build(workload_a(40, 32), tail_capacity=64),
+    lambda: webserver.build(nrequests=8, page_size=1024),
+], ids=["kvstore", "sqldb", "webserver"])
+def test_app_identical(builder):
+    app = builder()
+    assert_identical(app.module, app.entry, app.args)
+
+
+@pytest.mark.parametrize("name", ["histogram", "swaptions"])
+def test_kernel_identical_without_timing(name):
+    built = ALL[name].build_at("test")
+    assert_identical(built.module, built.entry, built.args,
+                     collect_timing=False)
+
+
+@pytest.mark.parametrize("name", ["histogram", "blackscholes"])
+def test_armed_runs_identical(name):
+    """Fault-injection runs agree on every observable: the eligible
+    stream, whether/where the fault landed, the final state or the
+    exception, and the counters."""
+    built = ALL[name].build_at("test")
+    module, entry, args = built.module, built.entry, built.args
+    _, eligible, executed = golden_run(module, entry, args)
+    rng = random.Random(name)
+    for _ in range(6):
+        plan = FaultPlan(target_index=rng.randrange(eligible),
+                         bit=rng.randrange(64), lane=rng.randrange(4))
+        runs = {}
+        for engine in ("reference", "decoded"):
+            machine, result, exc = run_engine(
+                module, entry, args, engine, collect_timing=False,
+                plan=plan, max_instructions=executed * 4,
+            )
+            runs[engine] = (
+                exc,
+                machine.fault_injected,
+                machine.eligible_executed,
+                machine.fault_target.ref() if machine.fault_target else None,
+                result.output if result else None,
+                machine.counters.as_dict(),
+            )
+        assert runs["decoded"] == runs["reference"], plan
+
+
+def test_count_only_mode_matches_engines():
+    """count_only profiles the eligible stream without arming a fault,
+    identically on both engines and identically to an armed run."""
+    built = ALL["kmeans"].build_at("test")
+    counts = {}
+    for engine in ("reference", "decoded"):
+        machine = Machine(built.module,
+                          MachineConfig(engine=engine, collect_timing=False))
+        machine.count_only = True
+        result = machine.run(built.entry, built.args)
+        assert not machine.fault_injected
+        counts[engine] = (machine.eligible_executed, tuple(result.output))
+    assert counts["decoded"] == counts["reference"]
+    assert counts["decoded"][0] > 0
+
+
+def test_golden_run_has_no_sentinel_plan():
+    """golden_run must not arm any fault plan (the old target_index=-1
+    sentinel hack) — eligible counting rides on count_only mode."""
+    built = ALL["histogram"].build_at("test")
+    output, eligible, executed = golden_run(built.module, built.entry,
+                                            built.args)
+    assert output == built.expected
+    assert 0 < eligible <= executed
+
+
+def test_golden_run_cache_hit_and_invalidation():
+    built = ALL["histogram"].build_at("test")
+    module = built.module
+    module._golden_cache.clear()
+    first = golden_run(module, built.entry, built.args)
+    assert len(module._golden_cache) == 1
+    second = golden_run(module, built.entry, built.args)
+    assert second == first
+    assert len(module._golden_cache) == 1
+    module.bump_version()
+    assert len(module._golden_cache) == 0
+    third = golden_run(module, built.entry, built.args)
+    assert third == first
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_campaign_counts_independent_of_workers(workers):
+    built = ALL["histogram"].build_at("test")
+    cfg = CampaignConfig(injections=24, seed=11)
+    serial = run_campaign(built.module, built.entry, built.args,
+                          "h", "native", cfg, workers=1)
+    parallel = run_campaign(built.module, built.entry, built.args,
+                            "h", "native", cfg, workers=workers)
+    assert dict(parallel.counts) == dict(serial.counts)
+
+
+def test_run_restores_recursion_limit():
+    """Importing repro must not touch the interpreter recursion limit,
+    and Machine.run must restore whatever limit it raised."""
+    saved = sys.getrecursionlimit()
+    try:
+        sys.setrecursionlimit(1500)
+        built = ALL["histogram"].build_at("test")
+        machine = Machine(built.module, MachineConfig(collect_timing=False))
+        machine.run(built.entry, built.args)
+        assert sys.getrecursionlimit() == 1500
+    finally:
+        sys.setrecursionlimit(saved)
