@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Lab store effectiveness: cold campaign vs warm replay vs resume.
+
+Not a paper figure — this measures the durable-campaign machinery
+itself. Three timed phases against one fresh store:
+
+1. *cold*: every shard executed, results persisted;
+2. *warm*: the identical campaign again — must execute zero new
+   injections (the store serves every shard);
+3. *resume*: a campaign interrupted after one shard, then resumed —
+   the resumed counts must be bit-identical to the cold run's.
+
+Writes ``BENCH_lab.json`` with the timings, the warm/cold speedup,
+and the store hit statistics.
+
+Run:  PYTHONPATH=src python benchmarks/bench_lab_resume.py
+Env:  REPRO_SCALE ("perf" default -> fi-scale inputs, "test" for smoke)
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.faults.campaign import CampaignConfig
+from repro.lab.durable import run_durable_campaign
+from repro.lab.events import CampaignInterrupted, EventBus, interrupt_after
+from repro.lab.store import ResultStore
+from repro.passes.elzar import elzar_transform
+from repro.passes.mem2reg import mem2reg
+from repro.workloads import get
+
+_SCALES = {
+    # build scale, injections, shard size
+    "perf": ("fi", 150, 25),
+    "test": ("test", 40, 10),
+}
+
+
+def main() -> int:
+    scale = os.environ.get("REPRO_SCALE", "perf")
+    build_scale, injections, shard_size = _SCALES[scale]
+
+    built = get("histogram").build_at(build_scale)
+    module = elzar_transform(mem2reg(built.module))
+    config = CampaignConfig(injections=injections, seed=2016)
+
+    def campaign(store, events=None):
+        return run_durable_campaign(
+            module, built.entry, built.args, "histogram", "elzar", config,
+            store=store, events=events, shard_size=shard_size,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(os.path.join(tmp, "store.sqlite"))
+
+        start = time.perf_counter()
+        cold = campaign(store)
+        cold_seconds = time.perf_counter() - start
+        assert cold.info.injections_executed == injections
+
+        start = time.perf_counter()
+        warm = campaign(store)
+        warm_seconds = time.perf_counter() - start
+        assert warm.info.injections_executed == 0, \
+            "warm replay executed injections — store keys are unstable"
+        assert warm.result.counts == cold.result.counts
+
+        resume_store = ResultStore(os.path.join(tmp, "resume.sqlite"))
+        events = EventBus()
+        events.subscribe(interrupt_after(1))
+        start = time.perf_counter()
+        try:
+            campaign(resume_store, events)
+        except CampaignInterrupted:
+            pass
+        resumed = campaign(resume_store)
+        resume_seconds = time.perf_counter() - start
+        assert resumed.result.counts == cold.result.counts, \
+            "resumed counts differ from the uninterrupted run"
+        assert resumed.info.shards_from_store == 1
+
+    report = {
+        "benchmark": "lab_resume",
+        "scale": scale,
+        "injections": injections,
+        "shard_size": shard_size,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+        "resume_total_seconds": round(resume_seconds, 4),
+        "warm_shards_from_store": warm.info.shards_from_store,
+        "warm_injections_executed": warm.info.injections_executed,
+        "resume_shards_from_store": resumed.info.shards_from_store,
+    }
+    out = os.path.normpath(os.path.join(os.path.dirname(__file__), os.pardir,
+                                        "BENCH_lab.json"))
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"cold {cold_seconds:.2f}s, warm replay {warm_seconds:.2f}s "
+          f"({report['warm_speedup']}x), resume cycle {resume_seconds:.2f}s")
+    print(f"-- wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,10 @@ Usage::
 
     python -m repro list
     python -m repro fig11 [--scale test|perf]
+    python -m repro fig13 [--injections N] [--workers N]
     python -m repro all [--scale test|perf] [--injections N]
     python -m repro bench [--scale test|perf] [--json PATH]
+    python -m repro campaign [--resume] [--workers N] [--ci-target F]
 """
 
 from __future__ import annotations
@@ -32,23 +34,31 @@ from .harness import (
 )
 
 _EXPERIMENTS = {
-    "fig1": lambda s, a, n: fig01_simd_speedup(s, a),
-    "fig11": lambda s, a, n: fig11_overhead(s),
-    "fig12": lambda s, a, n: fig12_checks_breakdown(s),
-    "fig13": lambda s, a, n: fig13_fault_injection(
-        injections=n, scale="fi" if s.scale == "perf" else "test"
+    "fig1": lambda s, a, n, w: fig01_simd_speedup(s, a),
+    "fig11": lambda s, a, n, w: fig11_overhead(s),
+    "fig12": lambda s, a, n, w: fig12_checks_breakdown(s),
+    "fig13": lambda s, a, n, w: fig13_fault_injection(
+        injections=n, scale="fi" if s.scale == "perf" else "test", workers=w
     ),
-    "fig14": lambda s, a, n: fig14_swiftr_comparison(s),
-    "fig15": lambda s, a, n: fig15_case_studies(a),
-    "fig17": lambda s, a, n: fig17_proposed_avx(s),
-    "table2": lambda s, a, n: table2_native_stats(s),
-    "table3": lambda s, a, n: table3_ilp(s),
-    "table4": lambda s, a, n: table4_micro(s),
-    "fp-only": lambda s, a, n: fp_only_overhead(s),
+    "fig14": lambda s, a, n, w: fig14_swiftr_comparison(s),
+    "fig15": lambda s, a, n, w: fig15_case_studies(a),
+    "fig17": lambda s, a, n, w: fig17_proposed_avx(s),
+    "table2": lambda s, a, n, w: table2_native_stats(s),
+    "table3": lambda s, a, n, w: table3_ilp(s),
+    "table4": lambda s, a, n, w: table4_micro(s),
+    "fp-only": lambda s, a, n, w: fp_only_overhead(s),
 }
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "campaign":
+        # The durable campaign runner has its own flag set (resume,
+        # adaptive sampling, store location); see repro.lab.cli.
+        from .lab.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of the ELZAR paper.",
@@ -60,6 +70,9 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default="perf", choices=("perf", "test"))
     parser.add_argument("--injections", type=int, default=150,
                         help="SEUs per program for fig13 (paper: 2500)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes for fig13 "
+                             "(0 = all CPUs)")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write each experiment as DIR/<id>.csv")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -71,6 +84,7 @@ def main(argv=None) -> int:
             print(name)
         print("scorecard")
         print("bench")
+        print("campaign")
         return 0
 
     if args.experiment == "bench":
@@ -103,7 +117,8 @@ def main(argv=None) -> int:
     apps = AppSession(args.scale)
     start = time.time()
     for name in names:
-        experiment = _EXPERIMENTS[name](session, apps, args.injections)
+        experiment = _EXPERIMENTS[name](session, apps, args.injections,
+                                        args.workers)
         print(experiment.render())
         if args.csv:
             import os

@@ -1,7 +1,14 @@
 """repro.faults — single-event-upset injection and outcome
 classification (paper §IV-B, Table I, Figure 13)."""
 
-from .campaign import CampaignConfig, golden_run, inject_once, run_campaign
+from .campaign import (
+    CampaignConfig,
+    draw_plans,
+    golden_run,
+    inject_once,
+    resolve_workers,
+    run_campaign,
+)
 from .outcomes import CampaignResult, Outcome
 from .trace import TraceSummary, collect_trace, functions_only, hardened_only
 
@@ -11,9 +18,11 @@ __all__ = [
     "Outcome",
     "TraceSummary",
     "collect_trace",
+    "draw_plans",
     "functions_only",
     "golden_run",
     "hardened_only",
     "inject_once",
+    "resolve_workers",
     "run_campaign",
 ]

@@ -28,7 +28,9 @@ Two performance layers (the paper amortized this cost across a
 from __future__ import annotations
 
 import multiprocessing
+import os
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -57,8 +59,16 @@ class CampaignConfig:
     #: functions injections may target. See :mod:`repro.faults.trace`.
     fault_eligible: Optional[Callable] = None
     #: Worker processes for the injection loop. 1 = serial; N > 1
-    #: forks N workers (outcome counts are identical either way).
+    #: forks N workers (outcome counts are identical either way);
+    #: 0 = use every CPU (``os.cpu_count()``).
     workers: int = 1
+
+
+def resolve_workers(workers: int) -> int:
+    """Resolve a worker-count setting: 0 means "all CPUs"."""
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
 
 
 def _fresh_machine(module: Module, max_instructions: Optional[int] = None,
@@ -71,13 +81,42 @@ def _fresh_machine(module: Module, max_instructions: Optional[int] = None,
     return Machine(module, config)
 
 
+_warned_unkeyed_predicate = False
+
+
 def _eligibility_key(fault_eligible: Optional[Callable]):
-    """Cache-key component for an eligibility predicate, or None when
-    the predicate cannot be keyed (caching is skipped then). The
-    predicate classes in :mod:`repro.faults.trace` expose ``cache_key``."""
+    """Cache-key component for an eligibility predicate.
+
+    The ``cache_key`` protocol: a predicate that wants golden-run
+    memoization (and durable shard reuse, see :mod:`repro.lab`) must
+    expose a ``cache_key`` attribute — a hashable, order-stable value
+    that uniquely identifies its decision function, e.g.
+    ``("functions_only", frozenset_of_names)``. Two predicates with
+    equal ``cache_key`` must classify every function identically; a
+    predicate whose behaviour changes must change its key. The
+    predicate classes in :mod:`repro.faults.trace` implement this.
+
+    Returns ``()`` for "no predicate", the predicate's ``cache_key``
+    when present, and ``None`` for an unkeyable predicate — caching is
+    skipped then, and a one-time :class:`RuntimeWarning` says so
+    (previously the cache was bypassed silently, which made every
+    golden run quietly repeat).
+    """
+    global _warned_unkeyed_predicate
     if fault_eligible is None:
         return ()
-    return getattr(fault_eligible, "cache_key", None)
+    key = getattr(fault_eligible, "cache_key", None)
+    if key is None and not _warned_unkeyed_predicate:
+        _warned_unkeyed_predicate = True
+        warnings.warn(
+            f"fault-eligibility predicate {fault_eligible!r} has no "
+            "cache_key attribute; golden-run caching and durable shard "
+            "reuse are disabled for campaigns using it (see the cache_key "
+            "protocol in repro.faults.campaign._eligibility_key)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return key
 
 
 def _args_key(args: Sequence):
@@ -118,10 +157,14 @@ def golden_run(module: Module, entry: str, args: Sequence,
         result.counters.instructions
 
 
-def _draw_plans(eligible: int, config: CampaignConfig) -> List[FaultPlan]:
+def draw_plans(eligible: int, config: CampaignConfig) -> List[FaultPlan]:
     """All fault plans for a campaign, in the serial draw order — the
     plan list (hence the outcome multiset) is a pure function of
-    (eligible, seed, injections), independent of worker count."""
+    (eligible, seed, injections), independent of worker count. Plans
+    are drawn sequentially, so the list for a larger ``injections`` cap
+    extends (never reshuffles) the list for a smaller one — the prefix
+    property :mod:`repro.lab` exploits to reuse stored shards when a
+    campaign is scaled up."""
     rng = random.Random(config.seed)
     return [
         FaultPlan(
@@ -131,6 +174,10 @@ def _draw_plans(eligible: int, config: CampaignConfig) -> List[FaultPlan]:
         )
         for _ in range(config.injections)
     ]
+
+
+#: Backwards-compatible alias (pre-lab internal name).
+_draw_plans = draw_plans
 
 
 # Fork-inherited campaign context: (module, entry, args, reference,
@@ -172,13 +219,14 @@ def run_campaign(
     config = config or CampaignConfig()
     if workers is None:
         workers = config.workers
+    workers = resolve_workers(workers)
     reference, eligible, executed = golden_run(
         module, entry, args, config.fault_eligible
     )
     if eligible == 0:
         raise ValueError(f"no eligible instructions in @{entry}")
     budget = int(executed * config.hang_factor) + 10_000
-    plans = _draw_plans(eligible, config)
+    plans = draw_plans(eligible, config)
     result = CampaignResult(workload=workload, version=version)
 
     workers = max(1, min(workers, len(plans) or 1))

@@ -18,8 +18,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..cpu.interpreter import Machine, MachineConfig
-from ..faults.campaign import CampaignConfig, run_campaign
+from ..faults.campaign import CampaignConfig
 from ..faults.outcomes import Outcome
+from ..lab import run_durable_campaign
 from ..passes.elzar import ElzarOptions, elzar_transform
 from ..passes.inline import inline_module
 from ..passes.mem2reg import mem2reg
@@ -54,7 +55,9 @@ def scheme_ablation(
     seed: int = 77,
 ) -> Experiment:
     """Performance overhead and fault outcomes for every hardening
-    scheme in the repository."""
+    scheme in the repository. Campaigns run through :mod:`repro.lab`,
+    so re-running the ablation replays stored shards instead of
+    re-injecting."""
     exp = Experiment(
         id="ablation-scheme",
         title="Hardening schemes: overhead and fault outcomes",
@@ -74,9 +77,9 @@ def scheme_ablation(
             ).cycles
             if native_cycles is None:
                 native_cycles = cycles
-            outcomes = run_campaign(
+            outcomes = run_durable_campaign(
                 module, built.entry, built.args, name, label, cfg
-            )
+            ).result
             exp.rows.append(
                 (
                     SHORT_NAMES.get(name, name),

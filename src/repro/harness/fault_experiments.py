@@ -5,8 +5,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..analysis.report import arithmetic_mean
-from ..faults.campaign import CampaignConfig, run_campaign
+from ..faults.campaign import CampaignConfig
 from ..faults.outcomes import Outcome
+from ..lab import run_durable_campaign
 from ..passes.elzar import elzar_transform
 from ..passes.mem2reg import mem2reg
 from ..workloads.registry import FI_BENCHMARKS, SHORT_NAMES, get
@@ -18,11 +19,21 @@ def fig13_fault_injection(
     scale: str = "fi",
     seed: int = 2016,
     benchmarks: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    store=None,
+    ci_target: Optional[float] = None,
 ) -> Experiment:
     """Figure 13: fault-injection outcomes for native vs ELZAR (the
     paper injects 2500 faults per program on 12 benchmarks with the
     smallest inputs; the default here is 150 per program so the bench
-    completes in minutes — raise ``injections`` to match the paper)."""
+    completes in minutes — raise ``injections`` to match the paper).
+
+    Campaigns run through :mod:`repro.lab`: shard outcomes persist in
+    the durable result store, so regenerating the figure — today or
+    after raising ``injections`` — only executes injections the store
+    has not seen (``workers`` forked processes at a time; 0 = all
+    CPUs). ``ci_target`` enables Wilson-CI adaptive stopping with
+    ``injections`` as the cap."""
     names = list(benchmarks) if benchmarks else [w.name for w in FI_BENCHMARKS]
     exp = Experiment(
         id="fig13",
@@ -33,7 +44,7 @@ def fig13_fault_injection(
         ),
         digits=1,
     )
-    cfg = CampaignConfig(injections=injections, seed=seed)
+    cfg = CampaignConfig(injections=injections, seed=seed, workers=workers)
     agg: Dict[str, Dict[str, list]] = {
         "native": {"crashed": [], "correct": [], "sdc": []},
         "elzar": {"crashed": [], "correct": [], "sdc": []},
@@ -44,9 +55,10 @@ def fig13_fault_injection(
         base = mem2reg(built.module)
         hardened = elzar_transform(base)
         for version, module in (("native", base), ("elzar", hardened)):
-            result = run_campaign(
-                module, built.entry, built.args, wl.name, version, cfg
-            )
+            result = run_durable_campaign(
+                module, built.entry, built.args, wl.name, version, cfg,
+                store=store, ci_target=ci_target,
+            ).result
             exp.rows.append(
                 (
                     SHORT_NAMES.get(wl.name, wl.name),

@@ -1,0 +1,162 @@
+"""Shard planning and checkpoint/replay rules.
+
+A campaign's fault plans are pre-drawn from one seeded RNG in the
+serial draw order (:func:`repro.faults.campaign.draw_plans`), which
+makes *contiguous* slices of the plan list the natural replay unit:
+
+- the outcome multiset of the whole campaign is the disjoint union of
+  the shards' outcome multisets, independent of execution order and
+  worker count;
+- plans are drawn sequentially, so shard ``i`` of a campaign depends
+  only on ``(eligible, seed, shard_size, i)`` — not on the campaign's
+  total injection cap. Raising the cap (150 → 2500) extends the plan
+  list; every previously stored *full* shard is still byte-for-byte
+  the same work and is reused.
+
+Checkpointing is therefore just: persist each shard's counts as it
+completes, and on (re)start load whichever shards of the spec already
+exist with matching plan counts. An interrupted campaign resumed this
+way is bit-identical to an uninterrupted one by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Counter as CounterT
+from typing import Dict, List, Optional, Sequence
+
+from ..cpu.interpreter import FaultPlan
+from ..faults.campaign import CampaignConfig, _args_key, _eligibility_key
+from ..ir.module import Module
+from ..ir.printer import format_module
+from .events import EventBus
+from .store import LAB_SCHEMA, ResultStore, _canonical, digest_of
+
+#: Injections per shard. Fixed (not derived from the worker count) so
+#: the same store rows serve every ``--workers`` setting.
+DEFAULT_SHARD_SIZE = 25
+
+
+def module_digest(module: Module) -> str:
+    """Content digest of a module's printed IR (globals and their
+    initializers included — the printer is round-trippable, so the text
+    determines execution). Memoized against the module's version stamp."""
+    cached = getattr(module, "_lab_digest", None)
+    if cached is not None and cached[0] == module.version:
+        return cached[1]
+    digest = digest_of(["module-ir", format_module(module)])
+    module._lab_digest = (module.version, digest)
+    return digest
+
+
+def golden_digest(reference: Sequence, eligible: int, executed: int) -> str:
+    """Digest of a fault-free run (exact: floats via ``repr``)."""
+    return digest_of(["golden", [repr(v) for v in reference], eligible,
+                      executed])
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One contiguous slice of the campaign's serial plan list."""
+
+    index: int
+    start: int  # position of plans[0] in the serial draw order
+    plans: List[FaultPlan]
+
+
+def partition(plans: Sequence[FaultPlan],
+              shard_size: int = DEFAULT_SHARD_SIZE) -> List[ShardPlan]:
+    if shard_size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    return [
+        ShardPlan(index=i, start=i * shard_size,
+                  plans=list(plans[i * shard_size:(i + 1) * shard_size]))
+        for i in range((len(plans) + shard_size - 1) // shard_size)
+    ]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that determines a shard's outcome counts, digested
+    into store keys. The *cell* (module + entry + args + eligibility)
+    identifies the golden run; the full spec adds the fault-drawing and
+    classification parameters. The injection *cap* is deliberately
+    absent — see the module docstring."""
+
+    module_digest: str
+    entry: str
+    args_key: str
+    eligibility: object
+    seed: int
+    hang_factor: float
+    rtol: float
+    eligible: int
+    shard_size: int
+
+    @property
+    def cell_key(self) -> str:
+        return digest_of([LAB_SCHEMA, "cell", self.module_digest, self.entry,
+                          self.args_key, _canonical(self.eligibility)])
+
+    @property
+    def spec_key(self) -> str:
+        return digest_of([LAB_SCHEMA, "spec", self.cell_key, self.seed,
+                          repr(self.hang_factor), repr(self.rtol),
+                          self.eligible, self.shard_size])
+
+
+def build_spec(module: Module, entry: str, args: Sequence,
+               config: CampaignConfig, eligible: int,
+               shard_size: int = DEFAULT_SHARD_SIZE
+               ) -> Optional[CampaignSpec]:
+    """Spec for a campaign, or ``None`` when the eligibility predicate
+    is unkeyable (no ``cache_key`` — the campaign then runs without
+    durable storage; :func:`repro.faults.campaign._eligibility_key`
+    warns once)."""
+    ekey = _eligibility_key(config.fault_eligible)
+    if ekey is None:
+        return None
+    return CampaignSpec(
+        module_digest=module_digest(module),
+        entry=entry,
+        args_key=repr(_args_key(args)),
+        eligibility=ekey,
+        seed=config.seed,
+        hang_factor=config.hang_factor,
+        rtol=config.rtol,
+        eligible=eligible,
+        shard_size=shard_size,
+    )
+
+
+def ensure_golden(store: ResultStore, spec: CampaignSpec, digest: str,
+                  eligible: int, executed: int, events: EventBus) -> bool:
+    """Record (or cross-check) the cell's golden run. On a digest
+    mismatch — same IR text, different behaviour, i.e. simulator
+    semantics drifted — purge the cell's stored shards so nothing stale
+    is replayed. Returns True when the stored golden matched."""
+    record = store.get_golden(spec.cell_key)
+    if record is None:
+        store.put_golden(spec.cell_key, digest, eligible, executed)
+        return True
+    if record.digest != digest or record.eligible != eligible:
+        purged = store.purge_cell(spec.cell_key)
+        store.put_golden(spec.cell_key, digest, eligible, executed)
+        events.emit("store-stale", purged=purged, cell_key=spec.cell_key)
+        return False
+    return True
+
+
+def load_completed(store: ResultStore, spec: CampaignSpec,
+                   shards: Sequence[ShardPlan]
+                   ) -> Dict[int, CounterT]:
+    """Stored outcome counts for every shard of ``spec`` whose plan
+    count matches (a short final shard under a smaller cap never
+    masquerades as the full shard of a larger one)."""
+    stored = store.get_shards(spec.spec_key)
+    loaded: Dict[int, CounterT] = {}
+    for shard in shards:
+        row = stored.get(shard.index)
+        if row is not None and row[0] == len(shard.plans):
+            loaded[shard.index] = row[1]
+    return loaded

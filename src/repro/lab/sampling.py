@@ -1,0 +1,75 @@
+"""Adaptive stopping for fault-injection campaigns (Wilson intervals).
+
+The paper fixed 2500 injections per program because that is what a
+25-machine cluster could afford overnight — the number says nothing
+about how tight the resulting rate estimates are. Each outcome rate
+(SDC, crashed, masked, ...) is a binomial proportion, so the honest
+question is statistical: keep injecting until the 95% confidence
+interval of *every* outcome class is narrower than a target, then
+stop. The fixed budget becomes the cap, not the default.
+
+We use the Wilson score interval rather than the normal (Wald)
+approximation because campaign proportions routinely sit near 0 or 1
+(ELZAR's SDC rate, native's corrected rate), exactly where Wald
+collapses to zero width and lies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from ..faults.outcomes import Outcome
+
+#: Two-sided 95% normal quantile.
+Z95 = 1.959963984540054
+
+
+def wilson_interval(successes: int, n: int, z: float = Z95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion, as (lo, hi)
+    proportions in [0, 1]. For ``n == 0`` the interval is (0, 1)."""
+    if n <= 0:
+        return (0.0, 1.0)
+    if successes < 0 or successes > n:
+        raise ValueError(f"successes {successes} outside [0, {n}]")
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denom
+    half = (z * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))) / denom
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def wilson_halfwidth(successes: int, n: int, z: float = Z95) -> float:
+    """Half the width of the Wilson interval (proportion units)."""
+    lo, hi = wilson_interval(successes, n, z)
+    return (hi - lo) / 2.0
+
+
+@dataclass(frozen=True)
+class AdaptiveStop:
+    """Stopping rule: halt once every outcome class's Wilson CI
+    half-width is at most ``ci_target`` (proportion units, e.g. 0.02
+    for ±2 percentage points at 95% confidence).
+
+    ``min_injections`` guards against stopping on the quiet early
+    shards of a campaign whose rare outcomes have not shown up yet.
+    """
+
+    ci_target: float
+    z: float = Z95
+    min_injections: int = 50
+
+    def max_halfwidth(self, counts: Mapping[Outcome, int]) -> float:
+        n = sum(counts.values())
+        return max(
+            wilson_halfwidth(counts.get(outcome, 0), n, self.z)
+            for outcome in Outcome
+        )
+
+    def satisfied(self, counts: Mapping[Outcome, int]) -> bool:
+        n = sum(counts.values())
+        if n < self.min_injections:
+            return False
+        return self.max_halfwidth(counts) <= self.ci_target

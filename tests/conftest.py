@@ -2,11 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cpu import Machine, MachineConfig
 from repro.ir import IRBuilder, Module
 from repro.ir import types as T
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_lab_store(tmp_path_factory):
+    """Point the durable campaign store (repro.lab) at a per-session
+    temp file so tests never read or pollute the user-level store."""
+    path = tmp_path_factory.mktemp("lab-store") / "store.sqlite"
+    previous = os.environ.get("REPRO_LAB_STORE")
+    os.environ["REPRO_LAB_STORE"] = str(path)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_LAB_STORE", None)
+    else:
+        os.environ["REPRO_LAB_STORE"] = previous
 
 
 @pytest.fixture

@@ -118,3 +118,55 @@ class TestHardeningEffect:
         with pytest.raises(ValueError):
             run_campaign(module, "f", (), "empty", "native",
                          CampaignConfig(injections=1))
+
+
+class TestEligibilityKeyProtocol:
+    def test_unkeyed_predicate_warns_once(self, monkeypatch):
+        import warnings
+
+        from repro.faults import campaign as campaign_mod
+
+        monkeypatch.setattr(campaign_mod, "_warned_unkeyed_predicate", False)
+        with pytest.warns(RuntimeWarning, match="cache_key"):
+            assert campaign_mod._eligibility_key(lambda fn: True) is None
+        # Second unkeyed predicate: silent, still None.
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            assert campaign_mod._eligibility_key(lambda fn: False) is None
+        assert not [w for w in record
+                    if issubclass(w.category, RuntimeWarning)]
+
+    def test_keyed_predicate_is_silent(self):
+        import warnings
+
+        from repro.faults.campaign import _eligibility_key
+        from repro.faults.trace import functions_only
+
+        predicate = functions_only(frozenset(["main"]))
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            key = _eligibility_key(predicate)
+        assert key == predicate.cache_key
+        assert not [w for w in record
+                    if issubclass(w.category, RuntimeWarning)]
+
+    def test_none_predicate_keys_to_empty(self):
+        from repro.faults.campaign import _eligibility_key
+
+        assert _eligibility_key(None) == ()
+
+
+class TestWorkerResolution:
+    def test_zero_means_all_cpus(self):
+        from repro.faults.campaign import resolve_workers
+
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(3) == 3
+
+    def test_workers_zero_matches_serial_counts(self, hist):
+        module, built = hist
+        serial = run_campaign(module, built.entry, built.args, "h", "native",
+                              CampaignConfig(injections=20, seed=7, workers=1))
+        auto = run_campaign(module, built.entry, built.args, "h", "native",
+                            CampaignConfig(injections=20, seed=7, workers=0))
+        assert auto.counts == serial.counts

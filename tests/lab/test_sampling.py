@@ -1,0 +1,66 @@
+"""Tests for Wilson-interval adaptive stopping (repro.lab.sampling)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.faults.outcomes import Outcome
+from repro.lab.sampling import (
+    AdaptiveStop,
+    wilson_halfwidth,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_known_value(self):
+        # 5/10 at z=1.96: centred on 0.5, half-width ~0.2634.
+        lo, hi = wilson_interval(5, 10)
+        assert lo == pytest.approx(0.2366, abs=2e-3)
+        assert hi == pytest.approx(0.7634, abs=2e-3)
+
+    def test_zero_n_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_bounds_stay_in_unit_interval(self):
+        for k, n in [(0, 5), (5, 5), (1, 1000), (999, 1000)]:
+            lo, hi = wilson_interval(k, n)
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_extreme_proportions_keep_width(self):
+        # Where Wald collapses to zero width, Wilson must not.
+        assert wilson_halfwidth(0, 50) > 0.01
+
+    def test_halfwidth_shrinks_with_n(self):
+        widths = [wilson_halfwidth(n // 4, n) for n in (20, 80, 320, 1280)]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_rejects_impossible_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(6, 5)
+
+
+class TestAdaptiveStop:
+    def test_not_satisfied_below_min_injections(self):
+        stop = AdaptiveStop(ci_target=0.5, min_injections=100)
+        counts = Counter({Outcome.MASKED: 99})
+        assert not stop.satisfied(counts)
+
+    def test_satisfied_when_all_classes_tight(self):
+        stop = AdaptiveStop(ci_target=0.05, min_injections=50)
+        counts = Counter({Outcome.MASKED: 1500, Outcome.SDC: 500})
+        assert stop.max_halfwidth(counts) < 0.05
+        assert stop.satisfied(counts)
+
+    def test_not_satisfied_when_loose(self):
+        stop = AdaptiveStop(ci_target=0.02, min_injections=10)
+        counts = Counter({Outcome.MASKED: 30, Outcome.SDC: 30})
+        assert not stop.satisfied(counts)
+
+    def test_every_outcome_class_considered(self):
+        # max_halfwidth ranges over all six classes, including ones
+        # with zero observations (their Wilson width is small but real).
+        stop = AdaptiveStop(ci_target=0.001, min_injections=10)
+        counts = Counter({Outcome.MASKED: 1000})
+        assert stop.max_halfwidth(counts) > 0.001
+        assert not stop.satisfied(counts)
