@@ -20,6 +20,7 @@ from .harness import (
     AppSession,
     Session,
     compute_scorecard,
+    fault_model_matrix,
     fig01_simd_speedup,
     fig11_overhead,
     fig12_checks_breakdown,
@@ -38,6 +39,9 @@ _EXPERIMENTS = {
     "fig11": lambda s, a, n, w: fig11_overhead(s),
     "fig12": lambda s, a, n, w: fig12_checks_breakdown(s),
     "fig13": lambda s, a, n, w: fig13_fault_injection(
+        injections=n, scale="fi" if s.scale == "perf" else "test", workers=w
+    ),
+    "fault-models": lambda s, a, n, w: fault_model_matrix(
         injections=n, scale="fi" if s.scale == "perf" else "test", workers=w
     ),
     "fig14": lambda s, a, n, w: fig14_swiftr_comparison(s),

@@ -9,12 +9,28 @@ from .inspect import (
     inspect_module,
 )
 from .report import arithmetic_mean, fmt, geometric_mean, render_table
+from .vulnerability import (
+    CrossCheckRow,
+    FunctionVulnerability,
+    VulnerabilityReport,
+    analyze_function,
+    analyze_module,
+    cross_check,
+    exposed_sites_for_model,
+)
 
 __all__ = [
+    "CrossCheckRow",
     "FunctionReport",
+    "FunctionVulnerability",
     "ModuleReport",
+    "VulnerabilityReport",
+    "analyze_function",
+    "analyze_module",
     "arithmetic_mean",
+    "cross_check",
     "diff_reports",
+    "exposed_sites_for_model",
     "fmt",
     "geometric_mean",
     "inspect_function",

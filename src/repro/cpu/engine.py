@@ -72,7 +72,6 @@ from .interpreter import (
     _MASK64,
     _cast_scalar,
     _compute_static,
-    _flip,
     _float_binop,
     _int_binop,
     _key_to_value,
@@ -155,12 +154,20 @@ def exec_decoded_function(M, dfn: DecodedFunction, args: List,
     mark = M.memory.stack_mark()
     caller = M._current_fn
     M._current_fn = dfn.fn
+    prev_mem = M._mem_stream_live
+    prev_branch = M._branch_stream_live
     try:
         if M._fault_active and M._fault_eligible_fn(dfn.fn):
+            M._mem_stream_live = M._mem_stream_needed
+            M._branch_stream_live = M._branch_stream_needed
             return _run_inject(M, dfn, regs, times)
+        M._mem_stream_live = False
+        M._branch_stream_live = False
         return _run_fast(M, dfn, regs, times)
     finally:
         M._current_fn = caller
+        M._mem_stream_live = prev_mem
+        M._branch_stream_live = prev_branch
         M.memory.stack_release(mark)
         M._depth = depth - 1
 
@@ -339,18 +346,13 @@ def _run_inject(M, dfn, regs, times):
                         M.eligible_executed = index + 1
                         if M._trace_eligible is not None:
                             M._trace_eligible(phi, M._current_fn)
+                        if M._checker_needed:
+                            v = M._checker_step(v, phi)
                         plans = M.fault_plans
                         cursor = M._next_plan
                         if (cursor < len(plans)
                                 and index == plans[cursor].target_index):
-                            while (cursor < len(plans)
-                                   and plans[cursor].target_index == index):
-                                p = plans[cursor]
-                                v = _flip(v, ty, p.bit, p.lane)
-                                cursor += 1
-                            M._next_plan = cursor
-                            M.fault_injected = True
-                            M.fault_target = phi
+                            v = M._apply_reg_plans(v, phi, index)
                         regs[dst] = v
                         times[dst] = t
 
@@ -375,20 +377,15 @@ def _run_inject(M, dfn, regs, times):
                         M.eligible_executed = index + 1
                         if M._trace_eligible is not None:
                             M._trace_eligible(inst, M._current_fn)
+                        if M._checker_needed:
+                            regs[dst] = M._checker_step(regs[dst], inst)
                         plans = M.fault_plans
                         cursor = M._next_plan
                         if (cursor < len(plans)
                                 and index == plans[cursor].target_index):
-                            value = regs[dst]
-                            while (cursor < len(plans)
-                                   and plans[cursor].target_index == index):
-                                p = plans[cursor]
-                                value = _flip(value, ty, p.bit, p.lane)
-                                cursor += 1
-                            M._next_plan = cursor
-                            M.fault_injected = True
-                            M.fault_target = inst
-                            regs[dst] = value
+                            regs[dst] = M._apply_reg_plans(
+                                regs[dst], inst, index
+                            )
                     i += 1
 
                 kind = block.term_kind
@@ -421,6 +418,8 @@ def _run_inject(M, dfn, regs, times):
                     s, c, tb, eb, inst, lat = term
                     cond = regs[s] if s >= 0 else c
                     taken = bool(cond)
+                    if M._branch_stream_live:
+                        taken = M._branch_step(taken, inst)
                     pcs = M._branch_pcs
                     key = id(inst)
                     pc = pcs.get(key)
@@ -636,8 +635,10 @@ def _make_load(rv, inst, costs, static, dst):
 
         def h(M, regs, times, executed, timing,
               sp=sp, cp=cp, dst=dst, ty=ty, size=size, lat=lat, uops=uops,
-              isv=isv, port=port):
+              isv=isv, port=port, inst=inst):
             addr = regs[sp] if sp >= 0 else cp
+            if M._mem_stream_live:
+                addr = M._mem_step(addr, inst)
             regs[dst] = M.memory.load_value(ty, addr)
             cache = M.cache
             if cache is None:
@@ -668,8 +669,10 @@ def _make_load(rv, inst, costs, static, dst):
 
         def h(M, regs, times, executed, timing,
               sp=sp, cp=cp, dst=dst, size=size, lat=lat, uops=uops,
-              isv=isv, port=port, unpack_from=unpack_from):
+              isv=isv, port=port, unpack_from=unpack_from, inst=inst):
             addr = regs[sp] if sp >= 0 else cp
+            if M._mem_stream_live:
+                addr = M._mem_step(addr, inst)
             mem = M.memory
             end = addr + size
             if _HEAP_BASE <= addr and end <= mem.heap_top:
@@ -703,8 +706,10 @@ def _make_load(rv, inst, costs, static, dst):
 
     def h(M, regs, times, executed, timing,
           sp=sp, cp=cp, dst=dst, size=size, mask=mask, lat=lat, uops=uops,
-          isv=isv, port=port, from_bytes=int.from_bytes):
+          isv=isv, port=port, from_bytes=int.from_bytes, inst=inst):
         addr = regs[sp] if sp >= 0 else cp
+        if M._mem_stream_live:
+            addr = M._mem_step(addr, inst)
         mem = M.memory
         end = addr + size
         if _HEAP_BASE <= addr and end <= mem.heap_top:
@@ -752,8 +757,10 @@ def _make_store(rv, inst, costs, static):
 
         def h(M, regs, times, executed, timing,
               sv=sv, cv=cv, sp=sp, cp=cp, vty=vty, size=size, lat=lat,
-              uops=uops, isv=isv, port=port):
+              uops=uops, isv=isv, port=port, inst=inst):
             addr = regs[sp] if sp >= 0 else cp
+            if M._mem_stream_live:
+                addr = M._mem_step(addr, inst)
             value = regs[sv] if sv >= 0 else cv
             M.memory.store_value(vty, addr, value)
             cache = M.cache
@@ -785,8 +792,11 @@ def _make_store(rv, inst, costs, static):
 
         def h(M, regs, times, executed, timing,
               sv=sv, cv=cv, sp=sp, cp=cp, size=size, lat=lat,
-              uops=uops, isv=isv, port=port, pack_into=pack_into):
+              uops=uops, isv=isv, port=port, pack_into=pack_into,
+              inst=inst):
             addr = regs[sp] if sp >= 0 else cp
+            if M._mem_stream_live:
+                addr = M._mem_step(addr, inst)
             value = regs[sv] if sv >= 0 else cv
             mem = M.memory
             end = addr + size
@@ -821,8 +831,10 @@ def _make_store(rv, inst, costs, static):
 
     def h(M, regs, times, executed, timing,
           sv=sv, cv=cv, sp=sp, cp=cp, size=size, smask=smask, lat=lat,
-          uops=uops, isv=isv, port=port):
+          uops=uops, isv=isv, port=port, inst=inst):
         addr = regs[sp] if sp >= 0 else cp
+        if M._mem_stream_live:
+            addr = M._mem_step(addr, inst)
         value = regs[sv] if sv >= 0 else cv
         raw = (int(value) & smask).to_bytes(size, "little")
         mem = M.memory

@@ -59,7 +59,7 @@ from .errors import (
     MemoryFault,
     Trap,
 )
-from .memory import Memory
+from .memory import HEAP_BASE, Memory
 from .timing import TimingModel
 
 _MASK64 = (1 << 64) - 1
@@ -107,13 +107,56 @@ class MachineConfig:
 
 @dataclass
 class FaultPlan:
-    """Inject a single-event upset at the ``target_index``-th eligible
-    dynamic instruction: flip ``bit`` of its result (within SIMD
-    ``lane`` if the result is a vector)."""
+    """One planned fault, fired at the ``target_index``-th dynamic event
+    of its targeting stream.
+
+    The default ``kind`` (``"reg"``) is the paper's §IV-B model: flip
+    ``bit`` of the result register of the ``target_index``-th *eligible*
+    dynamic instruction — within SIMD ``lane`` when the result is a
+    vector. Other kinds (see :mod:`repro.faults.models`) reinterpret the
+    fields:
+
+    - ``"multi"``  — flip ``bit`` plus every bit in ``bits`` (all in the
+      same ``lane`` of one result; multi-bit upset).
+    - ``"skip"``   — replace the result with a type-appropriate zero
+      (instruction-skip approximation).
+    - ``"mem"``    — the eligible instruction only *times* the upset;
+      flip bit ``bit % 8`` of the live heap byte at
+      ``offset % live_heap_bytes``. The targeted value is untouched.
+    - ``"addr"``   — counted on the *memory-access* stream: flip ``bit``
+      of the effective address of the ``target_index``-th dynamic
+      load/store in eligible functions, for that one access.
+    - ``"branch"`` — counted on the *conditional-branch* stream: invert
+      the ``target_index``-th dynamic branch decision (after the
+      condition — and any ``elzar.branch_cond`` sync — has evaluated).
+    - ``"checker"`` — counted on the *checker-site* stream (results of
+      hardening-inserted wrapper/check instructions only): flip
+      ``bit``/``lane`` of that site's result, i.e. an upset inside the
+      paper's window of vulnerability.
+
+    Bit-width semantics (deliberate, paper-matching, and baked into
+    stored campaign keys — do **not** "fix" by narrowing the draw):
+    ``bit`` is always drawn from ``[0, 64)`` and ``lane`` from
+    ``[0, 4)``, the full GPR width and YMM lane count. A scalar result
+    narrower than 64 bits (i32, f32, i8, i1) occupies the register's low
+    bits, so a flip at ``bit % 64 >= width`` hits architecturally dead
+    upper bits and is immediately masked — ``_flip`` returns the value
+    unchanged. Vector lanes are packed, so ``lane`` wraps (``lane %
+    count``) and ``bit`` wraps into the element width: vector flips
+    always land in live bits. This inflates the masked rate for
+    integer-heavy scalar code exactly as real GPR injections do.
+    """
 
     target_index: int
     bit: int
     lane: int = 0
+    #: Fault-model kind; see class docstring. Default preserves the
+    #: original single-bit register-flip behaviour.
+    kind: str = "reg"
+    #: Extra bits to flip for ``kind="multi"`` (distinct from ``bit``).
+    bits: tuple = ()
+    #: Heap byte offset seed for ``kind="mem"``.
+    offset: int = 0
 
 
 @dataclass
@@ -286,6 +329,19 @@ class Machine:
         self.fault_injected = False
         self.fault_target: Optional[Instruction] = None
         self.eligible_executed = 0
+        # Additional targeting streams (repro.faults.models). Each is a
+        # sorted plan list + cursor + dynamic-event counter, mirroring
+        # the eligible-instruction stream above. One campaign arms plans
+        # of a single kind, so the streams never interact.
+        self._checker_plans: List[FaultPlan] = []
+        self._next_checker_plan = 0
+        self.checker_sites_executed = 0
+        self._mem_plans: List[FaultPlan] = []
+        self._next_mem_plan = 0
+        self.mem_accesses_eligible = 0
+        self._branch_plans: List[FaultPlan] = []
+        self._next_branch_plan = 0
+        self.cond_branches_eligible = 0
         self._eligible_fn_cache: Dict[int, bool] = {}
         self._trace_eligible = None
         self._count_only = False
@@ -293,6 +349,16 @@ class Machine:
         #: (armed plans, count-only profiling, or a trace hook); the
         #: decoded engine skips that bookkeeping entirely otherwise.
         self._fault_active = False
+        # Stream gates. ``*_needed`` = this run must count the stream at
+        # all (count-only profiling or plans of that kind armed);
+        # ``*_live`` = needed *and* currently inside an eligible frame —
+        # maintained by the frame setup of both engines so the hot
+        # load/store/branch paths test one boolean.
+        self._checker_needed = False
+        self._mem_stream_needed = False
+        self._branch_stream_needed = False
+        self._mem_stream_live = False
+        self._branch_stream_live = False
         self._current_fn: Optional[Function] = None
         self._depth = -1
         self._layout_globals()
@@ -302,8 +368,16 @@ class Machine:
     def _refresh_fault_mode(self) -> None:
         self._fault_active = (
             bool(self.fault_plans)
+            or bool(self._checker_plans)
+            or bool(self._mem_plans)
+            or bool(self._branch_plans)
             or self._count_only
             or self._trace_eligible is not None
+        )
+        self._checker_needed = self._count_only or bool(self._checker_plans)
+        self._mem_stream_needed = self._count_only or bool(self._mem_plans)
+        self._branch_stream_needed = (
+            self._count_only or bool(self._branch_plans)
         )
 
     @property
@@ -373,15 +447,46 @@ class Machine:
         """Arm multiple independent upsets in one run (used to test the
         §III-A observation that four replicas usually mask two faults).
         Plans with negative target indices never fire (golden runs use
-        one to count eligible instructions)."""
-        self.fault_plans = sorted(plans, key=lambda p: p.target_index)
+        one to count eligible instructions).
+
+        Plans are routed by ``kind`` onto their targeting stream:
+        ``addr`` plans count dynamic loads/stores, ``branch`` plans
+        count dynamic conditional branches, ``checker`` plans count
+        hardening-inserted check/wrapper sites, and everything else
+        (``reg``/``multi``/``skip``/``mem``) counts eligible
+        value-producing instructions, exactly as before."""
+        reg: List[FaultPlan] = []
+        checker: List[FaultPlan] = []
+        mem: List[FaultPlan] = []
+        branch: List[FaultPlan] = []
+        for plan in plans:
+            kind = getattr(plan, "kind", "reg")
+            if kind == "checker":
+                checker.append(plan)
+            elif kind == "addr":
+                mem.append(plan)
+            elif kind == "branch":
+                branch.append(plan)
+            else:
+                reg.append(plan)
+        by_index = lambda p: p.target_index  # noqa: E731
+        self.fault_plans = sorted(reg, key=by_index)
         self._next_plan = 0
         while (self._next_plan < len(self.fault_plans)
                and self.fault_plans[self._next_plan].target_index < 0):
             self._next_plan += 1
+        self._checker_plans = sorted(checker, key=by_index)
+        self._next_checker_plan = 0
+        self._mem_plans = sorted(mem, key=by_index)
+        self._next_mem_plan = 0
+        self._branch_plans = sorted(branch, key=by_index)
+        self._next_branch_plan = 0
         self.fault_injected = False
         self.fault_target = None
         self.eligible_executed = 0
+        self.checker_sites_executed = 0
+        self.mem_accesses_eligible = 0
+        self.cond_branches_eligible = 0
         self._refresh_fault_mode()
 
     def _fault_eligible_fn(self, fn: Function) -> bool:
@@ -403,20 +508,114 @@ class Machine:
         self.eligible_executed += 1
         if self.trace_eligible is not None:
             self.trace_eligible(inst, self._current_fn)
+        if self._checker_needed:
+            value = self._checker_step(value, inst)
         plans = self.fault_plans
         cursor = self._next_plan
         if cursor >= len(plans) or index != plans[cursor].target_index:
             return value
-        # Apply every plan aimed at this index (they may hit different
-        # lanes/bits of the same result).
+        return self._apply_reg_plans(value, inst, index)
+
+    def _apply_reg_plans(self, value, inst: Instruction, index: int):
+        """Apply every eligible-stream plan aimed at ``index`` (they may
+        hit different lanes/bits of the same result). Shared verbatim by
+        both engines — this is what keeps their injection behaviour
+        bit-identical across fault kinds."""
+        plans = self.fault_plans
+        cursor = self._next_plan
+        ty = inst.type
         while cursor < len(plans) and plans[cursor].target_index == index:
             plan = plans[cursor]
-            value = _flip(value, inst.type, plan.bit, plan.lane)
+            kind = plan.kind
+            if kind == "skip":
+                value = _zero_value(ty)
+            elif kind == "mem":
+                self._flip_memory(plan)
+            elif kind == "multi":
+                value = _flip(value, ty, plan.bit, plan.lane)
+                for extra_bit in plan.bits:
+                    value = _flip(value, ty, extra_bit, plan.lane)
+            else:  # "reg" — the paper's single-bit model
+                value = _flip(value, ty, plan.bit, plan.lane)
             cursor += 1
         self._next_plan = cursor
         self.fault_injected = True
         self.fault_target = inst  # what the SEU hit (for analyses/tests)
         return value
+
+    def _flip_memory(self, plan: FaultPlan) -> None:
+        """MemoryBitFlip payload: flip one bit of a live heap byte. The
+        eligible instruction only *times* the upset; its result is left
+        intact. Restricted to the heap (globals + rt.alloc) — stack
+        depth varies across schemes, so a heap-relative offset is the
+        only placement that hits comparable state in native and hardened
+        builds. An empty heap makes the flip a no-op."""
+        mem = self.memory
+        live = mem.heap_top - HEAP_BASE
+        if live <= 0:
+            return
+        mem._heap[plan.offset % live] ^= 1 << (plan.bit % 8)
+        self.fault_injected = True
+
+    def _checker_step(self, value, inst: Instruction):
+        """Count (and possibly corrupt) a checker-site result. Called
+        from the per-eligible hook of both engines when the checker
+        stream is needed; non-checker instructions pass through."""
+        if not _is_checker_site(inst):
+            return value
+        index = self.checker_sites_executed
+        self.checker_sites_executed = index + 1
+        plans = self._checker_plans
+        cursor = self._next_checker_plan
+        if cursor >= len(plans) or index != plans[cursor].target_index:
+            return value
+        ty = inst.type
+        while cursor < len(plans) and plans[cursor].target_index == index:
+            plan = plans[cursor]
+            value = _flip(value, ty, plan.bit, plan.lane)
+            cursor += 1
+        self._next_checker_plan = cursor
+        self.fault_injected = True
+        self.fault_target = inst
+        return value
+
+    def _mem_step(self, addr: int, inst: Instruction) -> int:
+        """Count a dynamic load/store and, when an ``addr`` plan fires,
+        corrupt its effective address for this one access. Runs *after*
+        address computation (so after any hardening check on the address
+        value) and *before* the memory access and cache bookkeeping —
+        the paper's post-check window on extracted scalar addresses."""
+        index = self.mem_accesses_eligible
+        self.mem_accesses_eligible = index + 1
+        plans = self._mem_plans
+        cursor = self._next_mem_plan
+        if cursor >= len(plans) or index != plans[cursor].target_index:
+            return addr
+        while cursor < len(plans) and plans[cursor].target_index == index:
+            addr = (addr ^ (1 << (plans[cursor].bit % 64))) & _MASK64
+            cursor += 1
+        self._next_mem_plan = cursor
+        self.fault_injected = True
+        self.fault_target = inst
+        return addr
+
+    def _branch_step(self, taken: bool, inst: Instruction) -> bool:
+        """Count a dynamic conditional branch and, when a ``branch``
+        plan fires, invert its decision — a wrong-path fault *after* the
+        ptest/branch synchronisation point."""
+        index = self.cond_branches_eligible
+        self.cond_branches_eligible = index + 1
+        plans = self._branch_plans
+        cursor = self._next_branch_plan
+        if cursor >= len(plans) or index != plans[cursor].target_index:
+            return taken
+        while cursor < len(plans) and plans[cursor].target_index == index:
+            taken = not taken
+            cursor += 1
+        self._next_branch_plan = cursor
+        self.fault_injected = True
+        self.fault_target = inst
+        return taken
 
     # Execution ------------------------------------------------------------------------
 
@@ -480,10 +679,20 @@ class Machine:
         mark = self.memory.stack_mark()
         caller = self._current_fn
         self._current_fn = fn
+        prev_mem = self._mem_stream_live
+        prev_branch = self._branch_stream_live
+        if self._fault_active:
+            in_eligible = self._fault_eligible_fn(fn)
+            self._mem_stream_live = in_eligible and self._mem_stream_needed
+            self._branch_stream_live = (
+                in_eligible and self._branch_stream_needed
+            )
         try:
             return self._exec_blocks(fn, frame, times, depth)
         finally:
             self._current_fn = caller
+            self._mem_stream_live = prev_mem
+            self._branch_stream_live = prev_branch
             self.memory.stack_release(mark)
 
     def _exec_blocks(self, fn: Function, frame: Dict, times: Dict, depth: int):
@@ -584,6 +793,8 @@ class Machine:
         counters.cond_branches += 1
         cond = self._eval(inst.cond, frame)
         taken = bool(cond)
+        if self._branch_stream_live:
+            taken = self._branch_step(taken, inst)
         pc = self._branch_pcs.get(id(inst))
         if pc is None:
             pc = self._next_pc
@@ -671,6 +882,8 @@ class Machine:
 
         if isinstance(inst, LoadInst):
             addr = self._eval(inst.ptr, frame)
+            if self._mem_stream_live:
+                addr = self._mem_step(addr, inst)
             counters.loads += 1
             value = self.memory.load_value(ty, addr)
             extra = self._mem_access(addr, T.sizeof(ty))
@@ -679,6 +892,8 @@ class Machine:
 
         if isinstance(inst, StoreInst):
             addr = self._eval(inst.ptr, frame)
+            if self._mem_stream_live:
+                addr = self._mem_step(addr, inst)
             value = self._eval(inst.value, frame)
             counters.stores += 1
             vty = inst.value.type
@@ -957,6 +1172,37 @@ def _key_to_value(key, elem: T.Type):
     if elem.is_float:
         return avxops.bits_to_float(key, elem.bits)
     return key
+
+
+#: Intrinsic-name prefixes of hardening-inserted check/vote/sync calls.
+_CHECKER_PREFIXES = ("elzar.", "tmr.vote.", "swift.check.")
+
+
+def _is_checker_site(inst: Instruction) -> bool:
+    """Structural predicate for the CheckerFault target set: results of
+    instructions the hardening passes insert around synchronisation
+    points — check/vote/branch-sync intrinsic calls plus the
+    extract/broadcast pair of every to-scalar/from-scalar wrapper. The
+    test is purely structural (opcode + callee-name prefix), so it
+    survives IR printing/parsing and keeps durable store keys stable."""
+    opcode = inst.opcode
+    if opcode in ("extractelement", "broadcast"):
+        return True
+    if opcode == "call":
+        callee = inst.callee
+        return callee.is_intrinsic and callee.name.startswith(
+            _CHECKER_PREFIXES
+        )
+    return False
+
+
+def _zero_value(ty: T.Type):
+    """Type-appropriate zero for the InstructionSkip model (the skipped
+    instruction's destination register reads as if never written)."""
+    if ty.is_vector:
+        zero = 0.0 if ty.elem.is_float else 0
+        return (zero,) * ty.count
+    return 0.0 if ty.is_float else 0
 
 
 def _flip(value, ty: T.Type, bit: int, lane: int):

@@ -3,11 +3,22 @@ classification (paper §IV-B, Table I, Figure 13)."""
 
 from .campaign import (
     CampaignConfig,
+    draw_model_plans,
     draw_plans,
+    golden_profile,
     golden_run,
     inject_once,
     resolve_workers,
     run_campaign,
+    trap_outcome,
+)
+from .models import (
+    DEFAULT_MODEL,
+    FaultModel,
+    StreamProfile,
+    get_model,
+    model_names,
+    register_model,
 )
 from .outcomes import CampaignResult, Outcome
 from .trace import TraceSummary, collect_trace, functions_only, hardened_only
@@ -15,14 +26,23 @@ from .trace import TraceSummary, collect_trace, functions_only, hardened_only
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
+    "DEFAULT_MODEL",
+    "FaultModel",
     "Outcome",
+    "StreamProfile",
     "TraceSummary",
     "collect_trace",
+    "draw_model_plans",
     "draw_plans",
     "functions_only",
+    "get_model",
+    "golden_profile",
     "golden_run",
     "hardened_only",
     "inject_once",
+    "model_names",
+    "register_model",
     "resolve_workers",
     "run_campaign",
+    "trap_outcome",
 ]

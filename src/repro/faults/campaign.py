@@ -34,17 +34,11 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from ..cpu.errors import (
-    AbortError,
-    ArithmeticFault,
-    DetectedError,
-    HangError,
-    MemoryFault,
-    Trap,
-)
+from ..cpu.errors import DetectedError, HangError, Trap
 from ..cpu.interpreter import FaultPlan, Machine, MachineConfig
 from ..ir.module import Module
 from ..workloads.common import outputs_match
+from .models import DEFAULT_MODEL, StreamProfile, get_model
 from .outcomes import CampaignResult, Outcome
 
 
@@ -62,6 +56,14 @@ class CampaignConfig:
     #: forks N workers (outcome counts are identical either way);
     #: 0 = use every CPU (``os.cpu_count()``).
     workers: int = 1
+    #: Registered fault-model name (see :mod:`repro.faults.models`).
+    #: The default reproduces the paper's single register bit flip.
+    fault_model: str = DEFAULT_MODEL
+    #: Execution engine for every run of the campaign ("decoded" or
+    #: "reference"). Outcome counts are bit-identical either way (the
+    #: differential tests enforce it); the knob exists so CI can prove
+    #: that end to end. Excluded from durable store keys.
+    engine: str = "decoded"
 
 
 def resolve_workers(workers: int) -> int:
@@ -72,8 +74,9 @@ def resolve_workers(workers: int) -> int:
 
 
 def _fresh_machine(module: Module, max_instructions: Optional[int] = None,
-                   fault_eligible: Optional[Callable] = None) -> Machine:
-    config = MachineConfig(collect_timing=False)
+                   fault_eligible: Optional[Callable] = None,
+                   engine: str = "decoded") -> Machine:
+    config = MachineConfig(collect_timing=False, engine=engine)
     if max_instructions is not None:
         config.max_instructions = max_instructions
     if fault_eligible is not None:
@@ -81,7 +84,11 @@ def _fresh_machine(module: Module, max_instructions: Optional[int] = None,
     return Machine(module, config)
 
 
-_warned_unkeyed_predicate = False
+#: Predicate identities (``id()``) already warned about. Per-identity —
+#: not one global boolean — so each distinct unkeyable predicate gets
+#: its own (single) warning, and forked lab workers inherit the parent's
+#: set instead of re-warning.
+_warned_unkeyed_predicates: set = set()
 
 
 def _eligibility_key(fault_eligible: Optional[Callable]):
@@ -98,24 +105,29 @@ def _eligibility_key(fault_eligible: Optional[Callable]):
 
     Returns ``()`` for "no predicate", the predicate's ``cache_key``
     when present, and ``None`` for an unkeyable predicate — caching is
-    skipped then, and a one-time :class:`RuntimeWarning` says so
-    (previously the cache was bypassed silently, which made every
-    golden run quietly repeat).
+    skipped then, and a :class:`RuntimeWarning` says so, once per
+    distinct predicate identity (previously the cache was bypassed
+    silently, which made every golden run quietly repeat). Forked lab
+    workers never emit the warning — only the parent process does, so a
+    ``--workers N`` campaign warns once, not N+1 times.
     """
-    global _warned_unkeyed_predicate
     if fault_eligible is None:
         return ()
     key = getattr(fault_eligible, "cache_key", None)
-    if key is None and not _warned_unkeyed_predicate:
-        _warned_unkeyed_predicate = True
-        warnings.warn(
-            f"fault-eligibility predicate {fault_eligible!r} has no "
-            "cache_key attribute; golden-run caching and durable shard "
-            "reuse are disabled for campaigns using it (see the cache_key "
-            "protocol in repro.faults.campaign._eligibility_key)",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+    if key is None:
+        ident = id(fault_eligible)
+        if (ident not in _warned_unkeyed_predicates
+                and multiprocessing.parent_process() is None):
+            _warned_unkeyed_predicates.add(ident)
+            warnings.warn(
+                f"fault-eligibility predicate {fault_eligible!r} has no "
+                "cache_key attribute; golden-run caching and durable shard "
+                "reuse are disabled for campaigns using it (see the "
+                "cache_key protocol in "
+                "repro.faults.campaign._eligibility_key)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
     return key
 
 
@@ -128,14 +140,17 @@ def _args_key(args: Sequence):
         return repr(tuple(args))
 
 
-def golden_run(module: Module, entry: str, args: Sequence,
-               fault_eligible: Optional[Callable] = None):
-    """Fault-free execution; returns (output, eligible_instructions,
-    total_instructions).
+def golden_profile(module: Module, entry: str, args: Sequence,
+                   fault_eligible: Optional[Callable] = None,
+                   engine: str = "decoded"):
+    """Fault-free execution; returns ``(output, StreamProfile)``.
 
-    Runs the machine in ``count_only`` mode (eligible-instruction
-    profiling without arming any fault). Results are cached on the
-    module, invalidated by its version stamp.
+    Runs the machine in ``count_only`` mode, which profiles *every*
+    targeting stream in one pass — eligible results, dynamic memory
+    accesses, conditional branches, and checker sites — so one golden
+    run prices every fault model. Results are cached on the module,
+    invalidated by its version stamp. The cache key excludes ``engine``
+    (both engines are bit-identical, golden outputs included).
     """
     ekey = _eligibility_key(fault_eligible)
     key = None
@@ -143,28 +158,45 @@ def golden_run(module: Module, entry: str, args: Sequence,
         key = (module.version, entry, _args_key(args), ekey)
         cached = module._golden_cache.get(key)
         if cached is not None:
-            output, eligible, executed = cached
-            return list(output), eligible, executed
-    machine = _fresh_machine(module, fault_eligible=fault_eligible)
+            output, profile = cached
+            return list(output), profile
+    machine = _fresh_machine(module, fault_eligible=fault_eligible,
+                             engine=engine)
     machine.count_only = True
     result = machine.run(entry, args)
+    profile = StreamProfile(
+        eligible=machine.eligible_executed,
+        executed=result.counters.instructions,
+        mem_accesses=machine.mem_accesses_eligible,
+        cond_branches=machine.cond_branches_eligible,
+        checker_sites=machine.checker_sites_executed,
+    )
     if key is not None:
-        module._golden_cache[key] = (
-            tuple(result.output), machine.eligible_executed,
-            result.counters.instructions,
-        )
-    return list(result.output), machine.eligible_executed, \
-        result.counters.instructions
+        module._golden_cache[key] = (tuple(result.output), profile)
+    return list(result.output), profile
+
+
+def golden_run(module: Module, entry: str, args: Sequence,
+               fault_eligible: Optional[Callable] = None):
+    """Fault-free execution; returns (output, eligible_instructions,
+    total_instructions). Compatibility wrapper over
+    :func:`golden_profile` (same cache)."""
+    output, profile = golden_profile(module, entry, args, fault_eligible)
+    return output, profile.eligible, profile.executed
 
 
 def draw_plans(eligible: int, config: CampaignConfig) -> List[FaultPlan]:
-    """All fault plans for a campaign, in the serial draw order — the
-    plan list (hence the outcome multiset) is a pure function of
-    (eligible, seed, injections), independent of worker count. Plans
-    are drawn sequentially, so the list for a larger ``injections`` cap
-    extends (never reshuffles) the list for a smaller one — the prefix
-    property :mod:`repro.lab` exploits to reuse stored shards when a
-    campaign is scaled up."""
+    """All fault plans for the *default* (register bit flip) model, in
+    the serial draw order — the plan list (hence the outcome multiset)
+    is a pure function of (eligible, seed, injections), independent of
+    worker count. Plans are drawn sequentially, so the list for a larger
+    ``injections`` cap extends (never reshuffles) the list for a smaller
+    one — the prefix property :mod:`repro.lab` exploits to reuse stored
+    shards when a campaign is scaled up.
+
+    Kept as the historical entry point (its draw order is baked into
+    stored campaign keys); other fault models draw through
+    :func:`draw_model_plans`."""
     rng = random.Random(config.seed)
     return [
         FaultPlan(
@@ -176,22 +208,32 @@ def draw_plans(eligible: int, config: CampaignConfig) -> List[FaultPlan]:
     ]
 
 
+def draw_model_plans(profile: StreamProfile,
+                     config: CampaignConfig) -> List[FaultPlan]:
+    """Plan list for ``config.fault_model``, with the same serial-order
+    prefix property as :func:`draw_plans`. Raises ``ValueError`` when
+    the model's target stream is empty (e.g. ``checker-fault`` against
+    unhardened code)."""
+    return get_model(config.fault_model).draw_plans(profile, config)
+
+
 #: Backwards-compatible alias (pre-lab internal name).
 _draw_plans = draw_plans
 
 
 # Fork-inherited campaign context: (module, entry, args, reference,
-# budget, rtol, fault_eligible). Set in the parent right before the
-# pool forks; never pickled, so modules and predicates need not be
+# budget, rtol, fault_eligible, engine). Set in the parent right before
+# the pool forks; never pickled, so modules and predicates need not be
 # picklable.
 _FORK_CONTEXT = None
 
 
 def _run_shard(plans: List[FaultPlan]) -> List[Outcome]:
-    module, entry, args, reference, budget, rtol, fault_eligible = _FORK_CONTEXT
+    (module, entry, args, reference, budget, rtol, fault_eligible,
+     engine) = _FORK_CONTEXT
     return [
         inject_once(module, entry, args, plan, reference, budget, rtol,
-                    fault_eligible)
+                    fault_eligible, engine=engine)
         for plan in plans
     ]
 
@@ -220,20 +262,21 @@ def run_campaign(
     if workers is None:
         workers = config.workers
     workers = resolve_workers(workers)
-    reference, eligible, executed = golden_run(
-        module, entry, args, config.fault_eligible
+    reference, profile = golden_profile(
+        module, entry, args, config.fault_eligible, engine=config.engine
     )
-    if eligible == 0:
+    if profile.eligible == 0:
         raise ValueError(f"no eligible instructions in @{entry}")
-    budget = int(executed * config.hang_factor) + 10_000
-    plans = draw_plans(eligible, config)
-    result = CampaignResult(workload=workload, version=version)
+    budget = int(profile.executed * config.hang_factor) + 10_000
+    plans = draw_model_plans(profile, config)
+    result = CampaignResult(workload=workload, version=version,
+                            fault_model=config.fault_model)
 
     workers = max(1, min(workers, len(plans) or 1))
     if workers > 1 and _fork_available():
         shards = [plans[i::workers] for i in range(workers)]
         _FORK_CONTEXT = (module, entry, args, reference, budget,
-                         config.rtol, config.fault_eligible)
+                         config.rtol, config.fault_eligible, config.engine)
         try:
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(processes=workers) as pool:
@@ -246,9 +289,23 @@ def run_campaign(
 
     for plan in plans:
         outcome = inject_once(module, entry, args, plan, reference,
-                              budget, config.rtol, config.fault_eligible)
+                              budget, config.rtol, config.fault_eligible,
+                              engine=config.engine)
         result.counts[outcome] += 1
     return result
+
+
+def trap_outcome(trap: Trap) -> Outcome:
+    """Table-I outcome for a trapped run. Exhaustive over the
+    :mod:`repro.cpu.errors` hierarchy: hangs are the paper's watchdog
+    timeouts, hardening detections are their own class, and every other
+    trap (memory fault, arithmetic fault, abort, or a bare ``Trap``) is
+    an OS/runtime-detected crash."""
+    if isinstance(trap, HangError):
+        return Outcome.HANG
+    if isinstance(trap, DetectedError):
+        return Outcome.DETECTED
+    return Outcome.OS_DETECTED
 
 
 def inject_once(
@@ -260,21 +317,16 @@ def inject_once(
     budget: int,
     rtol: float = 1e-9,
     fault_eligible: Optional[Callable] = None,
+    engine: str = "decoded",
 ) -> Outcome:
     """One fault-injection run, classified per Table I."""
     machine = _fresh_machine(module, max_instructions=budget,
-                             fault_eligible=fault_eligible)
+                             fault_eligible=fault_eligible, engine=engine)
     machine.arm_fault(plan)
     try:
         result = machine.run(entry, args)
-    except HangError:
-        return Outcome.HANG
-    except DetectedError:
-        return Outcome.DETECTED
-    except (MemoryFault, ArithmeticFault, AbortError):
-        return Outcome.OS_DETECTED
-    except Trap:
-        return Outcome.OS_DETECTED
+    except Trap as exc:
+        return trap_outcome(exc)
 
     if not outputs_match(result.output, list(reference), rtol):
         return Outcome.SDC

@@ -45,6 +45,9 @@ class CampaignResult:
     workload: str
     version: str  # "native" | "elzar" | ...
     counts: Counter = field(default_factory=Counter)
+    #: Fault-model name the plans were drawn from (see
+    #: :mod:`repro.faults.models`); empty for hand-built results.
+    fault_model: str = ""
 
     @property
     def total(self) -> int:

@@ -9,7 +9,7 @@ from .ablations import lane_ablation, scheme_ablation
 from .apps_runner import AppSession, build_app
 from .base import Experiment
 from .case_studies import FIG15_THREADS, fig15_case_studies, relative_throughput
-from .fault_experiments import fig13_fault_injection
+from .fault_experiments import fault_model_matrix, fig13_fault_injection
 from .figures import (
     PAPER_THREADS,
     fig01_simd_speedup,
@@ -34,6 +34,7 @@ __all__ = [
     "VARIANTS",
     "build_app",
     "compute_scorecard",
+    "fault_model_matrix",
     "fig01_simd_speedup",
     "fig11_overhead",
     "fig12_checks_breakdown",

@@ -1,4 +1,4 @@
-"""Fault-injection experiment (Figure 13) and its building blocks."""
+"""Fault-injection experiments (Figure 13 and the fault-model matrix)."""
 
 from __future__ import annotations
 
@@ -6,10 +6,12 @@ from typing import Dict, Optional, Sequence
 
 from ..analysis.report import arithmetic_mean
 from ..faults.campaign import CampaignConfig
+from ..faults.models import model_names
 from ..faults.outcomes import Outcome
 from ..lab import run_durable_campaign
-from ..passes.elzar import elzar_transform
+from ..passes.elzar import ElzarOptions, elzar_transform
 from ..passes.mem2reg import mem2reg
+from ..passes.swiftr import swiftr_transform
 from ..workloads.registry import FI_BENCHMARKS, SHORT_NAMES, get
 from .base import Experiment
 
@@ -83,4 +85,86 @@ def fig13_fault_injection(
                 None,
             )
         )
+    return exp
+
+
+#: The matrix's hardening schemes: SWIFT-R's scalar triplication, ELZAR
+#: detection-only (fail-stop checks), and full ELZAR recovery.
+_MATRIX_VERSIONS = (
+    ("native", lambda base: base),
+    ("swiftr", swiftr_transform),
+    ("elzar-detect", lambda base: elzar_transform(
+        base, ElzarOptions(fail_stop=True))),
+    ("elzar", elzar_transform),
+)
+
+
+def fault_model_matrix(
+    injections: int = 60,
+    scale: str = "test",
+    seed: int = 2016,
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    store=None,
+    models: Optional[Sequence[str]] = None,
+) -> Experiment:
+    """Outcome rates per fault model × hardening scheme (§V-C probe).
+
+    Figure 13 asks one question ("does ELZAR correct register upsets?");
+    this matrix asks the paper's harder one: *which fault shapes evade
+    which scheme*. Expected signatures, each pinned by a test:
+
+    - ``register-bitflip``: ELZAR corrects, SWIFT-R corrects, native
+      takes SDCs — the headline result.
+    - ``address-bitflip``: every scheme looks like native — the fault
+      lands after the check on the extracted scalar address (§V-C's
+      window of vulnerability), so replication cannot see it.
+    - ``branch-flip``: faults after the ptest sync point; wrong-path
+      execution with consistent lanes.
+    - ``checker-fault``: upsets inside the inserted checks themselves;
+      rows exist only for hardened versions (the stream is empty
+      elsewhere — those cells are skipped, not zero).
+    - ``instruction-skip``: zeroes all lanes consistently, so lane
+      comparison is blind to it.
+    - ``memory-bitflip``: violates the paper's ECC-memory assumption;
+      hardened and native rates match.
+    """
+    names = list(benchmarks) if benchmarks else ["histogram"]
+    wanted = list(models) if models else model_names()
+    exp = Experiment(
+        id="fault-model-matrix",
+        title=(f"Outcome rates per fault model, {injections} injections "
+               "per cell (%)"),
+        headers=("benchmark", "fault model", "version", "crashed",
+                 "corrected", "masked", "corrupted(SDC)"),
+        digits=1,
+    )
+    for name in names:
+        wl = get(name)
+        built = wl.build_at(scale)
+        base = mem2reg(built.module)
+        for model in wanted:
+            for version, transform in _MATRIX_VERSIONS:
+                cfg = CampaignConfig(injections=injections, seed=seed,
+                                     workers=workers, fault_model=model)
+                try:
+                    result = run_durable_campaign(
+                        base if version == "native" else transform(base),
+                        built.entry, built.args, wl.name, version, cfg,
+                        store=store,
+                    ).result
+                except ValueError:
+                    # Empty target stream for this model × version
+                    # (checker-fault against unhardened code): a hole
+                    # in the matrix by design, not a zero row.
+                    continue
+                exp.rows.append((
+                    SHORT_NAMES.get(wl.name, wl.name),
+                    model,
+                    version,
+                    result.crash_rate,
+                    result.rate(Outcome.CORRECTED),
+                    result.rate(Outcome.MASKED),
+                    result.sdc_rate,
+                ))
     return exp

@@ -8,8 +8,8 @@ makes *contiguous* slices of the plan list the natural replay unit:
   the shards' outcome multisets, independent of execution order and
   worker count;
 - plans are drawn sequentially, so shard ``i`` of a campaign depends
-  only on ``(eligible, seed, shard_size, i)`` — not on the campaign's
-  total injection cap. Raising the cap (150 → 2500) extends the plan
+  only on ``(fault model, population, seed, shard_size, i)`` — not on
+  the campaign's total injection cap. Raising the cap (150 → 2500) extends the plan
   list; every previously stored *full* shard is still byte-for-byte
   the same work and is reused.
 
@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..cpu.interpreter import FaultPlan
 from ..faults.campaign import CampaignConfig, _args_key, _eligibility_key
+from ..faults.models import get_model
 from ..ir.module import Module
 from ..ir.printer import format_module
 from .events import EventBus
@@ -49,10 +50,14 @@ def module_digest(module: Module) -> str:
     return digest
 
 
-def golden_digest(reference: Sequence, eligible: int, executed: int) -> str:
-    """Digest of a fault-free run (exact: floats via ``repr``)."""
+def golden_digest(reference: Sequence, eligible: int, executed: int,
+                  *streams: int) -> str:
+    """Digest of a fault-free run (exact: floats via ``repr``). Extra
+    ``streams`` counts (memory accesses, conditional branches, checker
+    sites) fold in the full :class:`~repro.faults.models.StreamProfile`,
+    so drift in *any* targeting stream purges the cell's shards."""
     return digest_of(["golden", [repr(v) for v in reference], eligible,
-                      executed])
+                      executed, list(streams)])
 
 
 @dataclass(frozen=True)
@@ -90,7 +95,13 @@ class CampaignSpec:
     seed: int
     hang_factor: float
     rtol: float
-    eligible: int
+    #: Registered fault-model name; its ``cache_key`` salts the spec
+    #: key, so campaigns under different models never share shard rows.
+    fault_model: str
+    #: Size of the model's target stream (eligible results for the
+    #: default model, dynamic memory accesses for address flips, …) —
+    #: the modulus every plan's ``target_index`` was drawn against.
+    population: int
     shard_size: int
 
     @property
@@ -100,19 +111,23 @@ class CampaignSpec:
 
     @property
     def spec_key(self) -> str:
+        model_key = _canonical(get_model(self.fault_model).cache_key)
         return digest_of([LAB_SCHEMA, "spec", self.cell_key, self.seed,
                           repr(self.hang_factor), repr(self.rtol),
-                          self.eligible, self.shard_size])
+                          model_key, self.population, self.shard_size])
 
 
 def build_spec(module: Module, entry: str, args: Sequence,
-               config: CampaignConfig, eligible: int,
+               config: CampaignConfig, population: int,
                shard_size: int = DEFAULT_SHARD_SIZE
                ) -> Optional[CampaignSpec]:
     """Spec for a campaign, or ``None`` when the eligibility predicate
     is unkeyable (no ``cache_key`` — the campaign then runs without
     durable storage; :func:`repro.faults.campaign._eligibility_key`
-    warns once)."""
+    warns once). ``population`` is the size of ``config.fault_model``'s
+    target stream, as measured by the golden run. ``config.engine`` is
+    deliberately absent: both engines classify bit-identical outcomes,
+    so their shards are interchangeable store rows."""
     ekey = _eligibility_key(config.fault_eligible)
     if ekey is None:
         return None
@@ -124,7 +139,8 @@ def build_spec(module: Module, entry: str, args: Sequence,
         seed=config.seed,
         hang_factor=config.hang_factor,
         rtol=config.rtol,
-        eligible=eligible,
+        fault_model=config.fault_model,
+        population=population,
         shard_size=shard_size,
     )
 

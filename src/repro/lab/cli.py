@@ -24,9 +24,10 @@ import json
 from typing import Dict, List, Optional
 
 from ..faults.campaign import CampaignConfig
+from ..faults.models import DEFAULT_MODEL, model_names
 from ..faults.outcomes import Outcome
 from ..harness.base import Experiment
-from ..passes.elzar import elzar_transform
+from ..passes.elzar import ElzarOptions, elzar_transform
 from ..passes.mem2reg import mem2reg
 from ..passes.swiftr import swiftr_transform
 from ..workloads.registry import FI_BENCHMARKS, SHORT_NAMES, get
@@ -44,6 +45,8 @@ _SCALE_DEFAULTS = {
 _VERSIONS = {
     "native": lambda base: base,
     "elzar": elzar_transform,
+    "elzar-detect": lambda base: elzar_transform(
+        base, ElzarOptions(fail_stop=True)),
     "swiftr": swiftr_transform,
 }
 
@@ -63,6 +66,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--injections", type=int, default=None,
                         help="injection cap per cell (paper: 2500; "
                              "default 150, or 40 at --scale test)")
+    parser.add_argument("--fault-model", default=DEFAULT_MODEL,
+                        choices=model_names(),
+                        help="fault shape to inject (see docs/FAULTS.md); "
+                             "each model keys its own store rows")
+    parser.add_argument("--engine", default="decoded",
+                        choices=("decoded", "reference"),
+                        help="execution engine; outcome counts are "
+                             "bit-identical either way (CI proves it), so "
+                             "the store is shared between engines")
     parser.add_argument("--seed", type=int, default=2016)
     parser.add_argument("--workers", type=int, default=1,
                         help="forked campaign workers (0 = all CPUs)")
@@ -106,6 +118,8 @@ def _spec_from_args(args: argparse.Namespace) -> Dict:
         "ci_target": args.ci_target,
         "shard_size": args.shard_size if args.shard_size is not None
         else shard_size,
+        "fault_model": args.fault_model,
+        "engine": args.engine,
     }
 
 
@@ -113,6 +127,10 @@ def _run_cells(spec: Dict, store: ResultStore, events: EventBus):
     """Execute every benchmark × version cell; returns (rows, cells,
     totals) where rows feed the text table and cells the JSON report."""
     build_scale = "fi" if spec["scale"] == "perf" else "test"
+    # Resume manifests written before the fault-model/engine flags
+    # existed lack these keys; default to the historical behaviour.
+    fault_model = spec.get("fault_model", DEFAULT_MODEL)
+    engine = spec.get("engine", "decoded")
     rows: List[tuple] = []
     cells: List[Dict] = []
     totals = {"shards_total": 0, "shards_from_store": 0,
@@ -129,13 +147,25 @@ def _run_cells(spec: Dict, store: ResultStore, events: EventBus):
             module = transform(base)
             config = CampaignConfig(
                 injections=spec["injections"], seed=spec["seed"],
-                workers=spec["workers"],
+                workers=spec["workers"], fault_model=fault_model,
+                engine=engine,
             )
-            outcome = run_durable_campaign(
-                module, built.entry, built.args, name, version, config,
-                store=store, events=events,
-                shard_size=spec["shard_size"], ci_target=spec["ci_target"],
-            )
+            try:
+                outcome = run_durable_campaign(
+                    module, built.entry, built.args, name, version, config,
+                    store=store, events=events,
+                    shard_size=spec["shard_size"],
+                    ci_target=spec["ci_target"],
+                )
+            except ValueError as exc:
+                # Empty target stream for this model × version (e.g.
+                # checker-fault against native code): an expected hole
+                # in the matrix, not an error.
+                print(f"-- skipping {name}/{version}: {exc}")
+                cells.append({"workload": name, "version": version,
+                              "fault_model": fault_model,
+                              "skipped": str(exc)})
+                continue
             result, info = outcome.result, outcome.info
             rows.append((
                 SHORT_NAMES.get(name, name), version, result.total,
@@ -146,6 +176,7 @@ def _run_cells(spec: Dict, store: ResultStore, events: EventBus):
             cells.append({
                 "workload": name,
                 "version": version,
+                "fault_model": result.fault_model,
                 "injections_used": info.injections_used,
                 "stopped_early": info.stopped_early,
                 "ci_halfwidth": info.ci_halfwidth,
@@ -199,7 +230,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     exp = Experiment(
         id="campaign",
-        title=(f"Durable campaign, cap {spec['injections']} SEUs/cell"
+        title=(f"Durable campaign, "
+               f"{spec.get('fault_model', DEFAULT_MODEL)} faults, "
+               f"cap {spec['injections']}/cell"
                + (f", CI target ±{spec['ci_target']}" if spec["ci_target"]
                   else "")),
         headers=("benchmark", "version", "injections", "crashed", "correct",

@@ -30,11 +30,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.campaign import (
     CampaignConfig,
-    draw_plans,
-    golden_run,
+    draw_model_plans,
+    golden_profile,
     inject_once,
     resolve_workers,
 )
+from ..faults.models import get_model
 from ..faults.outcomes import CampaignResult
 from ..ir.module import Module
 from .checkpoint import (
@@ -126,16 +127,19 @@ def run_durable_campaign(
     events = events or EventBus()
     workers = resolve_workers(config.workers)
 
-    reference, eligible, executed = golden_run(
-        module, entry, args, config.fault_eligible
+    reference, profile = golden_profile(
+        module, entry, args, config.fault_eligible, engine=config.engine
     )
-    if eligible == 0:
+    if profile.eligible == 0:
         raise ValueError(f"no eligible instructions in @{entry}")
-    budget = int(executed * config.hang_factor) + 10_000
-    plans = draw_plans(eligible, config)
+    budget = int(profile.executed * config.hang_factor) + 10_000
+    # Raises ValueError when the model's target stream is empty (e.g.
+    # checker-fault against unhardened code) — before any store writes.
+    plans = draw_model_plans(profile, config)
+    population = get_model(config.fault_model).population(profile)
     shards = partition(plans, shard_size)
 
-    spec = build_spec(module, entry, args, config, eligible, shard_size)
+    spec = build_spec(module, entry, args, config, population, shard_size)
     if store is None:
         store = default_store()
     elif store is False:
@@ -147,8 +151,11 @@ def run_durable_campaign(
 
     loaded: Dict[int, Counter] = {}
     if durable:
-        ensure_golden(store, spec, golden_digest(reference, eligible, executed),
-                      eligible, executed, events)
+        digest = golden_digest(reference, profile.eligible, profile.executed,
+                               profile.mem_accesses, profile.cond_branches,
+                               profile.checker_sites)
+        ensure_golden(store, spec, digest, profile.eligible, profile.executed,
+                      events)
         loaded = load_completed(store, spec, shards)
 
     events.emit(
@@ -167,7 +174,8 @@ def run_durable_campaign(
         counts: Counter = Counter()
         for plan in shard.plans:
             counts[inject_once(module, entry, args, plan, reference, budget,
-                               config.rtol, config.fault_eligible)] += 1
+                               config.rtol, config.fault_eligible,
+                               engine=config.engine)] += 1
         return counts
 
     def on_result(shard: ShardPlan, counts: Counter, seconds: float) -> None:
@@ -221,7 +229,8 @@ def run_durable_campaign(
             )
 
     used = shards[:stop_position + 1]
-    result = CampaignResult(workload=workload, version=version)
+    result = CampaignResult(workload=workload, version=version,
+                            fault_model=config.fault_model)
     for shard in used:
         result.counts.update(results[shard.index])
 

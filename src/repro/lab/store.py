@@ -40,7 +40,9 @@ from typing import Dict, Optional, Tuple
 from ..faults.outcomes import Outcome
 
 #: Bump when key derivation or row semantics change.
-LAB_SCHEMA = 1
+#: 2: spec keys carry the fault model + its target-stream population
+#:    (pluggable fault models); goldens record the full stream profile.
+LAB_SCHEMA = 2
 
 _SCHEMA_SQL = """
 CREATE TABLE IF NOT EXISTS goldens (

@@ -18,7 +18,14 @@ import pytest
 from repro.apps import kvstore, sqldb, webserver, workload_a
 from repro.cpu import Machine, MachineConfig
 from repro.cpu.interpreter import FaultPlan
-from repro.faults import CampaignConfig, golden_run, run_campaign
+from repro.faults import (
+    CampaignConfig,
+    draw_model_plans,
+    golden_profile,
+    golden_run,
+    model_names,
+    run_campaign,
+)
 from repro.passes import elzar_transform, mem2reg
 from repro.workloads import ALL
 from repro.workloads.registry import BENCHMARKS
@@ -118,6 +125,58 @@ def test_armed_runs_identical(name):
                 machine.counters.as_dict(),
             )
         assert runs["decoded"] == runs["reference"], plan
+
+
+@pytest.mark.parametrize("model", model_names())
+def test_fault_models_identical_per_plan(model):
+    """For every registered fault model, the interpreter and the
+    decoded engine must classify the identical per-plan observables:
+    same streams counted, same injection site, same output or trap.
+    This is the contract that lets the durable store share shard rows
+    between engines."""
+    built = ALL["histogram"].build_at("test")
+    module = elzar_transform(mem2reg(built.module))
+    entry, args = built.entry, built.args
+    _, profile = golden_profile(module, entry, args)
+    cfg = CampaignConfig(injections=10, seed=13, fault_model=model)
+    plans = draw_model_plans(profile, cfg)
+    budget = profile.executed * 4 + 10_000
+    for plan in plans:
+        runs = {}
+        for engine in ("reference", "decoded"):
+            machine, result, exc = run_engine(
+                module, entry, args, engine, collect_timing=False,
+                plan=plan, max_instructions=budget,
+            )
+            runs[engine] = (
+                exc,
+                machine.fault_injected,
+                machine.eligible_executed,
+                machine.mem_accesses_eligible,
+                machine.cond_branches_eligible,
+                machine.checker_sites_executed,
+                machine.fault_target.ref() if machine.fault_target else None,
+                tuple(result.output) if result else None,
+                machine.counters.corrections,
+            )
+        assert runs["decoded"] == runs["reference"], (model, plan)
+
+
+@pytest.mark.parametrize("model", model_names())
+def test_fault_model_campaign_counts_identical(model):
+    """End-to-end per model: full campaign outcome counts bit-identical
+    between engines (the CampaignConfig.engine knob CI exercises)."""
+    built = ALL["histogram"].build_at("test")
+    module = elzar_transform(mem2reg(built.module))
+    counts = {}
+    for engine in ("reference", "decoded"):
+        cfg = CampaignConfig(injections=12, seed=21, fault_model=model,
+                             engine=engine)
+        result = run_campaign(module, built.entry, built.args, "h", "elzar",
+                              cfg)
+        assert result.fault_model == model
+        counts[engine] = dict(result.counts)
+    assert counts["decoded"] == counts["reference"]
 
 
 def test_count_only_mode_matches_engines():

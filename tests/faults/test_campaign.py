@@ -121,20 +121,46 @@ class TestHardeningEffect:
 
 
 class TestEligibilityKeyProtocol:
-    def test_unkeyed_predicate_warns_once(self, monkeypatch):
+    def test_unkeyed_predicate_warns_once_per_identity(self, monkeypatch):
         import warnings
 
         from repro.faults import campaign as campaign_mod
 
-        monkeypatch.setattr(campaign_mod, "_warned_unkeyed_predicate", False)
+        monkeypatch.setattr(campaign_mod, "_warned_unkeyed_predicates", set())
+        first = lambda fn: True  # noqa: E731
+        second = lambda fn: False  # noqa: E731
         with pytest.warns(RuntimeWarning, match="cache_key"):
-            assert campaign_mod._eligibility_key(lambda fn: True) is None
-        # Second unkeyed predicate: silent, still None.
+            assert campaign_mod._eligibility_key(first) is None
+        # Same predicate again: silent (already warned about).
         with warnings.catch_warnings(record=True) as record:
             warnings.simplefilter("always")
-            assert campaign_mod._eligibility_key(lambda fn: False) is None
+            assert campaign_mod._eligibility_key(first) is None
         assert not [w for w in record
                     if issubclass(w.category, RuntimeWarning)]
+        # A *different* unkeyed predicate is its own problem: warn again.
+        with pytest.warns(RuntimeWarning, match="cache_key"):
+            assert campaign_mod._eligibility_key(second) is None
+
+    def test_forked_worker_does_not_warn(self, monkeypatch):
+        """The dedupe set is copied into forked lab workers, but even a
+        fresh child must stay silent: only the parent process emits."""
+        import warnings
+
+        from repro.faults import campaign as campaign_mod
+
+        monkeypatch.setattr(campaign_mod, "_warned_unkeyed_predicates", set())
+
+        class _FakeChild:
+            pass
+
+        monkeypatch.setattr(campaign_mod.multiprocessing, "parent_process",
+                            lambda: _FakeChild())
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            assert campaign_mod._eligibility_key(lambda fn: True) is None
+        assert not [w for w in record
+                    if issubclass(w.category, RuntimeWarning)]
+        assert not campaign_mod._warned_unkeyed_predicates
 
     def test_keyed_predicate_is_silent(self):
         import warnings

@@ -1,0 +1,238 @@
+"""Tests for the pluggable fault-model registry and its contracts."""
+
+import random
+
+import pytest
+
+from repro.cpu import errors as cpu_errors
+from repro.cpu.interpreter import FaultPlan, _flip
+from repro.faults import (
+    CampaignConfig,
+    Outcome,
+    draw_plans,
+    trap_outcome,
+)
+from repro.faults.models import (
+    DEFAULT_MODEL,
+    FaultModel,
+    StreamProfile,
+    get_model,
+    model_names,
+    register_model,
+)
+from repro.ir import types as T
+
+PROFILE = StreamProfile(eligible=500, executed=2000, mem_accesses=120,
+                        cond_branches=40, checker_sites=80)
+
+
+def _tuples(plans):
+    return [(p.target_index, p.bit, p.lane, p.kind, p.bits, p.offset)
+            for p in plans]
+
+
+class TestRegistry:
+    def test_all_seven_models_registered(self):
+        names = model_names()
+        assert names[0] == DEFAULT_MODEL == "register-bitflip"
+        assert set(names) == {
+            "register-bitflip", "multi-bitflip", "address-bitflip",
+            "memory-bitflip", "branch-flip", "instruction-skip",
+            "checker-fault",
+        }
+
+    def test_unknown_model_error_lists_known(self):
+        with pytest.raises(ValueError, match="register-bitflip"):
+            get_model("cosmic-ray")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_model(get_model(DEFAULT_MODEL))
+
+    def test_cache_keys_are_distinct_and_stable(self):
+        keys = [get_model(n).cache_key for n in model_names()]
+        assert len(set(keys)) == len(keys)
+        assert get_model(DEFAULT_MODEL).cache_key == \
+            ("fault-model", "register-bitflip")
+
+
+class TestDrawContracts:
+    def test_default_model_matches_legacy_draw_plans(self):
+        """The default model's draw order is byte-identical to the
+        historical draw_plans — stored campaigns keep replaying."""
+        cfg = CampaignConfig(injections=64, seed=42)
+        legacy = draw_plans(PROFILE.eligible, cfg)
+        model = get_model(DEFAULT_MODEL).draw_plans(PROFILE, cfg)
+        assert _tuples(model) == _tuples(legacy)
+
+    @pytest.mark.parametrize("name", [
+        "register-bitflip", "multi-bitflip", "address-bitflip",
+        "memory-bitflip", "branch-flip", "instruction-skip",
+        "checker-fault",
+    ])
+    def test_prefix_property(self, name):
+        """A larger injection cap extends — never reshuffles — a
+        smaller cap's plan list (the repro.lab shard-reuse invariant)."""
+        model = get_model(name)
+        small = model.draw_plans(PROFILE, CampaignConfig(injections=30,
+                                                         seed=9))
+        large = model.draw_plans(PROFILE, CampaignConfig(injections=90,
+                                                         seed=9))
+        assert _tuples(large[:30]) == _tuples(small)
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_plans_target_the_right_stream(self, name):
+        model = get_model(name)
+        population = model.population(PROFILE)
+        for plan in model.draw_plans(PROFILE,
+                                     CampaignConfig(injections=200, seed=3)):
+            assert 0 <= plan.target_index < population
+
+    def test_multi_bitflip_bits_are_distinct(self):
+        model = get_model("multi-bitflip")
+        for plan in model.draw_plans(PROFILE,
+                                     CampaignConfig(injections=300, seed=5)):
+            bits = (plan.bit,) + plan.bits
+            assert len(bits) in (2, 3)
+            assert len(set(bits)) == len(bits)
+            assert all(0 <= b < 64 for b in bits)
+
+    def test_empty_population_raises(self):
+        native = StreamProfile(eligible=100, executed=400, mem_accesses=10,
+                               cond_branches=5, checker_sites=0)
+        with pytest.raises(ValueError, match="checker sites"):
+            get_model("checker-fault").draw_plans(
+                native, CampaignConfig(injections=1))
+
+    def test_population_streams(self):
+        assert get_model("address-bitflip").population(PROFILE) == 120
+        assert get_model("branch-flip").population(PROFILE) == 40
+        assert get_model("checker-fault").population(PROFILE) == 80
+        for name in ("register-bitflip", "multi-bitflip", "memory-bitflip",
+                     "instruction-skip"):
+            assert get_model(name).population(PROFILE) == 500
+
+    def test_draw_consumes_fixed_rng_budget(self):
+        """Each model's draw must make the same number of randrange
+        calls regardless of what it rolls (e.g. MultiBitFlip consumes
+        its third-bit draw even for 2-bit plans) — the documented
+        fixed-arity contract that keeps draw sequences easy to reason
+        about when extending a model."""
+
+        class CountingRandom(random.Random):
+            calls = 0
+
+            def randrange(self, *args, **kwargs):
+                self.calls += 1
+                return super().randrange(*args, **kwargs)
+
+        for name in model_names():
+            model = get_model(name)
+            counts = set()
+            for seed in range(30):
+                rng = CountingRandom(seed)
+                model.draw(rng, 500)
+                counts.add(rng.calls)
+            assert len(counts) == 1, f"{name}: variable draw count {counts}"
+
+
+class TestTrapOutcomeExhaustive:
+    """Satellite: every Trap subclass in repro.cpu.errors must map onto
+    a Table-I outcome — a new fault class cannot silently escape the
+    classifier (the old except-list would have let it propagate)."""
+
+    def _all_trap_classes(self):
+        classes = [cpu_errors.Trap]
+        for obj in vars(cpu_errors).values():
+            if (isinstance(obj, type) and issubclass(obj, cpu_errors.Trap)
+                    and obj is not cpu_errors.Trap):
+                classes.append(obj)
+        return classes
+
+    def test_hierarchy_is_nontrivial(self):
+        names = {cls.__name__ for cls in self._all_trap_classes()}
+        assert {"Trap", "MemoryFault", "ArithmeticFault", "HangError",
+                "DetectedError", "AbortError"} <= names
+
+    def test_every_trap_maps_to_a_crashed_outcome(self):
+        for cls in self._all_trap_classes():
+            if cls is cpu_errors.MemoryFault:
+                trap = cls(address=0xbad)
+            else:
+                trap = cls("synthetic")
+            outcome = trap_outcome(trap)
+            assert isinstance(outcome, Outcome)
+            assert outcome.system_state == "crashed"
+
+    def test_specific_mappings(self):
+        assert trap_outcome(cpu_errors.HangError("h")) == Outcome.HANG
+        assert trap_outcome(cpu_errors.DetectedError("d")) == Outcome.DETECTED
+        assert trap_outcome(cpu_errors.MemoryFault(0)) == Outcome.OS_DETECTED
+        assert trap_outcome(cpu_errors.ArithmeticFault("a")) == \
+            Outcome.OS_DETECTED
+        assert trap_outcome(cpu_errors.AbortError("a")) == Outcome.OS_DETECTED
+        assert trap_outcome(cpu_errors.Trap("bare")) == Outcome.OS_DETECTED
+
+
+class TestFlipNarrowTypes:
+    """Satellite: pin the documented draw-width semantics. Bits are
+    always drawn from [0,64) and lanes from [0,4); on narrower scalar
+    types a draw at bit % 64 >= width hits architecturally dead upper
+    bits and must be a silent no-op — NOT re-drawn or wrapped, because
+    the fixed draw order is baked into durable store keys."""
+
+    def test_i8_dead_upper_bits_noop(self):
+        for bit in range(8, 64):
+            assert _flip(5, T.I8, bit, lane=0) == 5
+        assert _flip(5, T.I8, 2, lane=0) == 1  # 0b101 ^ 0b100
+
+    def test_i32_dead_upper_bits_noop(self):
+        assert _flip(7, T.I32, 40, lane=0) == 7
+        assert _flip(7, T.I32, 31, lane=0) == 7 + (1 << 31)
+
+    def test_i1_flips_only_bit_zero(self):
+        assert _flip(1, T.I1, 0, lane=3) == 0
+        for bit in range(1, 64):
+            assert _flip(1, T.I1, bit, lane=0) == 1
+
+    def test_f32_wraps_into_width(self):
+        # f32 is 32 bits wide: bits >= 32 (mod 64) are dead.
+        assert _flip(1.5, T.F32, 33, lane=0) == 1.5
+        assert _flip(1.5, T.F32, 0, lane=0) != 1.5
+
+    def test_i64_every_bit_live(self):
+        for bit in (0, 31, 63):
+            assert _flip(0, T.I64, bit, lane=0) == 1 << bit
+
+    def test_vector_lane_wraps_scalar_bit_does_not(self):
+        # Vector values wrap the lane index into the element count...
+        vec = (1, 2, 3, 4)
+        v4i64 = T.vector(T.I64, 4)
+        assert _flip(vec, v4i64, 0, lane=5) == (1, 3, 3, 4)
+        # ...scalars ignore the lane entirely.
+        assert _flip(9, T.I64, 1, lane=7) == 11
+
+
+class TestCustomModel:
+    def test_registry_is_extensible(self):
+        class EveryOther(FaultModel):
+            name = "test-every-other"
+
+            def population(self, profile):
+                return profile.eligible // 2
+
+            def draw(self, rng, population):
+                return FaultPlan(target_index=rng.randrange(population),
+                                 bit=0, kind="skip")
+
+        model = register_model(EveryOther())
+        try:
+            assert get_model("test-every-other") is model
+            plans = model.draw_plans(PROFILE, CampaignConfig(injections=5,
+                                                             seed=1))
+            assert len(plans) == 5
+            assert all(p.target_index < 250 for p in plans)
+        finally:
+            from repro.faults.models import _REGISTRY
+
+            del _REGISTRY["test-every-other"]

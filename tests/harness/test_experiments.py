@@ -9,6 +9,7 @@ from repro.harness import (
     fig01_simd_speedup,
     fig11_overhead,
     fig12_checks_breakdown,
+    fault_model_matrix,
     fig13_fault_injection,
     fig14_swiftr_comparison,
     fig15_case_studies,
@@ -214,6 +215,25 @@ class TestFig13:
         mean_elz = rows[("mean", "elzar")]
         assert mean_elz[4] < mean_nat[4]
         assert mean_elz[3] > mean_nat[3]  # correct rate up
+
+
+class TestFaultModelMatrix:
+    def test_shape_and_skip_semantics(self):
+        exp = fault_model_matrix(
+            injections=12, models=["register-bitflip", "checker-fault"]
+        )
+        cells = {(r[1], r[2]) for r in exp.rows}
+        # register-bitflip runs against every version...
+        for version in ("native", "swiftr", "elzar-detect", "elzar"):
+            assert ("register-bitflip", version) in cells
+        # ...but checker-fault has no checker sites in native code: the
+        # cell is a hole in the matrix, not a zero row.
+        assert ("checker-fault", "native") not in cells
+        assert ("checker-fault", "elzar") in cells
+        for row in exp.rows:
+            rates = row[3:]
+            assert all(0.0 <= r <= 100.0 for r in rates)
+            assert sum(rates) == pytest.approx(100.0)
 
 
 class TestFig15:

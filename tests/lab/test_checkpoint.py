@@ -61,33 +61,33 @@ class TestPartition:
 class TestSpecKeys:
     def test_spec_is_stable_for_same_inputs(self, hist_module):
         cfg = CampaignConfig(injections=10, seed=3)
-        a = build_spec(hist_module, "main", (), cfg, eligible=100)
-        b = build_spec(hist_module, "main", (), cfg, eligible=100)
+        a = build_spec(hist_module, "main", (), cfg, population=100)
+        b = build_spec(hist_module, "main", (), cfg, population=100)
         assert a.spec_key == b.spec_key and a.cell_key == b.cell_key
 
     def test_seed_changes_spec_but_not_cell(self, hist_module):
         a = build_spec(hist_module, "main", (),
-                       CampaignConfig(injections=10, seed=3), eligible=100)
+                       CampaignConfig(injections=10, seed=3), population=100)
         b = build_spec(hist_module, "main", (),
-                       CampaignConfig(injections=10, seed=4), eligible=100)
+                       CampaignConfig(injections=10, seed=4), population=100)
         assert a.cell_key == b.cell_key
         assert a.spec_key != b.spec_key
 
     def test_injection_cap_not_in_key(self, hist_module):
         a = build_spec(hist_module, "main", (),
-                       CampaignConfig(injections=10, seed=3), eligible=100)
+                       CampaignConfig(injections=10, seed=3), population=100)
         b = build_spec(hist_module, "main", (),
-                       CampaignConfig(injections=500, seed=3), eligible=100)
+                       CampaignConfig(injections=500, seed=3), population=100)
         assert a.spec_key == b.spec_key
 
     def test_module_edit_changes_key(self, hist_module):
         cfg = CampaignConfig(injections=10, seed=3)
-        before = build_spec(hist_module, "main", (), cfg, eligible=100)
+        before = build_spec(hist_module, "main", (), cfg, population=100)
         digest_before = module_digest(hist_module)
         rebuilt = mem2reg(get("histogram").build_at("test").module)
         assert module_digest(rebuilt) == digest_before  # same IR, same key
         other = mem2reg(get("blackscholes").build_at("test").module)
-        after = build_spec(other, "main", (), cfg, eligible=100)
+        after = build_spec(other, "main", (), cfg, population=100)
         assert after.spec_key != before.spec_key
 
     def test_keyed_predicates_key_the_spec(self, hist_module):
@@ -96,14 +96,48 @@ class TestSpecKeys:
         cfg_b = CampaignConfig(injections=10, seed=3,
                                fault_eligible=functions_only(
                                    frozenset(["main"])))
-        a = build_spec(hist_module, "main", (), cfg_a, eligible=100)
-        b = build_spec(hist_module, "main", (), cfg_b, eligible=100)
+        a = build_spec(hist_module, "main", (), cfg_a, population=100)
+        b = build_spec(hist_module, "main", (), cfg_b, population=100)
         assert a.spec_key != b.spec_key
 
     def test_unkeyable_predicate_yields_no_spec(self, hist_module):
         cfg = CampaignConfig(injections=10, seed=3,
                              fault_eligible=lambda fn: True)
-        assert build_spec(hist_module, "main", (), cfg, eligible=100) is None
+        assert build_spec(hist_module, "main", (), cfg, population=100) is None
+
+    def test_fault_model_changes_spec_but_not_cell(self, hist_module):
+        """Campaigns under different fault models must never share
+        shard rows (the plans mean different things), but they share
+        the cell — one golden run prices every model."""
+        a = build_spec(hist_module, "main", (),
+                       CampaignConfig(injections=10, seed=3), population=100)
+        b = build_spec(hist_module, "main", (),
+                       CampaignConfig(injections=10, seed=3,
+                                      fault_model="instruction-skip"),
+                       population=100)
+        assert a.cell_key == b.cell_key
+        assert a.spec_key != b.spec_key
+
+    def test_population_is_in_the_key(self, hist_module):
+        """target_index is drawn modulo the population; same seed over a
+        different population is a different plan list."""
+        a = build_spec(hist_module, "main", (),
+                       CampaignConfig(injections=10, seed=3), population=100)
+        b = build_spec(hist_module, "main", (),
+                       CampaignConfig(injections=10, seed=3), population=101)
+        assert a.spec_key != b.spec_key
+
+    def test_engine_not_in_key(self, hist_module):
+        """Both engines classify bit-identical outcomes (the
+        differential suite enforces it), so their shards are
+        interchangeable store rows."""
+        a = build_spec(hist_module, "main", (),
+                       CampaignConfig(injections=10, seed=3,
+                                      engine="decoded"), population=100)
+        b = build_spec(hist_module, "main", (),
+                       CampaignConfig(injections=10, seed=3,
+                                      engine="reference"), population=100)
+        assert a.spec_key == b.spec_key
 
 
 class TestGoldenGuard:
@@ -114,7 +148,7 @@ class TestGoldenGuard:
     def test_stale_golden_purges_cell(self, hist_module, tmp_path):
         store = ResultStore(str(tmp_path / "s.sqlite"))
         cfg = CampaignConfig(injections=10, seed=3)
-        spec = build_spec(hist_module, "main", (), cfg, eligible=100)
+        spec = build_spec(hist_module, "main", (), cfg, population=100)
         events = EventBus()
         log = EventLog()
         events.subscribe(log)
@@ -135,7 +169,7 @@ class TestLoadCompleted:
         served as the full shard of a larger campaign."""
         store = ResultStore(str(tmp_path / "s.sqlite"))
         cfg = CampaignConfig(injections=12, seed=3)
-        spec = build_spec(hist_module, "main", (), cfg, eligible=50,
+        spec = build_spec(hist_module, "main", (), cfg, population=50,
                           shard_size=5)
         plans_small = draw_plans(50, cfg)
         shards_small = partition(plans_small, 5)  # sizes 5, 5, 2

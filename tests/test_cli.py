@@ -32,9 +32,18 @@ class TestCliInProcess:
     def test_registry_complete(self):
         expected = {
             "fig1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig17",
-            "table2", "table3", "table4", "fp-only",
+            "table2", "table3", "table4", "fp-only", "fault-models",
         }
         assert set(_EXPERIMENTS) == expected
+
+    def test_fault_model_matrix_tiny(self, capsys):
+        assert main(["fault-models", "--scale", "test",
+                     "--injections", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "register-bitflip" in out
+        assert "address-bitflip" in out
+        # checker-fault rows exist only for hardened versions.
+        assert "checker-fault" in out
 
 
 class TestCliSubprocess:
