@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Cluster fabric scaling: campaign throughput at 1/2/4 local worker
+agents against the forked-scheduler baseline.
+
+Not a paper figure — this measures the distribution machinery itself.
+Every configuration runs the identical campaign (same seed, same
+pre-drawn shard plans) against its own fresh store, so each one really
+executes all its injections; the outcome counts must be bit-identical
+across every fabric and worker count (that is the determinism
+invariant docs/CLUSTER.md is built on, asserted here).
+
+Writes ``BENCH_cluster.json`` with per-configuration wall times,
+injections/second, and the speedup of each cluster width over the
+1-worker cluster run (the fabric's own scaling) alongside the forked
+baseline.
+
+Run:  PYTHONPATH=src python benchmarks/bench_cluster_scaling.py
+Env:  REPRO_SCALE ("perf" default -> fi-scale inputs, "test" for smoke)
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.cluster.cli import reap_workers, spawn_local_workers
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    run_distributed_campaign,
+)
+from repro.cluster.lease import LeasePolicy
+from repro.faults.campaign import CampaignConfig
+from repro.lab.durable import run_durable_campaign
+from repro.lab.store import ResultStore
+from repro.passes.elzar import elzar_transform
+from repro.passes.mem2reg import mem2reg
+from repro.workloads import get
+
+_SCALES = {
+    # build scale, injections, shard size
+    "perf": ("fi", 200, 10),
+    "test": ("test", 40, 5),
+}
+
+_CLUSTER_WIDTHS = (1, 2, 4)
+
+
+def main() -> int:
+    scale = os.environ.get("REPRO_SCALE", "perf")
+    build_scale, injections, shard_size = _SCALES[scale]
+
+    built = get("histogram").build_at(build_scale)
+    module = elzar_transform(mem2reg(built.module))
+    config = CampaignConfig(injections=injections, seed=2016)
+
+    runs = []
+    reference_counts = None
+
+    def record(label, seconds, counts):
+        nonlocal reference_counts
+        wire = {o.value: int(n) for o, n in sorted(
+            counts.items(), key=lambda kv: kv[0].value)}
+        if reference_counts is None:
+            reference_counts = wire
+        assert wire == reference_counts, \
+            f"{label}: counts diverged from baseline — {wire}"
+        runs.append({
+            "fabric": label,
+            "seconds": round(seconds, 4),
+            "injections_per_second": round(injections / max(seconds, 1e-9),
+                                           1),
+        })
+        print(f"{label:>14}: {seconds:6.2f}s "
+              f"({runs[-1]['injections_per_second']} inj/s)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(os.path.join(tmp, "forked.sqlite"))
+        start = time.perf_counter()
+        forked = run_durable_campaign(
+            module, built.entry, built.args, "histogram", "elzar", config,
+            store=store, shard_size=shard_size,
+        )
+        record("forked-1", time.perf_counter() - start,
+               forked.result.counts)
+        store.close()
+
+        for width in _CLUSTER_WIDTHS:
+            store = ResultStore(os.path.join(tmp, f"cluster{width}.sqlite"))
+            coordinator = ClusterCoordinator(
+                store_path=store.path, policy=LeasePolicy(),
+                host="127.0.0.1", port=0,
+            )
+            _, port = coordinator.start()
+            procs = spawn_local_workers("127.0.0.1", port, width)
+            try:
+                start = time.perf_counter()
+                outcome = run_distributed_campaign(
+                    module, built.entry, built.args, "histogram", "elzar",
+                    config, coordinator=coordinator, build_scale=build_scale,
+                    store=store, shard_size=shard_size,
+                )
+                record(f"cluster-{width}", time.perf_counter() - start,
+                       outcome.result.counts)
+            finally:
+                coordinator.stop()
+                reap_workers(procs)
+                store.close()
+
+    base = next(r for r in runs if r["fabric"] == "cluster-1")["seconds"]
+    for run in runs:
+        run["speedup_vs_cluster_1"] = round(base / max(run["seconds"], 1e-9),
+                                            2)
+
+    report = {
+        "benchmark": "cluster_scaling",
+        "scale": scale,
+        "injections": injections,
+        "shard_size": shard_size,
+        "counts": reference_counts,
+        "runs": runs,
+    }
+    out = os.path.normpath(os.path.join(os.path.dirname(__file__), os.pardir,
+                                        "BENCH_cluster.json"))
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"-- all fabrics bit-identical: {json.dumps(reference_counts)}")
+    print(f"-- wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ Usage::
     python -m repro all [--scale test|perf] [--injections N]
     python -m repro bench [--scale test|perf] [--json PATH]
     python -m repro campaign [--resume] [--workers N] [--ci-target F]
+    python -m repro cluster coordinator|worker ...
 """
 
 from __future__ import annotations
@@ -62,6 +63,11 @@ def main(argv=None) -> int:
         from .lab.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        # Distributed campaigns (coordinator/worker); see repro.cluster.
+        from .cluster.cli import main as cluster_main
+
+        return cluster_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -89,6 +95,7 @@ def main(argv=None) -> int:
         print("scorecard")
         print("bench")
         print("campaign")
+        print("cluster")
         return 0
 
     if args.experiment == "bench":

@@ -1,0 +1,145 @@
+"""``python -m repro cluster`` — distributed campaign fabric.
+
+Two roles::
+
+    # On the machine with the store (and the results):
+    python -m repro cluster coordinator --port 7100 --scale test
+
+    # On each worker machine (same checkout — the handshake verifies):
+    python -m repro cluster worker --connect coord-host:7100
+
+    # Or everything on one machine, one command:
+    python -m repro campaign --cluster 4 --scale test
+
+The coordinator accepts the same campaign flags as ``python -m repro
+campaign`` (it *is* that command with the shard scheduler swapped for
+network leases) and waits for workers; work starts as soon as the
+first worker handshakes and rebalances as others join or die. See
+docs/CLUSTER.md for the protocol and failure semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from typing import List, Optional
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description="Distributed fault-injection campaigns "
+                    "(coordinator/worker).",
+    )
+    sub = parser.add_subparsers(dest="role", required=True)
+
+    coord = sub.add_parser(
+        "coordinator",
+        help="lease campaign shards to connected workers",
+    )
+    coord.add_argument("--host", default="0.0.0.0",
+                       help="interface to listen on (default: all)")
+    coord.add_argument("--port", type=int, default=7100,
+                       help="TCP port to listen on (0 = ephemeral)")
+    coord.add_argument("--lease-timeout", type=float, default=30.0,
+                       help="seconds without a heartbeat before a shard "
+                            "is re-leased")
+
+    worker = sub.add_parser(
+        "worker",
+        help="connect to a coordinator and execute leased shards",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address")
+    worker.add_argument("--id", default=None,
+                        help="worker name (default: hostname-pid)")
+    worker.add_argument("--idle-timeout", type=float, default=3600.0,
+                        help="exit after this many idle seconds")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-lease progress lines")
+    return parser, coord
+
+
+def spawn_local_workers(host: str, port: int, count: int, *,
+                        quiet: bool = True,
+                        env: Optional[dict] = None) -> List:
+    """Start ``count`` worker agents on this machine pointed at
+    ``host:port`` (the ``campaign --cluster N`` local mode). The
+    child's ``PYTHONPATH`` is pinned to this checkout so the workers
+    run the same code whether or not the parent was launched with
+    ``PYTHONPATH=src``."""
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    child_env = dict(os.environ if env is None else env)
+    existing = child_env.get("PYTHONPATH", "")
+    child_env["PYTHONPATH"] = (
+        src_root + (os.pathsep + existing if existing else "")
+    )
+    procs = []
+    for i in range(count):
+        cmd = [sys.executable, "-m", "repro", "cluster", "worker",
+               "--connect", f"{host}:{port}", "--id", f"local-{i}"]
+        if quiet:
+            cmd.append("--quiet")
+        procs.append(subprocess.Popen(cmd, env=child_env))
+    return procs
+
+
+def reap_workers(procs: List, timeout: float = 10.0) -> None:
+    """Wait for spawned workers to exit (they do, on ``shutdown``);
+    kill stragglers so no campaign leaks processes."""
+    deadline = time.monotonic() + timeout
+    for proc in procs:
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            proc.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                pass
+
+
+def _worker_main(args: argparse.Namespace) -> int:
+    from .worker import ClusterWorker
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    worker = ClusterWorker(host, int(port_text), worker_id=args.id,
+                           idle_timeout=args.idle_timeout, quiet=args.quiet)
+    return worker.run()
+
+
+def _coordinator_main(args: argparse.Namespace,
+                      campaign_argv: List[str]) -> int:
+    # The coordinator shares the campaign CLI wholesale (flags, resume
+    # manifests, reporting); it only swaps the execution fabric.
+    from ..lab.cli import main as campaign_main
+
+    return campaign_main([
+        "--serve-cluster", f"{args.host}:{args.port}",
+        "--lease-timeout", str(args.lease_timeout),
+        *campaign_argv,
+    ])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    parser, _ = _build_parser()
+    # Campaign flags after "coordinator" pass through to the campaign
+    # CLI; parse only the cluster-level ones here.
+    args, passthrough = parser.parse_known_args(argv)
+    if args.role == "worker":
+        if passthrough:
+            parser.error(f"unknown worker arguments: {passthrough}")
+        return _worker_main(args)
+    return _coordinator_main(args, passthrough)

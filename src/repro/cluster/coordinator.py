@@ -1,0 +1,775 @@
+"""Campaign coordinator: lease shards to networked workers, merge
+results into the lab store.
+
+The paper drove its 25-machine fault-injection cluster with ad-hoc
+scripts; this module is that layer made a real system. One asyncio TCP
+server (running on a background thread so the synchronous campaign
+CLI stays synchronous) owns:
+
+- the **worker pool**: each connection handshakes (protocol version,
+  lab schema) and then *prepares* per cell — rebuilding the module
+  from the cell recipe and echoing back content digests of the IR, the
+  golden run, and the fault model's ``cache_key``. A mismatch is
+  refused before any shard is leased: a drifted checkout can waste at
+  most one handshake, never corrupt a campaign.
+- the **lease table** (:mod:`repro.cluster.lease`): heartbeats,
+  expiry, exponential-backoff requeue, at-most-once commit.
+- the **store writer**: one task drains a *bounded* commit queue into
+  the coordinator's own SQLite connection. The bound is backpressure —
+  when workers outpace the writer, connection handlers block in
+  ``queue.put`` and stop reading their sockets, so TCP flow control
+  pushes the slowdown to the workers instead of buffering results in
+  RAM.
+- the **event stream**: everything is narrated on the same
+  :class:`~repro.lab.events.EventBus` vocabulary the local lab uses
+  (plus cluster-specific kinds), so ``python -m repro campaign``
+  progress output and ``--events-log`` JSONL traces work unchanged.
+
+:func:`run_distributed_campaign` is the cluster twin of
+:func:`repro.lab.durable.run_durable_campaign`: same golden run, same
+pre-drawn prefix-stable plans, same store keys, same determinism
+contract — shard plans are the unit of distribution and are never
+re-drawn, so counts are bit-identical to any forked-worker or serial
+run of the same campaign, wherever each shard lands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..faults.campaign import (
+    CampaignConfig,
+    draw_model_plans,
+    golden_profile,
+)
+from ..faults.models import get_model
+from ..faults.outcomes import CampaignResult
+from ..ir.module import Module
+from ..lab.checkpoint import (
+    DEFAULT_SHARD_SIZE,
+    build_spec,
+    ensure_golden,
+    golden_digest,
+    load_completed,
+    module_digest,
+    partition,
+)
+from ..lab.durable import DurableCampaign, LabRunInfo, _prefix_status
+from ..lab.events import EventBus
+from ..lab.sampling import AdaptiveStop
+from ..lab.store import LAB_SCHEMA, ResultStore, _canonical, digest_of
+from .lease import LeasePolicy, LeaseTable, ShardExhausted
+from .proto import (
+    PROTO_VERSION,
+    ProtocolError,
+    counts_from_wire,
+    counts_to_wire,
+    recv_message_async,
+    send_message_async,
+    shard_to_wire,
+)
+
+
+@dataclass
+class CellJob:
+    """Everything the loop thread needs to distribute one cell —
+    plain data only; modules never cross the thread boundary."""
+
+    cell_id: str
+    workload: str
+    build_scale: str
+    version: str
+    hang_factor: float
+    rtol: float
+    engine: str
+    fault_model: str
+    #: Expected handshake values, computed from the coordinator's own
+    #: build of the cell.
+    expected: Dict[str, object]
+    #: Store keys, or None for an ephemeral (store-less) cell.
+    spec_key: Optional[str]
+    cell_key: Optional[str]
+    #: Wire form of every *missing* shard (store hits stay local).
+    shards: List[Dict]
+    #: (index, plan count) of every shard of the campaign, in order —
+    #: the adaptive stopping rule is defined over this full sequence.
+    all_indices: List[Tuple[int, int]]
+    #: Already-loaded counts (store hits), wire-encoded, for prefix
+    #: evaluation alongside freshly committed shards.
+    loaded: Dict[int, Dict[str, int]]
+    ci_target: Optional[float] = None
+    min_injections: int = 50
+
+
+@dataclass
+class _Ix:
+    """Index-only stand-in for a ShardPlan (``_prefix_status`` reads
+    nothing else)."""
+
+    index: int
+
+
+@dataclass
+class _WorkerConn:
+    worker_id: str
+    writer: object
+    host: str = ""
+    pid: int = 0
+    #: cell_id this worker has successfully prepared for.
+    prepared: Optional[str] = None
+    #: Shard index currently leased to this worker, if any.
+    lease: Optional[int] = None
+
+
+class _CellSession:
+    def __init__(self, job: CellJob, policy: LeasePolicy,
+                 loop: asyncio.AbstractEventLoop):
+        self.job = job
+        self.shards_by_index = {int(s["index"]): s for s in job.shards}
+        self.table = LeaseTable(sorted(self.shards_by_index), policy)
+        self.commits: asyncio.Queue = asyncio.Queue(
+            maxsize=max(1, policy.commit_backlog))
+        self.done: asyncio.Future = loop.create_future()
+        self.executed: Dict[int, Counter] = {}
+        self.seconds: Dict[int, float] = {}
+        #: Adaptive stop reached — stop granting, cancel idle shards.
+        self.stopped = False
+        #: SIGINT drain — stop granting, keep committing in-flight.
+        self.draining = False
+        self.stopper = (AdaptiveStop(ci_target=job.ci_target,
+                                     min_injections=job.min_injections)
+                        if job.ci_target is not None else None)
+
+    def counts_for_prefix(self) -> Dict[int, Counter]:
+        merged = {i: counts_from_wire(w) for i, w in self.job.loaded.items()}
+        merged.update(self.executed)
+        return merged
+
+    def fail(self, exc: BaseException) -> None:
+        if not self.done.done():
+            self.done.set_exception(exc)
+
+    def finish(self) -> None:
+        if not self.done.done():
+            self.done.set_result(dict(self.executed))
+
+
+class _CellFailure(Exception):
+    """Loop-side wrapper for a failed cell. A failure must cross the
+    task boundary as a plain Exception: :class:`CampaignInterrupted`
+    subclasses KeyboardInterrupt, and a BaseException escaping a task
+    propagates out of ``run_forever`` and kills the loop thread. The
+    sync facade unwraps ``cause`` for the caller."""
+
+    def __init__(self, cause: BaseException):
+        super().__init__(repr(cause))
+        self.cause = cause
+
+
+class ClusterCoordinator:
+    """The cluster's brain: owns the server socket, the worker pool,
+    and (at most) one in-flight :class:`CellJob` at a time. Runs its
+    asyncio loop on a daemon thread; `run_cell` is the synchronous
+    facade the campaign driver calls per cell."""
+
+    def __init__(self, store_path: Optional[str] = None,
+                 events: Optional[EventBus] = None,
+                 policy: Optional[LeasePolicy] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.store_path = store_path
+        self.events = events or EventBus()
+        self.policy = policy or LeasePolicy()
+        self._requested = (host, port)
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._workers: Dict[str, _WorkerConn] = {}
+        self._session: Optional[_CellSession] = None
+        self._store: Optional[ResultStore] = None
+        self._ticker_task: Optional[asyncio.Task] = None
+        self._stopped = False
+
+    # Lifecycle (called from the driver thread) -------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Start the loop thread and the TCP server; returns the bound
+        (host, port) — port 0 in the constructor picks an ephemeral
+        one, which is how ``campaign --cluster N`` avoids collisions."""
+        ready = threading.Event()
+        failure: List[BaseException] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                host, port = self._requested
+                self._server = loop.run_until_complete(
+                    asyncio.start_server(self._serve, host, port))
+                sock = self._server.sockets[0]
+                self.host, self.port = sock.getsockname()[:2]
+                self._ticker_task = loop.create_task(self._ticker())
+            except BaseException as exc:  # bind failure, etc.
+                failure.append(exc)
+                ready.set()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True))
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                if self._store is not None:
+                    self._store.close()
+                loop.close()
+
+        self._thread = threading.Thread(target=_run, daemon=True,
+                                        name="repro-cluster-coordinator")
+        self._thread.start()
+        ready.wait()
+        if failure:
+            raise failure[0]
+        self.events.emit("cluster-listening", host=self.host, port=self.port)
+        return self.host, self.port
+
+    def run_cell(self, job: CellJob) -> Dict[int, Counter]:
+        """Distribute one cell's missing shards; blocks until every
+        one is committed (or the cell fails / is interrupted). Returns
+        the freshly executed counts by shard index."""
+        if self._loop is None:
+            raise RuntimeError("coordinator not started")
+        future = asyncio.run_coroutine_threadsafe(
+            self._run_cell_async(job), self._loop)
+        try:
+            return future.result()
+        except _CellFailure as exc:
+            raise exc.cause from None
+
+    def request_drain(self) -> None:
+        """Stop granting leases (thread-safe); in-flight shards keep
+        committing. The SIGINT path."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._drain_now)
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Drain (bounded wait for in-flight leases), tell workers to
+        shut down, close the server, and join the loop thread.
+        Completed shards are already persisted — stopping mid-campaign
+        loses at most the in-flight work."""
+        if self._loop is None or self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(
+            self._shutdown(drain_timeout), self._loop)
+        try:
+            future.result(timeout=drain_timeout + 10.0)
+        except Exception:
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+
+    # Loop-thread internals ---------------------------------------------------
+
+    def _drain_now(self) -> None:
+        if self._session is not None:
+            self._session.draining = True
+            self.events.emit("cluster-drain", reason="requested")
+
+    async def _shutdown(self, drain_timeout: float) -> None:
+        session = self._session
+        if session is not None:
+            session.draining = True
+            deadline = time.monotonic() + drain_timeout
+            while (not session.table.drained()
+                   and time.monotonic() < deadline):
+                await asyncio.sleep(0.05)
+            from ..lab.events import CampaignInterrupted
+            session.fail(CampaignInterrupted("coordinator shut down"))
+        for worker in list(self._workers.values()):
+            try:
+                await send_message_async(worker.writer, {"kind": "shutdown"})
+                worker.writer.close()
+            except Exception:
+                pass
+        if self._server is not None:
+            self._server.close()
+        if self._ticker_task is not None:
+            self._ticker_task.cancel()
+
+    def _tick_interval(self) -> float:
+        interval = min(self.policy.heartbeat_interval,
+                       self.policy.lease_timeout / 4.0)
+        return min(1.0, max(0.02, interval))
+
+    async def _ticker(self) -> None:
+        """Periodic lease maintenance: expire lapsed heartbeats
+        (requeue with backoff) and grant whatever became grantable
+        (backoff expiry, newly idle workers)."""
+        while True:
+            await asyncio.sleep(self._tick_interval())
+            session = self._session
+            if session is None:
+                continue
+            now = time.monotonic()
+            for expiry in session.table.expire(now):
+                self.events.emit(
+                    "lease-expired", index=expiry.index,
+                    worker=expiry.worker, attempt=expiry.attempt,
+                )
+                holder = self._workers.get(expiry.worker)
+                if holder is not None and holder.lease == expiry.index:
+                    holder.lease = None
+            if session.stopped or session.draining:
+                session.table.cancel_pending()
+                self._check_done(session)
+            await self._grant_all(session)
+
+    async def _grant_all(self, session: _CellSession) -> None:
+        for worker in list(self._workers.values()):
+            await self._maybe_grant(worker, session)
+
+    async def _maybe_grant(self, worker: _WorkerConn,
+                           session: _CellSession) -> None:
+        if (session.stopped or session.draining
+                or worker.prepared != session.job.cell_id
+                or worker.lease is not None):
+            return
+        try:
+            grant = session.table.grant(worker.worker_id, time.monotonic())
+        except ShardExhausted as exc:
+            session.fail(exc)
+            return
+        if grant is None:
+            return
+        worker.lease = grant.index
+        shard = session.shards_by_index[grant.index]
+        self.events.emit("lease-granted", index=grant.index,
+                         worker=worker.worker_id, attempt=grant.attempt)
+        try:
+            await send_message_async(worker.writer, {
+                "kind": "lease",
+                "cell": session.job.cell_id,
+                "index": grant.index,
+                "start": shard["start"],
+                "attempt": grant.attempt,
+                "plans": shard["plans"],
+                "heartbeat_interval": self.policy.heartbeat_interval,
+            })
+        except (ConnectionError, OSError):
+            pass  # the read loop will reap this worker and requeue
+
+    def _check_done(self, session: _CellSession) -> None:
+        if session.table.done() and session.commits.empty():
+            session.finish()
+
+    async def _run_cell_async(self, job: CellJob) -> Dict[int, Counter]:
+        if self._session is not None:
+            raise RuntimeError("a cell is already being distributed")
+        loop = asyncio.get_running_loop()
+        session = _CellSession(job, self.policy, loop)
+        self._session = session
+        writer_task = loop.create_task(self._writer_loop(session))
+        try:
+            if not session.table.done():
+                for worker in list(self._workers.values()):
+                    await self._send_prepare(worker, session)
+            else:  # nothing missing; degenerate but legal
+                session.finish()
+            try:
+                return await session.done
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                raise _CellFailure(exc) from None
+        finally:
+            self._session = None
+            writer_task.cancel()
+
+    async def _writer_loop(self, session: _CellSession) -> None:
+        """The store writer: the only consumer of the bounded commit
+        queue. Persists each shard *before* emitting its
+        ``shard-completed`` event — the same interrupt-safety
+        discipline as the local lab — then re-evaluates the adaptive
+        stopping rule over the completed prefix."""
+        job = session.job
+        while True:
+            index, wire_counts, n, seconds, worker_id = \
+                await session.commits.get()
+            counts = counts_from_wire(wire_counts)
+            session.executed[index] = counts
+            session.seconds[index] = seconds
+            try:
+                if job.spec_key is not None and self.store_path is not None:
+                    if self._store is None:
+                        self._store = ResultStore(self.store_path)
+                    self._store.put_shard(job.spec_key, job.cell_key,
+                                          index, n, counts, seconds)
+                self.events.emit(
+                    "shard-completed", index=index, n=n, seconds=seconds,
+                    workload=job.workload, version=job.version,
+                    worker=worker_id, counts=dict(wire_counts),
+                )
+            except BaseException as exc:
+                session.fail(exc)
+                return
+            if session.stopper is not None and not session.stopped:
+                shards = [_Ix(i) for i, _ in job.all_indices]
+                stop, _, _ = _prefix_status(
+                    shards, session.counts_for_prefix(), session.stopper)
+                if stop is not None:
+                    session.stopped = True
+                    cancelled = session.table.cancel_pending()
+                    if cancelled:
+                        self.events.emit("leases-cancelled",
+                                         count=len(cancelled),
+                                         reason="adaptive-stop")
+            self._check_done(session)
+
+    # Connection handling -----------------------------------------------------
+
+    def _unique_worker_id(self, requested: str) -> str:
+        worker_id, n = requested, 1
+        while worker_id in self._workers:
+            n += 1
+            worker_id = f"{requested}-{n}"
+        return worker_id
+
+    async def _serve(self, reader, writer) -> None:
+        worker: Optional[_WorkerConn] = None
+        try:
+            hello = await recv_message_async(reader)
+            if hello is None or hello.get("kind") != "hello":
+                writer.close()
+                return
+            if (hello.get("proto") != PROTO_VERSION
+                    or hello.get("schema") != LAB_SCHEMA):
+                await send_message_async(writer, {
+                    "kind": "reject",
+                    "reason": (f"need proto={PROTO_VERSION} "
+                               f"schema={LAB_SCHEMA}, got "
+                               f"proto={hello.get('proto')} "
+                               f"schema={hello.get('schema')}"),
+                })
+                writer.close()
+                return
+            worker = _WorkerConn(
+                worker_id=self._unique_worker_id(
+                    str(hello.get("worker") or "worker")),
+                writer=writer,
+                host=str(hello.get("host", "")),
+                pid=int(hello.get("pid", 0)),
+            )
+            self._workers[worker.worker_id] = worker
+            self.events.emit("worker-connected", worker=worker.worker_id,
+                             host=worker.host, pid=worker.pid)
+            await send_message_async(writer, {
+                "kind": "welcome", "proto": PROTO_VERSION,
+                "schema": LAB_SCHEMA, "worker": worker.worker_id,
+            })
+            if self._session is not None:
+                await self._send_prepare(worker, self._session)
+            while True:
+                message = await recv_message_async(reader)
+                if message is None:
+                    break
+                await self._dispatch(worker, message)
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        finally:
+            if worker is not None:
+                self._workers.pop(worker.worker_id, None)
+                self.events.emit("worker-disconnected",
+                                 worker=worker.worker_id)
+                session = self._session
+                if session is not None:
+                    now = time.monotonic()
+                    for expiry in session.table.release_worker(
+                            worker.worker_id, now):
+                        self.events.emit(
+                            "lease-requeued", index=expiry.index,
+                            worker=expiry.worker, attempt=expiry.attempt,
+                            reason="worker-disconnected",
+                        )
+                    if session.stopped or session.draining:
+                        session.table.cancel_pending()
+                        self._check_done(session)
+                    await self._grant_all(session)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _send_prepare(self, worker: _WorkerConn,
+                            session: _CellSession) -> None:
+        job = session.job
+        try:
+            await send_message_async(worker.writer, {
+                "kind": "prepare",
+                "cell": job.cell_id,
+                "workload": job.workload,
+                "build_scale": job.build_scale,
+                "version": job.version,
+                "hang_factor": job.hang_factor,
+                "rtol": job.rtol,
+                "engine": job.engine,
+                "fault_model": job.fault_model,
+            })
+        except (ConnectionError, OSError):
+            pass
+
+    async def _dispatch(self, worker: _WorkerConn, message: Dict) -> None:
+        kind = message.get("kind")
+        session = self._session
+        if kind == "event":
+            data = message.get("data") or {}
+            self.events.emit(str(message.get("name", "worker-event")),
+                             worker=worker.worker_id, **data)
+            return
+        if session is None or message.get("cell") != session.job.cell_id:
+            return  # stale frame from a finished/failed cell
+        if kind == "prepared":
+            mismatch = self._verify_prepared(session.job, message)
+            if mismatch:
+                self.events.emit("worker-mismatch", worker=worker.worker_id,
+                                 reason=mismatch)
+                try:
+                    await send_message_async(worker.writer, {
+                        "kind": "mismatch", "reason": mismatch})
+                except (ConnectionError, OSError):
+                    pass
+                return
+            worker.prepared = session.job.cell_id
+            self.events.emit(
+                "worker-prepared", worker=worker.worker_id,
+                cell=session.job.cell_id,
+                seconds=float(message.get("golden_seconds", 0.0)),
+            )
+            await self._maybe_grant(worker, session)
+        elif kind == "prepare-error":
+            self.events.emit("worker-mismatch", worker=worker.worker_id,
+                             reason=str(message.get("error")))
+            try:
+                await send_message_async(worker.writer, {
+                    "kind": "mismatch", "reason": str(message.get("error"))})
+            except (ConnectionError, OSError):
+                pass
+        elif kind == "heartbeat":
+            session.table.heartbeat(int(message["index"]),
+                                    worker.worker_id, time.monotonic())
+        elif kind == "result":
+            index = int(message["index"])
+            if worker.lease == index:
+                worker.lease = None
+            status = session.table.commit(index, worker.worker_id)
+            if status == "ok":
+                # Bounded put = backpressure: while the store writer
+                # is behind, this handler blocks and stops reading the
+                # worker's socket.
+                await session.commits.put((
+                    index, dict(message["counts"]), int(message["n"]),
+                    float(message.get("seconds", 0.0)), worker.worker_id,
+                ))
+            elif status == "duplicate":
+                self.events.emit("late-commit-discarded", index=index,
+                                 worker=worker.worker_id)
+            await self._maybe_grant(worker, session)
+        elif kind == "shard-error":
+            index = int(message["index"])
+            if worker.lease == index:
+                worker.lease = None
+            disposition = session.table.fail(index, worker.worker_id,
+                                             time.monotonic())
+            self.events.emit("shard-error", index=index,
+                             worker=worker.worker_id,
+                             error=str(message.get("error")),
+                             disposition=disposition)
+            if disposition == "exhausted":
+                session.fail(ShardExhausted(
+                    f"shard {index} failed on every attempt; last error: "
+                    f"{message.get('error')}"))
+            else:
+                await self._maybe_grant(worker, session)
+
+    @staticmethod
+    def _verify_prepared(job: CellJob, message: Dict) -> Optional[str]:
+        """None when the worker's build matches ours; else a reason."""
+        for key in ("module_digest", "golden_digest", "population",
+                    "model_key"):
+            ours = job.expected[key]
+            theirs = message.get(key)
+            if theirs != ours:
+                return (f"{key} mismatch: coordinator {ours!r}, "
+                        f"worker {theirs!r} — checkouts differ?")
+        return None
+
+
+def model_cache_key_digest(fault_model: str) -> str:
+    """Digest of a fault model's ``cache_key`` — the handshake form of
+    "we agree what this model does"."""
+    return digest_of(_canonical(get_model(fault_model).cache_key))
+
+
+def run_distributed_campaign(
+    module: Module,
+    entry: str,
+    args: Sequence,
+    workload: str = "",
+    version: str = "",
+    config: Optional[CampaignConfig] = None,
+    *,
+    coordinator: ClusterCoordinator,
+    build_scale: str,
+    store: Optional[ResultStore] = None,
+    events: Optional[EventBus] = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    ci_target: Optional[float] = None,
+    min_injections: int = 50,
+) -> DurableCampaign:
+    """Run one campaign cell across the coordinator's worker pool.
+
+    Drop-in twin of :func:`repro.lab.durable.run_durable_campaign`
+    with the shard scheduler replaced by lease distribution. The store
+    handling differs in one mechanical way: the coordinator's loop
+    thread writes shards through its own SQLite connection to
+    ``coordinator.store_path``, so ``store`` (used here for golden
+    bookkeeping and shard loading) must point at the same file.
+
+    ``workload``/``build_scale``/``version`` double as the cell recipe
+    workers rebuild the module from, so cells must come from the
+    workload registry (which is what every campaign CLI runs);
+    ``config.fault_eligible`` predicates cannot travel and are
+    rejected.
+    """
+    config = config or CampaignConfig()
+    events = events or EventBus()
+    if config.fault_eligible is not None:
+        raise ValueError(
+            "distributed campaigns cannot ship fault_eligible predicates "
+            "to remote workers; filter by hardening the module instead"
+        )
+
+    reference, profile = golden_profile(
+        module, entry, args, None, engine=config.engine
+    )
+    if profile.eligible == 0:
+        raise ValueError(f"no eligible instructions in @{entry}")
+    plans = draw_model_plans(profile, config)
+    population = get_model(config.fault_model).population(profile)
+    shards = partition(plans, shard_size)
+
+    spec = build_spec(module, entry, args, config, population, shard_size)
+    durable = spec is not None and store is not None
+    if durable and coordinator.store_path != store.path:
+        raise ValueError(
+            f"coordinator writes to {coordinator.store_path!r} but the "
+            f"campaign store is {store.path!r}; point both at one file"
+        )
+
+    loaded: Dict[int, Counter] = {}
+    if durable:
+        digest = golden_digest(reference, profile.eligible, profile.executed,
+                               profile.mem_accesses, profile.cond_branches,
+                               profile.checker_sites)
+        ensure_golden(store, spec, digest, profile.eligible, profile.executed,
+                      events)
+        loaded = load_completed(store, spec, shards)
+
+    events.emit(
+        "campaign-started", workload=workload, version=version,
+        shards=len(shards), injections=len(plans), from_store=len(loaded),
+        cluster=True,
+    )
+    for index in sorted(loaded):
+        events.emit("shard-store-hit", index=index,
+                    n=sum(loaded[index].values()))
+
+    missing = [s for s in shards if s.index not in loaded]
+    executed: Dict[int, Counter] = {}
+    if missing:
+        job = CellJob(
+            cell_id=(spec.spec_key if spec is not None
+                     else digest_of(["ephemeral", workload, version,
+                                     config.seed, len(plans)])),
+            workload=workload,
+            build_scale=build_scale,
+            version=version,
+            hang_factor=config.hang_factor,
+            rtol=config.rtol,
+            engine=config.engine,
+            fault_model=config.fault_model,
+            expected={
+                "module_digest": module_digest(module),
+                "golden_digest": golden_digest(
+                    reference, profile.eligible, profile.executed,
+                    profile.mem_accesses, profile.cond_branches,
+                    profile.checker_sites),
+                "population": population,
+                "model_key": model_cache_key_digest(config.fault_model),
+            },
+            spec_key=spec.spec_key if durable else None,
+            cell_key=spec.cell_key if durable else None,
+            shards=[shard_to_wire(s) for s in missing],
+            all_indices=[(s.index, len(s.plans)) for s in shards],
+            loaded={i: counts_to_wire(c) for i, c in loaded.items()},
+            ci_target=ci_target,
+            min_injections=min_injections,
+        )
+        executed = coordinator.run_cell(job)
+
+    results: Dict[int, Counter] = dict(loaded)
+    results.update(executed)
+    stopper = (AdaptiveStop(ci_target=ci_target, min_injections=min_injections)
+               if ci_target is not None else None)
+    stop_position, prefix_len, cumulative = _prefix_status(
+        shards, results, stopper)
+    if stop_position is None:
+        # A drain left a gap; count the contiguous completed prefix
+        # only (the resume path re-executes the rest).
+        stop_position = prefix_len - 1
+    if stopper is not None and stop_position < len(shards) - 1:
+        events.emit(
+            "adaptive-stop",
+            injections=sum(cumulative.values()),
+            halfwidth=stopper.max_halfwidth(cumulative),
+            target=stopper.ci_target,
+        )
+
+    used = shards[:stop_position + 1]
+    result = CampaignResult(workload=workload, version=version,
+                            fault_model=config.fault_model)
+    for shard in used:
+        result.counts.update(results[shard.index])
+
+    used_indices = {s.index for s in used}
+    info = LabRunInfo(
+        shards_total=len(shards),
+        shards_from_store=len(loaded),
+        shards_executed=len(executed),
+        injections_from_store=sum(
+            sum(c.values()) for i, c in loaded.items() if i in used_indices
+        ),
+        injections_executed=sum(sum(c.values()) for c in executed.values()),
+        injections_used=result.total,
+        stopped_early=len(used) < len(shards),
+        ci_halfwidth=(stopper.max_halfwidth(result.counts)
+                      if stopper is not None else None),
+        durable=durable,
+    )
+    events.emit(
+        "campaign-finished", workload=workload, version=version,
+        injections=result.total, executed=info.injections_executed,
+        from_store=info.injections_from_store,
+    )
+    return DurableCampaign(result=result, info=info, spec=spec)

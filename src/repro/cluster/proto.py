@@ -1,0 +1,170 @@
+"""Cluster wire protocol: length-prefixed JSON frames over TCP.
+
+Every message is one frame: a 4-byte big-endian payload length
+followed by that many bytes of UTF-8 JSON encoding a dict with at
+least a ``"kind"`` key. JSON because every value that crosses the wire
+is already JSON-shaped (fault plans are flat dataclasses of ints,
+outcome counts are ``{outcome value: int}`` maps, everything else is
+digests and scalars) and because a human can read a captured frame.
+
+Compatibility is negotiated, never assumed: the worker's ``hello``
+carries :data:`PROTO_VERSION` and the lab store schema
+(:data:`repro.lab.store.LAB_SCHEMA`); the coordinator rejects a
+mismatch before any work is leased. Per-cell compatibility (IR digest,
+golden-run digest, fault-model ``cache_key``, target-stream
+population) is then verified by the ``prepare``/``prepared`` exchange
+— see :mod:`repro.cluster.coordinator`.
+
+Both a blocking-socket codec (worker agents are synchronous) and an
+asyncio codec (the coordinator is an asyncio server) live here, so the
+two sides cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from collections import Counter
+from dataclasses import asdict
+from typing import Dict, Optional
+
+from ..cpu.interpreter import FaultPlan
+from ..faults.outcomes import Outcome
+from ..lab.checkpoint import ShardPlan
+
+#: Bump on any frame-schema change; the handshake refuses a mismatch.
+PROTO_VERSION = 1
+
+#: Upper bound on one frame's payload. Generous — the largest real
+#: frame is a lease carrying one shard's fault plans (a few KB) — but
+#: it keeps a corrupt or hostile length prefix from allocating GBs.
+MAX_FRAME = 32 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized, or truncated frame."""
+
+
+def encode_frame(message: Dict) -> bytes:
+    payload = json.dumps(message, separators=(",", ":"),
+                         sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds "
+                            f"MAX_FRAME ({MAX_FRAME})")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> Dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict) or "kind" not in message:
+        raise ProtocolError("frame is not a dict with a 'kind' key")
+    return message
+
+
+def _parse_header(header: bytes) -> int:
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME "
+                            f"({MAX_FRAME})")
+    return length
+
+
+# Blocking-socket codec (worker side) -----------------------------------------
+
+def send_message(sock: socket.socket, message: Dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict]:
+    """Next frame from a blocking socket; None on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    payload = _recv_exact(sock, _parse_header(header))
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    return _decode_payload(payload)
+
+
+# asyncio codec (coordinator side) --------------------------------------------
+
+async def send_message_async(writer, message: Dict) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+async def recv_message_async(reader) -> Optional[Dict]:
+    """Next frame from an asyncio stream; None on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from None
+    try:
+        payload = await reader.readexactly(_parse_header(header))
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return _decode_payload(payload)
+
+
+# Wire forms of lab values ----------------------------------------------------
+
+def plan_to_wire(plan: FaultPlan) -> Dict:
+    wire = asdict(plan)
+    wire["bits"] = list(plan.bits)
+    return wire
+
+
+def plan_from_wire(wire: Dict) -> FaultPlan:
+    fields = dict(wire)
+    fields["bits"] = tuple(fields.get("bits", ()))
+    return FaultPlan(**fields)
+
+
+def shard_to_wire(shard: ShardPlan) -> Dict:
+    return {
+        "index": shard.index,
+        "start": shard.start,
+        "plans": [plan_to_wire(p) for p in shard.plans],
+    }
+
+
+def shard_from_wire(wire: Dict) -> ShardPlan:
+    return ShardPlan(
+        index=int(wire["index"]),
+        start=int(wire["start"]),
+        plans=[plan_from_wire(p) for p in wire["plans"]],
+    )
+
+
+def counts_to_wire(counts: Counter) -> Dict[str, int]:
+    return {o.value: int(n) for o, n in sorted(counts.items(),
+                                               key=lambda kv: kv[0].value)}
+
+
+def counts_from_wire(wire: Dict[str, int]) -> Counter:
+    return Counter({Outcome(k): int(v) for k, v in wire.items()})

@@ -1,0 +1,259 @@
+"""Cluster worker agent: a synchronous lease-execute-report loop.
+
+One process, one TCP connection, no threads: the worker connects,
+handshakes (protocol version + lab schema), and then serves whatever
+the coordinator sends. For each cell it *prepares* — rebuilds the
+module from the cell recipe (:mod:`repro.cluster.cells`), runs the
+golden execution through its own cache, and reports content digests so
+the coordinator can refuse a drifted checkout before leasing work.
+For each lease it executes the shard's fault plans exactly as shipped
+(plans are never re-drawn — that is the determinism invariant) and
+streams back the outcome counts.
+
+Heartbeats ride inside the injection loop: between injections the
+worker checks a monotonic clock and sends a ``heartbeat`` frame every
+``heartbeat_interval`` seconds, so liveness costs no extra thread. A
+worker that dies mid-shard simply stops heartbeating (or drops the
+connection) and the coordinator re-leases the shard elsewhere.
+
+``$REPRO_CLUSTER_SABOTAGE`` is a test-only hook (mirroring the lab
+scheduler's ``_sabotage``): ``exit:INDEX`` hard-kills the process when
+it starts executing shard INDEX on attempt 0; ``stall:INDEX:SECONDS``
+stops heartbeating for that long instead. Both exist so the failure
+tests can kill a worker *deterministically* mid-shard.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..faults.campaign import golden_profile, inject_once
+from ..faults.models import get_model
+from ..lab.checkpoint import golden_digest, module_digest
+from ..lab.store import LAB_SCHEMA
+from .cells import CellCache
+from .coordinator import model_cache_key_digest
+from .proto import (
+    PROTO_VERSION,
+    counts_to_wire,
+    plan_from_wire,
+    recv_message,
+    send_message,
+)
+
+
+def _parse_sabotage(text: Optional[str]):
+    """``exit:IDX`` or ``stall:IDX:SECONDS`` -> (mode, index, seconds)."""
+    if not text:
+        return None
+    parts = text.split(":")
+    if parts[0] == "exit" and len(parts) == 2:
+        return ("exit", int(parts[1]), 0.0)
+    if parts[0] == "stall" and len(parts) == 3:
+        return ("stall", int(parts[1]), float(parts[2]))
+    raise ValueError(f"bad REPRO_CLUSTER_SABOTAGE: {text!r}")
+
+
+@dataclass
+class _CellRuntime:
+    """One prepared cell: the rebuilt module plus everything
+    ``inject_once`` needs, golden run already priced."""
+
+    module: object
+    entry: str
+    args: tuple
+    reference: list
+    budget: int
+    rtol: float
+    engine: str
+
+
+class ClusterWorker:
+    """Connect to a coordinator and serve leases until told to stop.
+
+    ``idle_timeout`` bounds how long the worker blocks waiting for the
+    next frame; a coordinator that vanishes without closing the
+    connection (powered-off machine) ends the worker instead of
+    leaking it forever.
+    """
+
+    def __init__(self, host: str, port: int, worker_id: Optional[str] = None,
+                 idle_timeout: float = 3600.0, quiet: bool = False):
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.idle_timeout = idle_timeout
+        self.quiet = quiet
+        self._cells = CellCache()
+        self._runtimes: Dict[str, _CellRuntime] = {}
+        self._sock: Optional[socket.socket] = None
+        self._sabotage = _parse_sabotage(
+            os.environ.get("REPRO_CLUSTER_SABOTAGE"))
+
+    def _say(self, text: str) -> None:
+        if not self.quiet:
+            print(f"[worker {self.worker_id}] {text}", flush=True)
+
+    def run(self) -> int:
+        try:
+            self._sock = socket.create_connection((self.host, self.port),
+                                                  timeout=30.0)
+        except OSError as exc:
+            self._say(f"cannot reach coordinator at "
+                      f"{self.host}:{self.port}: {exc}")
+            return 1
+        self._sock.settimeout(self.idle_timeout)
+        try:
+            return self._serve()
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def _serve(self) -> int:
+        send_message(self._sock, {
+            "kind": "hello", "proto": PROTO_VERSION, "schema": LAB_SCHEMA,
+            "worker": self.worker_id, "host": socket.gethostname(),
+            "pid": os.getpid(),
+        })
+        welcome = recv_message(self._sock)
+        if welcome is None or welcome.get("kind") == "reject":
+            reason = (welcome or {}).get("reason", "connection closed")
+            self._say(f"rejected: {reason}")
+            return 1
+        # The coordinator may have uniquified our id (duplicate names).
+        self.worker_id = str(welcome.get("worker", self.worker_id))
+        self._say(f"connected to {self.host}:{self.port}")
+        while True:
+            try:
+                message = recv_message(self._sock)
+            except socket.timeout:
+                self._say(f"no frame for {self.idle_timeout:.0f}s; exiting")
+                return 1
+            if message is None:
+                self._say("coordinator closed the connection")
+                return 0
+            kind = message.get("kind")
+            if kind == "shutdown":
+                self._say("shutdown requested")
+                return 0
+            if kind == "mismatch":
+                self._say(f"refused by coordinator: {message.get('reason')}")
+                return 1
+            if kind == "prepare":
+                self._prepare(message)
+            elif kind == "lease":
+                self._execute(message)
+            # Unknown kinds are ignored: a newer coordinator may emit
+            # informational frames an older worker can safely skip.
+
+    # Cell preparation --------------------------------------------------------
+
+    def _prepare(self, message: Dict) -> None:
+        cell_id = str(message["cell"])
+        started = time.perf_counter()
+        try:
+            module, entry, args = self._cells.get(
+                str(message["workload"]), str(message["build_scale"]),
+                str(message["version"]))
+            engine = str(message.get("engine", "decoded"))
+            reference, profile = golden_profile(module, entry, args, None,
+                                                engine=engine)
+            model = get_model(str(message["fault_model"]))
+            runtime = _CellRuntime(
+                module=module, entry=entry, args=args, reference=reference,
+                budget=(int(profile.executed
+                            * float(message["hang_factor"])) + 10_000),
+                rtol=float(message["rtol"]),
+                engine=engine,
+            )
+        except Exception as exc:
+            self._say(f"cannot prepare cell: {exc!r}")
+            send_message(self._sock, {
+                "kind": "prepare-error", "cell": cell_id,
+                "error": repr(exc),
+            })
+            return
+        self._runtimes[cell_id] = runtime
+        send_message(self._sock, {
+            "kind": "prepared",
+            "cell": cell_id,
+            "module_digest": module_digest(module),
+            "golden_digest": golden_digest(
+                reference, profile.eligible, profile.executed,
+                profile.mem_accesses, profile.cond_branches,
+                profile.checker_sites),
+            "population": model.population(profile),
+            "model_key": model_cache_key_digest(str(message["fault_model"])),
+            "eligible": profile.eligible,
+            "executed": profile.executed,
+            "golden_seconds": time.perf_counter() - started,
+        })
+        self._say(f"prepared {message['workload']}/{message['version']} "
+                  f"({profile.eligible} eligible sites)")
+
+    # Shard execution ---------------------------------------------------------
+
+    def _maybe_sabotage(self, index: int, attempt: int) -> None:
+        if self._sabotage is None or attempt != 0:
+            return
+        mode, target, seconds = self._sabotage
+        if index != target:
+            return
+        if mode == "exit":
+            os._exit(17)
+        # "stall": go silent past the lease timeout, then resume —
+        # exercising expiry, re-lease, AND the late-commit discard.
+        time.sleep(seconds)
+        self._sabotage = None
+
+    def _execute(self, lease: Dict) -> None:
+        cell_id = str(lease["cell"])
+        index = int(lease["index"])
+        attempt = int(lease.get("attempt", 0))
+        runtime = self._runtimes.get(cell_id)
+        if runtime is None:
+            send_message(self._sock, {
+                "kind": "shard-error", "cell": cell_id, "index": index,
+                "error": "lease for a cell this worker never prepared",
+            })
+            return
+        interval = float(lease.get("heartbeat_interval", 1.0))
+        plans = [plan_from_wire(p) for p in lease["plans"]]
+        self._maybe_sabotage(index, attempt)
+        counts: Counter = Counter()
+        started = time.perf_counter()
+        last_beat = time.monotonic()
+        try:
+            for plan in plans:
+                counts[inject_once(
+                    runtime.module, runtime.entry, runtime.args, plan,
+                    runtime.reference, runtime.budget, runtime.rtol, None,
+                    engine=runtime.engine,
+                )] += 1
+                now = time.monotonic()
+                if now - last_beat >= interval:
+                    send_message(self._sock, {
+                        "kind": "heartbeat", "cell": cell_id, "index": index,
+                    })
+                    last_beat = now
+        except Exception as exc:
+            send_message(self._sock, {
+                "kind": "shard-error", "cell": cell_id, "index": index,
+                "error": repr(exc),
+            })
+            return
+        send_message(self._sock, {
+            "kind": "result",
+            "cell": cell_id,
+            "index": index,
+            "n": len(plans),
+            "counts": counts_to_wire(counts),
+            "seconds": time.perf_counter() - started,
+        })

@@ -41,6 +41,7 @@ from .events import (
     ConsoleReporter,
     EventBus,
     EventLog,
+    JsonlSink,
     LabEvent,
     interrupt_after,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "DurableCampaign",
     "EventBus",
     "EventLog",
+    "JsonlSink",
     "LAB_SCHEMA",
     "LabEvent",
     "LabRunInfo",

@@ -23,17 +23,16 @@ import argparse
 import json
 from typing import Dict, List, Optional
 
+from ..cluster.cells import VERSIONS
 from ..faults.campaign import CampaignConfig
 from ..faults.models import DEFAULT_MODEL, model_names
 from ..faults.outcomes import Outcome
 from ..harness.base import Experiment
-from ..passes.elzar import ElzarOptions, elzar_transform
 from ..passes.mem2reg import mem2reg
-from ..passes.swiftr import swiftr_transform
 from ..workloads.registry import FI_BENCHMARKS, SHORT_NAMES, get
 from .durable import run_durable_campaign
 from .events import CampaignInterrupted, ConsoleReporter, EventBus, \
-    interrupt_after
+    JsonlSink, interrupt_after
 from .store import ResultStore, default_store_path
 
 #: Defaults per ``--scale``: (benchmarks, injections, shard_size).
@@ -42,13 +41,10 @@ _SCALE_DEFAULTS = {
     "perf": (tuple(w.name for w in FI_BENCHMARKS), 150, 25),
 }
 
-_VERSIONS = {
-    "native": lambda base: base,
-    "elzar": elzar_transform,
-    "elzar-detect": lambda base: elzar_transform(
-        base, ElzarOptions(fail_stop=True)),
-    "swiftr": swiftr_transform,
-}
+#: Version-name -> transform map now lives in repro.cluster.cells so
+#: cluster workers rebuild cells with the exact same recipes; the old
+#: name stays importable.
+_VERSIONS = VERSIONS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -78,6 +74,20 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=2016)
     parser.add_argument("--workers", type=int, default=1,
                         help="forked campaign workers (0 = all CPUs)")
+    parser.add_argument("--cluster", type=int, default=None, metavar="N",
+                        help="distribute shards over N local worker agents "
+                             "(TCP, not fork) — counts are bit-identical to "
+                             "--workers N; see docs/CLUSTER.md")
+    parser.add_argument("--events-log", metavar="PATH", default=None,
+                        help="append every campaign event to PATH as JSONL "
+                             "(one event per line, wall + monotonic stamps)")
+    parser.add_argument("--lease-timeout", type=float, default=30.0,
+                        help="cluster modes: seconds without a worker "
+                             "heartbeat before a shard is re-leased")
+    # Set by `python -m repro cluster coordinator`: listen on HOST:PORT
+    # for external workers instead of spawning local ones.
+    parser.add_argument("--serve-cluster", metavar="HOST:PORT", default=None,
+                        help=argparse.SUPPRESS)
     parser.add_argument("--ci-target", type=float, default=None,
                         help="adaptive stop: max Wilson 95%% CI half-width "
                              "per outcome class, in proportion units "
@@ -120,17 +130,33 @@ def _spec_from_args(args: argparse.Namespace) -> Dict:
         else shard_size,
         "fault_model": args.fault_model,
         "engine": args.engine,
+        "cluster": args.cluster or 0,
     }
 
 
-def _run_cells(spec: Dict, store: ResultStore, events: EventBus):
+def _run_cells(spec: Dict, store: ResultStore, events: EventBus,
+               cell_runner=None):
     """Execute every benchmark × version cell; returns (rows, cells,
-    totals) where rows feed the text table and cells the JSON report."""
+    totals) where rows feed the text table and cells the JSON report.
+
+    ``cell_runner(module, built, name, version, config, build_scale)``
+    is the execution fabric for one cell — the default schedules onto
+    local forked workers (:func:`run_durable_campaign`); cluster modes
+    pass a runner that leases shards to networked worker agents.
+    Either way the cell's outcome counts are bit-identical."""
     build_scale = "fi" if spec["scale"] == "perf" else "test"
     # Resume manifests written before the fault-model/engine flags
     # existed lack these keys; default to the historical behaviour.
     fault_model = spec.get("fault_model", DEFAULT_MODEL)
     engine = spec.get("engine", "decoded")
+    if cell_runner is None:
+        def cell_runner(module, built, name, version, config, build_scale):
+            return run_durable_campaign(
+                module, built.entry, built.args, name, version, config,
+                store=store, events=events,
+                shard_size=spec["shard_size"],
+                ci_target=spec["ci_target"],
+            )
     rows: List[tuple] = []
     cells: List[Dict] = []
     totals = {"shards_total": 0, "shards_from_store": 0,
@@ -151,12 +177,8 @@ def _run_cells(spec: Dict, store: ResultStore, events: EventBus):
                 engine=engine,
             )
             try:
-                outcome = run_durable_campaign(
-                    module, built.entry, built.args, name, version, config,
-                    store=store, events=events,
-                    shard_size=spec["shard_size"],
-                    ci_target=spec["ci_target"],
-                )
+                outcome = cell_runner(module, built, name, version, config,
+                                      build_scale)
             except ValueError as exc:
                 # Empty target stream for this model × version (e.g.
                 # checker-fault against native code): an expected hole
@@ -216,15 +238,67 @@ def main(argv: Optional[List[str]] = None) -> int:
     events = EventBus()
     if not args.quiet:
         events.subscribe(ConsoleReporter())
+    events_sink = None
+    if args.events_log:
+        events_sink = JsonlSink(args.events_log)
+        events.subscribe(events_sink)
     if args.interrupt_after_shards is not None:
         events.subscribe(interrupt_after(args.interrupt_after_shards))
 
+    cluster_n = int(spec.get("cluster") or 0)
+    coordinator = None
+    worker_procs: List = []
+    cell_runner = None
+    if cluster_n or args.serve_cluster:
+        from ..cluster.cli import reap_workers, spawn_local_workers
+        from ..cluster.coordinator import (
+            ClusterCoordinator,
+            run_distributed_campaign,
+        )
+        from ..cluster.lease import LeasePolicy
+
+        if args.serve_cluster:
+            listen_host, _, port_text = args.serve_cluster.rpartition(":")
+            listen = (listen_host or "0.0.0.0", int(port_text))
+        else:
+            listen = ("127.0.0.1", 0)
+        coordinator = ClusterCoordinator(
+            store_path=store_path, events=events,
+            policy=LeasePolicy(lease_timeout=args.lease_timeout),
+            host=listen[0], port=listen[1],
+        )
+        bound_host, bound_port = coordinator.start()
+        print(f"-- cluster coordinator listening on "
+              f"{bound_host}:{bound_port}")
+        if cluster_n:
+            worker_procs = spawn_local_workers(
+                "127.0.0.1", bound_port, cluster_n)
+            print(f"-- spawned {cluster_n} local worker agent(s)")
+
+        def cell_runner(module, built, name, version, config, build_scale):
+            return run_distributed_campaign(
+                module, built.entry, built.args, name, version, config,
+                coordinator=coordinator, build_scale=build_scale,
+                store=store, events=events,
+                shard_size=spec["shard_size"],
+                ci_target=spec["ci_target"],
+            )
+
     try:
-        rows, cells, totals = _run_cells(spec, store, events)
+        rows, cells, totals = _run_cells(spec, store, events, cell_runner)
     except (CampaignInterrupted, KeyboardInterrupt):
+        if coordinator is not None:
+            coordinator.request_drain()
         print(f"-- interrupted; completed shards are stored in {store_path}. "
               "Rerun with --resume to continue.")
         return 130
+    finally:
+        if coordinator is not None:
+            coordinator.stop()
+        if worker_procs:
+            reap_workers(worker_procs)
+        if events_sink is not None:
+            events_sink.close()
 
     store.finish_run(run_id)
 

@@ -31,6 +31,7 @@ Event kinds emitted today:
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from dataclasses import dataclass, field
@@ -51,9 +52,12 @@ class LabEvent:
     kind: str
     data: Dict[str, object] = field(default_factory=dict)
     ts: float = 0.0
+    #: Monotonic stamp (``time.monotonic()``) taken at emit time, so
+    #: inter-event latencies in a JSONL trace survive wall-clock jumps.
+    mono: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
-        out = {"kind": self.kind, "ts": self.ts}
+        out = {"kind": self.kind, "ts": self.ts, "mono": self.mono}
         out.update(self.data)
         return out
 
@@ -68,7 +72,7 @@ class EventBus:
         self._subscribers.append(fn)
 
     def emit(self, kind: str, **data) -> LabEvent:
-        event = LabEvent(kind, data, time.time())
+        event = LabEvent(kind, data, time.time(), time.monotonic())
         for fn in self._subscribers:
             fn(event)
         return event
@@ -91,6 +95,36 @@ class EventLog:
 
     def of(self, kind: str) -> List[LabEvent]:
         return [e for e in self.events if e.kind == kind]
+
+
+class JsonlSink:
+    """Subscriber that appends every event to a JSONL file — one JSON
+    object per line, carrying both the wall-clock (``ts``) and the
+    monotonic (``mono``) emit stamp. Both local (``--events-log``) and
+    cluster campaigns leave the same inspectable trace format.
+
+    Each line is flushed as it is written, so a trace is complete up to
+    the moment of an interrupt or crash. Values that JSON cannot encode
+    degrade to ``repr`` rather than aborting the campaign.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def __call__(self, event: LabEvent) -> None:
+        try:
+            line = json.dumps(event.as_dict(), sort_keys=True)
+        except TypeError:
+            line = json.dumps(
+                {k: repr(v) for k, v in event.as_dict().items()},
+                sort_keys=True,
+            )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
 
 
 def interrupt_after(n: int, kind: str = "shard-completed"):

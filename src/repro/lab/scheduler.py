@@ -23,6 +23,7 @@ invisible in the aggregated campaign.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import time
 from collections import Counter
 from dataclasses import dataclass
@@ -53,6 +54,11 @@ class SchedulerPolicy:
     #: Base delay before a retry; grows by ``backoff_factor`` per attempt.
     backoff: float = 0.05
     backoff_factor: float = 2.0
+    #: Accepted for back-compat only. The supervisor blocks in
+    #: ``multiprocessing.connection.wait`` on the worker pipes (waking
+    #: on results, worker death, the next shard deadline, or the next
+    #: retry becoming eligible), so idle supervision costs no CPU and
+    #: this interval is no longer used as a sleep period.
     poll_interval: float = 0.01
 
 
@@ -215,10 +221,31 @@ class ShardScheduler:
                         self._handle_failure(flight, payload, queue, runner,
                                              on_result)
                 if not progressed:
-                    time.sleep(self.policy.poll_interval)
+                    self._wait_for_activity(running, queue, workers)
         finally:
             for flight in running.values():
                 self._reap(flight)
+
+    def _wait_for_activity(self, running: Dict[int, _InFlight],
+                           queue: List[_Queued], workers: int) -> None:
+        """Block until something can change: a worker pipe becomes
+        readable (result or death — a dying child closes its end), a
+        shard deadline passes, or a backed-off retry becomes eligible
+        for a free slot. Event-driven, so an idle supervisor costs no
+        CPU between completions."""
+        now = time.monotonic()
+        wakeups = [f.deadline for f in running.values()
+                   if f.deadline is not None]
+        if len(running) < workers:
+            wakeups.extend(entry.not_before for entry in queue)
+        timeout = None
+        if wakeups:
+            timeout = max(0.0, min(wakeups) - now)
+        conns = [f.conn for f in running.values()]
+        if conns:
+            multiprocessing.connection.wait(conns, timeout)
+        elif timeout is not None:
+            time.sleep(timeout)
 
     def _poll(self, flight: _InFlight):
         """None while still running; otherwise ("ok", counts-dict,

@@ -1,0 +1,109 @@
+"""Wire-protocol tests: framing, the codecs, and the wire forms of
+lab values (fault plans, shards, outcome counts)."""
+
+import socket
+import struct
+from collections import Counter
+
+import pytest
+
+from repro.cpu.interpreter import FaultPlan
+from repro.faults.outcomes import Outcome
+from repro.lab.checkpoint import ShardPlan
+from repro.cluster.proto import (
+    MAX_FRAME,
+    ProtocolError,
+    counts_from_wire,
+    counts_to_wire,
+    encode_frame,
+    plan_from_wire,
+    plan_to_wire,
+    recv_message,
+    send_message,
+    shard_from_wire,
+    shard_to_wire,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pair):
+        a, b = pair
+        message = {"kind": "hello", "worker": "w0", "n": 7}
+        send_message(a, message)
+        assert recv_message(b) == message
+
+    def test_multiple_frames_in_order(self, pair):
+        a, b = pair
+        for i in range(5):
+            send_message(a, {"kind": "tick", "i": i})
+        for i in range(5):
+            assert recv_message(b) == {"kind": "tick", "i": i}
+
+    def test_clean_eof_is_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_message(b) is None
+
+    def test_eof_mid_frame_raises(self, pair):
+        a, b = pair
+        frame = encode_frame({"kind": "hello"})
+        a.sendall(frame[:6])  # header + partial payload
+        a.close()
+        with pytest.raises(ProtocolError):
+            recv_message(b)
+
+    def test_oversized_length_prefix_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", MAX_FRAME + 1))
+        with pytest.raises(ProtocolError):
+            recv_message(b)
+
+    def test_non_dict_payload_rejected(self, pair):
+        a, b = pair
+        payload = b"[1,2,3]"
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError):
+            recv_message(b)
+
+    def test_oversized_message_refused_at_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"kind": "big", "blob": "x" * (MAX_FRAME + 1)})
+
+
+class TestWireForms:
+    def test_plan_roundtrip(self):
+        plan = FaultPlan(17, 3, 2)
+        assert plan_from_wire(plan_to_wire(plan)) == plan
+
+    def test_plan_roundtrip_survives_json_types(self):
+        # JSON turns the bits tuple into a list; from_wire restores it.
+        import json
+
+        plan = FaultPlan(5, 1, 0)
+        wire = json.loads(json.dumps(plan_to_wire(plan)))
+        restored = plan_from_wire(wire)
+        assert restored == plan
+        assert isinstance(restored.bits, tuple)
+
+    def test_shard_roundtrip(self):
+        shard = ShardPlan(index=2, start=8,
+                          plans=[FaultPlan(i, 0, 0) for i in range(4)])
+        back = shard_from_wire(shard_to_wire(shard))
+        assert back.index == shard.index
+        assert back.start == shard.start
+        assert list(back.plans) == list(shard.plans)
+
+    def test_counts_roundtrip(self):
+        counts = Counter({Outcome.MASKED: 10, Outcome.SDC: 3,
+                          Outcome.OS_DETECTED: 1})
+        wire = counts_to_wire(counts)
+        assert all(isinstance(k, str) for k in wire)
+        assert counts_from_wire(wire) == counts

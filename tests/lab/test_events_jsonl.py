@@ -1,0 +1,65 @@
+"""Unit tests for the JSONL event sink and the monotonic emit stamp."""
+
+import json
+
+from repro.lab.events import EventBus, JsonlSink, LabEvent
+
+
+def _lines(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+class TestMonotonicStamp:
+    def test_emit_stamps_wall_and_monotonic(self):
+        seen = []
+        bus = EventBus()
+        bus.subscribe(seen.append)
+        bus.emit("a")
+        bus.emit("b")
+        assert all(e.ts > 0 and e.mono > 0 for e in seen)
+        assert seen[0].mono <= seen[1].mono
+
+    def test_as_dict_carries_both_stamps(self):
+        event = LabEvent(kind="x", data={"k": 1}, ts=2.0, mono=3.0)
+        assert event.as_dict() == {"kind": "x", "ts": 2.0, "mono": 3.0,
+                                   "k": 1}
+
+
+class TestJsonlSink:
+    def test_one_event_per_line(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        bus = EventBus()
+        sink = JsonlSink(path)
+        bus.subscribe(sink)
+        bus.emit("shard-completed", index=0, n=10)
+        bus.emit("campaign-finished", workload="histogram")
+        sink.close()
+        events = _lines(path)
+        assert [e["kind"] for e in events] == ["shard-completed",
+                                               "campaign-finished"]
+        assert events[0]["index"] == 0 and events[0]["n"] == 10
+
+    def test_flushed_per_event(self, tmp_path):
+        # Readable mid-campaign: no buffering until close().
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlSink(path)
+        sink(LabEvent(kind="first", ts=1.0, mono=1.0))
+        assert _lines(path)[0]["kind"] == "first"
+        sink.close()
+
+    def test_unencodable_values_degrade_to_repr(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlSink(path)
+        sink(LabEvent(kind="odd", data={"obj": object()}, ts=1.0, mono=1.0))
+        sink.close()
+        (event,) = _lines(path)
+        assert event["kind"] == "'odd'" or "object" in event["obj"]
+
+    def test_appends_not_truncates(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        for _ in range(2):
+            sink = JsonlSink(path)
+            sink(LabEvent(kind="run", ts=1.0, mono=1.0))
+            sink.close()
+        assert len(_lines(path)) == 2
