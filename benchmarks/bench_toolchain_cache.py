@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Toolchain artifact-cache effectiveness: cold build vs warm rehydrate.
+
+Not a paper figure — this measures the content-addressed build cache
+itself, on the exact cell set Figure 11 needs (every paper benchmark
+as ``native`` and ``elzar``, plus the ``noavx`` string_match row).
+Two timed phases against one fresh cache directory:
+
+1. *cold*: every cell built through the full pipeline (build_at ->
+   mem2reg -> inline -> mem2reg -> harden -> verify), artifacts stored;
+2. *warm*: a fresh ``Toolchain`` rebuilds the identical cell set —
+   every cell must be a pure artifact-cache hit (zero pipeline work)
+   and every rehydrated module must reach a bit-identical IR digest.
+
+Writes ``BENCH_toolchain.json`` with the timings, the warm/cold
+speedup, and the cache hit statistics.
+
+Run:  PYTHONPATH=src python benchmarks/bench_toolchain_cache.py
+Env:  REPRO_SCALE ("perf" default -> perf-scale builds, "test" smoke)
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.toolchain import Toolchain, toolchain_digest
+from repro.workloads.registry import BENCHMARKS
+
+
+def fig11_cells(scale: str):
+    """The (workload, scale, variant) cells Figure 11 builds."""
+    cells = []
+    for wl in BENCHMARKS:
+        cells.append((wl.name, scale, "native"))
+        cells.append((wl.name, scale, "elzar"))
+        if wl.name == "string_match":
+            cells.append((wl.name, scale, "noavx"))
+    return cells
+
+
+def main() -> int:
+    scale = os.environ.get("REPRO_SCALE", "perf")
+    build_scale = "test" if scale == "test" else "perf"
+    cells = fig11_cells(build_scale)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        os.environ["REPRO_TOOLCHAIN_CACHE"] = tmp
+
+        cold = Toolchain()
+        start = time.perf_counter()
+        digests = {cell: cold.build(*cell).ir_digest for cell in cells}
+        cold_seconds = time.perf_counter() - start
+        assert cold.cache.stats.hits == 0
+        assert cold.cache.stats.stores >= len(cells)
+
+        warm = Toolchain()
+        start = time.perf_counter()
+        for cell in cells:
+            built = warm.build(*cell)
+            assert built.from_cache, \
+                f"warm rebuild of {cell} missed the artifact cache"
+            assert built.ir_digest == digests[cell], \
+                f"warm rebuild of {cell} is not bit-identical"
+        warm_seconds = time.perf_counter() - start
+        assert warm.cache.stats.misses == 0, \
+            "warm rebuild did pipeline work — cache keys are unstable"
+        assert warm.cache.stats.hits == len(cells)
+
+        del os.environ["REPRO_TOOLCHAIN_CACHE"]
+
+    report = {
+        "benchmark": "toolchain_cache",
+        "scale": scale,
+        "toolchain_digest": toolchain_digest(),
+        "cells": len(cells),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+        "warm_hits": warm.cache.stats.hits,
+        "warm_misses": warm.cache.stats.misses,
+    }
+    out = os.path.normpath(os.path.join(os.path.dirname(__file__), os.pardir,
+                                        "BENCH_toolchain.json"))
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"{len(cells)} cells: cold {cold_seconds:.2f}s, warm rehydrate "
+          f"{warm_seconds:.2f}s ({report['warm_speedup']}x), "
+          f"{warm.cache.stats.hits}/{len(cells)} artifact hits")
+    print(f"-- wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@ Public surface:
 - :mod:`repro.faults` — single-event-upset injection campaigns;
 - :mod:`repro.workloads` — Phoenix/PARSEC-like kernels + IR libc/libm;
 - :mod:`repro.apps` — the Memcached/SQLite3/Apache case studies;
-- :mod:`repro.harness` — one entry point per paper table/figure.
+- :mod:`repro.harness` — one entry point per paper table/figure;
+- :mod:`repro.toolchain` — the unified variant registry and the
+  content-addressed build/artifact cache every subsystem builds
+  through (see ``python -m repro variants``).
 
 Quick start::
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro bench [--scale test|perf] [--json PATH]
     python -m repro campaign [--resume] [--workers N] [--ci-target F]
     python -m repro cluster coordinator|worker ...
+    python -m repro variants [--workloads W1,W2|all] [--scale S]
 """
 
 from __future__ import annotations
@@ -68,6 +69,12 @@ def main(argv=None) -> int:
         from .cluster.cli import main as cluster_main
 
         return cluster_main(argv[1:])
+    if argv and argv[0] == "variants":
+        # The toolchain variant registry + per-cell IR digests; see
+        # repro.toolchain.cli.
+        from .toolchain.cli import main as variants_main
+
+        return variants_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -96,6 +103,7 @@ def main(argv=None) -> int:
         print("bench")
         print("campaign")
         print("cluster")
+        print("variants")
         return 0
 
     if args.experiment == "bench":

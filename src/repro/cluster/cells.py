@@ -4,10 +4,11 @@ Modules never cross the network (they are not picklable by design —
 the lab's forked workers inherit them, and a remote worker cannot).
 Instead a cell travels as a *recipe*: ``(workload, build scale,
 version)``. Coordinator and worker each rebuild the module from their
-own checkout — registry workload, ``mem2reg``, then the version's
-hardening transform — and the handshake compares content digests of
-the printed IR and of the golden run, so a drifted checkout is
-refused before any shard is leased rather than silently producing
+own checkout through the unified toolchain — the canonical §IV-A
+pipeline plus the registry variant's hardening transform, identical to
+what the harness figures run — and the handshake compares content
+digests of the printed IR and of the golden run, so a drifted checkout
+is refused before any shard is leased rather than silently producing
 different counts.
 """
 
@@ -16,41 +17,32 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from ..ir.module import Module
-from ..passes.elzar import ElzarOptions, elzar_transform
-from ..passes.mem2reg import mem2reg
-from ..passes.swiftr import swiftr_transform
-from ..workloads.registry import get
+from ..toolchain import default_toolchain, get_variant, variant_names
 
-#: Version name -> hardening transform over the mem2reg'd base module.
-#: Shared by ``python -m repro campaign`` and every cluster worker, so
-#: the two cannot disagree about what "elzar-detect" means.
-VERSIONS = {
-    "native": lambda base: base,
-    "elzar": elzar_transform,
-    "elzar-detect": lambda base: elzar_transform(
-        base, ElzarOptions(fail_stop=True)),
-    "swiftr": swiftr_transform,
-}
+#: Version vocabulary for recipes on the wire: every registry variant
+#: (and its aliases). Kept as a mapping for backward compatibility —
+#: ``sorted(VERSIONS)`` is still the CLI's "what can I ask for" list —
+#: but the values are the registry specs, not ad-hoc lambdas.
+VERSIONS = {name: get_variant(name) for name in variant_names()}
 
 
 def build_cell(workload: str, build_scale: str,
                version: str) -> Tuple[Module, str, tuple]:
-    """Rebuild one cell's module; returns (module, entry, args)."""
-    transform = VERSIONS.get(version)
-    if transform is None:
-        raise KeyError(
-            f"unknown version {version!r}; have {sorted(VERSIONS)}"
-        )
-    built = get(workload).build_at(build_scale)
-    base = mem2reg(built.module)
-    return transform(base), built.entry, built.args
+    """Rebuild one cell's module via the unified toolchain; returns
+    (module, entry, args). Raises ``KeyError`` (listing the registry)
+    for unknown versions."""
+    built = default_toolchain().build(workload, build_scale, version)
+    return built.module, built.entry, built.args
 
 
 class CellCache:
-    """Worker-side cache of rebuilt cells keyed by recipe. The golden
-    run itself is additionally memoized on the module
+    """Worker-side cache of rebuilt cells keyed by recipe, backed by
+    the process-wide toolchain (which itself memoizes builds and
+    rehydrates from the on-disk artifact cache). The golden run is
+    additionally memoized on the module
     (:func:`repro.faults.campaign.golden_profile`), so a worker serving
-    many leases of one cell pays for one build and one golden run."""
+    many leases of one cell pays for at most one build and one golden
+    run."""
 
     def __init__(self):
         self._cells: Dict[tuple, Tuple[Module, str, tuple]] = {}

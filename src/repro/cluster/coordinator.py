@@ -7,7 +7,8 @@ server (running on a background thread so the synchronous campaign
 CLI stays synchronous) owns:
 
 - the **worker pool**: each connection handshakes (protocol version,
-  lab schema) and then *prepares* per cell — rebuilding the module
+  lab schema, toolchain digest) and then *prepares* per cell —
+  rebuilding the module
   from the cell recipe and echoing back content digests of the IR, the
   golden run, and the fault model's ``cache_key``. A mismatch is
   refused before any shard is leased: a drifted checkout can waste at
@@ -63,6 +64,7 @@ from ..lab.durable import DurableCampaign, LabRunInfo, _prefix_status
 from ..lab.events import EventBus
 from ..lab.sampling import AdaptiveStop
 from ..lab.store import LAB_SCHEMA, ResultStore, _canonical, digest_of
+from ..toolchain import toolchain_digest
 from .lease import LeasePolicy, LeaseTable, ShardExhausted
 from .proto import (
     PROTO_VERSION,
@@ -454,13 +456,17 @@ class ClusterCoordinator:
                 writer.close()
                 return
             if (hello.get("proto") != PROTO_VERSION
-                    or hello.get("schema") != LAB_SCHEMA):
+                    or hello.get("schema") != LAB_SCHEMA
+                    or hello.get("toolchain") != toolchain_digest()):
                 await send_message_async(writer, {
                     "kind": "reject",
                     "reason": (f"need proto={PROTO_VERSION} "
-                               f"schema={LAB_SCHEMA}, got "
+                               f"schema={LAB_SCHEMA} "
+                               f"toolchain={toolchain_digest()[:12]}, got "
                                f"proto={hello.get('proto')} "
-                               f"schema={hello.get('schema')}"),
+                               f"schema={hello.get('schema')} "
+                               f"toolchain="
+                               f"{str(hello.get('toolchain'))[:12]}"),
                 })
                 writer.close()
                 return

@@ -1,7 +1,8 @@
 """Cluster worker agent: a synchronous lease-execute-report loop.
 
 One process, one TCP connection, no threads: the worker connects,
-handshakes (protocol version + lab schema), and then serves whatever
+handshakes (protocol version + lab schema + toolchain digest), and
+then serves whatever
 the coordinator sends. For each cell it *prepares* — rebuilds the
 module from the cell recipe (:mod:`repro.cluster.cells`), runs the
 golden execution through its own cache, and reports content digests so
@@ -36,6 +37,7 @@ from ..faults.campaign import golden_profile, inject_once
 from ..faults.models import get_model
 from ..lab.checkpoint import golden_digest, module_digest
 from ..lab.store import LAB_SCHEMA
+from ..toolchain import toolchain_digest
 from .cells import CellCache
 from .coordinator import model_cache_key_digest
 from .proto import (
@@ -119,6 +121,7 @@ class ClusterWorker:
     def _serve(self) -> int:
         send_message(self._sock, {
             "kind": "hello", "proto": PROTO_VERSION, "schema": LAB_SCHEMA,
+            "toolchain": toolchain_digest(),
             "worker": self.worker_id, "host": socket.gethostname(),
             "pid": os.getpid(),
         })

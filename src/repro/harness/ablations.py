@@ -3,10 +3,11 @@
 DESIGN.md calls out the design choices these probe:
 
 - **Scheme ablation**: the full detection/recovery design space on one
-  axis — native, SWIFT (DMR triplication-style detection), SWIFT-R
-  (TMR), ELZAR fail-stop (lane detection), ELZAR (lane TMR) — both
-  performance and fault outcomes. This quantifies what each step of
-  the paper's §II-A taxonomy buys.
+  axis — the scalar O3 base (registry ``noavx``: every scheme hardens
+  scalar code, so it is the overhead baseline), SWIFT (DMR
+  duplication-style detection), SWIFT-R (TMR), ELZAR fail-stop (lane
+  detection), ELZAR (lane TMR) — both performance and fault outcomes.
+  This quantifies what each step of the paper's §II-A taxonomy buys.
 - **Lane-count ablation**: ELZAR replicates each value 4x because a
   256-bit YMM register holds four 64-bit lanes; 2 lanes (half a
   register, detection-only — majority needs ≥3) and 8 lanes (a
@@ -22,30 +23,23 @@ from ..faults.campaign import CampaignConfig
 from ..faults.outcomes import Outcome
 from ..lab import run_durable_campaign
 from ..passes.elzar import ElzarOptions, elzar_transform
-from ..passes.inline import inline_module
-from ..passes.mem2reg import mem2reg
-from ..passes.swiftr import swift_transform, swiftr_transform
-from ..workloads.registry import SHORT_NAMES, get
+from ..toolchain import default_toolchain
+from ..workloads.registry import SHORT_NAMES
 from .base import Experiment
 
 DEFAULT_BENCHMARKS = ("histogram", "blackscholes")
 
 
 def _prepared(name: str, scale: str):
-    built = get(name).build_at(scale)
-    mem2reg(built.module)
-    inline_module(built.module)
-    mem2reg(built.module)
-    return built
+    """The workload's O3 base via the unified toolchain (= the
+    ``noavx`` variant's module)."""
+    return default_toolchain().base(name, scale)
 
 
-_SCHEMES = (
-    ("native", lambda m: m),
-    ("swift", swift_transform),
-    ("swiftr", swiftr_transform),
-    ("elzar-failstop", lambda m: elzar_transform(m, ElzarOptions(fail_stop=True))),
-    ("elzar", elzar_transform),
-)
+#: Registry variant per scheme, taxonomy order. ``noavx`` (the scalar
+#: O3 base every scheme transforms) is first: it is the overhead
+#: baseline. ``elzar-failstop`` is a registry alias of ``elzar_detect``.
+_SCHEMES = ("noavx", "swift", "swiftr", "elzar-failstop", "elzar")
 
 
 def scheme_ablation(
@@ -67,24 +61,24 @@ def scheme_ablation(
         ),
     )
     cfg = CampaignConfig(injections=injections, seed=seed)
+    toolchain = default_toolchain()
     for name in benchmarks:
-        built = _prepared(name, scale)
-        native_cycles = None
-        for label, transform in _SCHEMES:
-            module = transform(built.module)
-            cycles = Machine(module, MachineConfig()).run(
+        base_cycles = None
+        for label in _SCHEMES:
+            built = toolchain.build(name, scale, label)
+            cycles = Machine(built.module, MachineConfig()).run(
                 built.entry, built.args
             ).cycles
-            if native_cycles is None:
-                native_cycles = cycles
+            if base_cycles is None:
+                base_cycles = cycles
             outcomes = run_durable_campaign(
-                module, built.entry, built.args, name, label, cfg
+                built.module, built.entry, built.args, name, label, cfg
             ).result
             exp.rows.append(
                 (
                     SHORT_NAMES.get(name, name),
                     label,
-                    cycles / native_cycles,
+                    cycles / base_cycles,
                     outcomes.sdc_rate,
                     outcomes.crash_rate,
                     outcomes.rate(Outcome.CORRECTED),

@@ -5,16 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from ..avx.costs import HASWELL
 from ..apps import kvstore, sqldb, webserver, trace_by_name
 from ..cpu.interpreter import Machine, MachineConfig, RunResult
 from ..ir.module import Module
-from ..passes.clone import clone_module
-from ..passes.elzar import ElzarOptions, elzar_transform
 from ..passes.inline import inline_module
 from ..passes.mem2reg import mem2reg
-from ..passes.swiftr import swiftr_transform
-from ..passes.vectorize import vectorize
+from ..toolchain import get_variant
 
 #: Per-scale request counts (ops, keyspace) for the KV/SQL traces and
 #: (requests, page size) for the web server.
@@ -67,22 +63,12 @@ def build_app(name: str, trace_name: str = "A", scale: str = "perf") -> AppInsta
 
 
 def app_variant_module(inst: AppInstance, variant: str) -> Module:
-    if variant == "noavx":
-        return inst.module
-    if variant == "native":
-        # Third-party/kernel code (sendfile) is identical in the SIMD
-        # and no-SIMD builds — only application code is vectorized.
-        return vectorize(
-            clone_module(inst.module, f"{inst.module.name}.simd"),
-            exclude=inst.exclude,
-        )
-    if variant == "elzar":
-        return elzar_transform(inst.module, ElzarOptions(exclude=inst.exclude))
-    if variant == "swiftr":
-        from ..passes.swiftr import SwiftOptions
-
-        return swiftr_transform(inst.module, SwiftOptions(exclude=inst.exclude))
-    raise KeyError(f"unknown app variant {variant!r}")
+    """Apply a registry variant's hardening to the app base. Apps are
+    not registry *workloads* (they build from traces, not scales), but
+    the variant vocabulary and transforms are the registry's: the
+    third-party/kernel ``exclude`` set (sendfile) is copied verbatim
+    instead of vectorized/hardened (§VI)."""
+    return get_variant(variant).transform(inst.module, exclude=inst.exclude)
 
 
 class AppSession:
@@ -108,7 +94,10 @@ class AppSession:
             return cached
         inst = self.instance(app, trace)
         module = app_variant_module(inst, variant)
-        machine = Machine(module, MachineConfig(cost_model=HASWELL))
+        machine = Machine(
+            module,
+            MachineConfig(cost_model=get_variant(variant).cost_model),
+        )
         result = machine.run(inst.entry, inst.args)
         if result.output != [inst.expected]:
             raise AssertionError(

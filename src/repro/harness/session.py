@@ -1,99 +1,44 @@
 """Shared experiment plumbing.
 
-A :class:`Session` builds workloads once per scale, applies the
-transformation pipelines, runs the simulator, and memoizes results so
-that experiments sharing measurements (e.g. Figures 11, 12 and 14 all
-need native and ELZAR runs) do not repeat work.
+A :class:`Session` memoizes runs so that experiments sharing
+measurements (e.g. Figures 11, 12 and 14 all need native and ELZAR
+runs) do not repeat work. Module construction is delegated to the
+unified toolchain (:mod:`repro.toolchain`): the variant vocabulary is
+the registry's (``repro.toolchain.VARIANTS``), the build recipe is the
+canonical §IV-A pipeline, and results rehydrate from the shared
+on-disk artifact cache when a previous process already built the cell.
 
-Variant names:
-
-- ``native``      — mem2reg + auto-vectorization (the paper's baseline:
-  "native version with all AVX optimizations enabled", §V-A);
-- ``noavx``       — mem2reg only (the paper's no-SIMD build, Figure 1
-  and the smatch-na row of Figure 11);
-- ``elzar``       — full ELZAR (vectorization disabled first, §IV-A);
-- ``elzar_noload`` / ``elzar_nostore`` / ``elzar_nobranch`` /
-  ``elzar_nochecks`` — Figure 12's cumulative check ablation;
-- ``elzar_float`` — float-only protection (§V-B);
-- ``elzar_proposed`` — ELZAR costed with the proposed-AVX ISA (Fig 17);
-- ``swiftr``      — SWIFT-R instruction triplication (Figure 14);
-- ``swift``       — SWIFT DMR (ablation extra).
+See :mod:`repro.toolchain.registry` for the variant vocabulary
+(``native``, ``noavx``, ``elzar``, the Figure 12 ablations,
+``elzar_float``, ``elzar_proposed``, ``elzar_detect``, ``swiftr``,
+``swift``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from ..avx.costs import HASWELL, PROPOSED_AVX
 from ..cpu.interpreter import Machine, MachineConfig, RunResult
 from ..ir.module import Module
-from ..passes.clone import clone_module
-from ..passes.elzar import ElzarOptions, elzar_transform
-from ..passes.inline import inline_module
-from ..passes.mem2reg import mem2reg
-from ..passes.swiftr import swift_transform, swiftr_transform
-from ..passes.vectorize import vectorize
+from ..toolchain import VARIANTS, Toolchain, get_variant  # noqa: F401
 from ..workloads.common import BuiltWorkload, outputs_match
-from ..workloads.registry import get
-
-_ELZAR_VARIANTS: Dict[str, ElzarOptions] = {
-    "elzar": ElzarOptions(),
-    "elzar_noload": ElzarOptions(check_loads=False),
-    "elzar_nostore": ElzarOptions(check_loads=False, check_stores=False),
-    "elzar_nobranch": ElzarOptions(
-        check_loads=False, check_stores=False, check_branches=False
-    ),
-    "elzar_nochecks": ElzarOptions.no_checks(),
-    "elzar_float": ElzarOptions(float_only=True),
-    "elzar_proposed": ElzarOptions(),
-}
-
-VARIANTS = tuple(_ELZAR_VARIANTS) + ("native", "noavx", "swiftr", "swift")
 
 
 class Session:
     def __init__(self, scale: str = "perf", check_outputs: bool = True):
         self.scale = scale
         self.check_outputs = check_outputs
-        self._built: Dict[str, BuiltWorkload] = {}
-        self._modules: Dict[Tuple[str, str], Module] = {}
+        self.toolchain = Toolchain()
         self._results: Dict[Tuple[str, str], RunResult] = {}
 
     # Workload/module plumbing -------------------------------------------------
 
     def built(self, name: str) -> BuiltWorkload:
-        cached = self._built.get(name)
-        if cached is None:
-            cached = get(name).build_at(self.scale)
-            # The -O3-equivalent pipeline the paper runs before
-            # hardening (§IV-A): promote stack slots, inline the hot
-            # helpers/libm, promote again.
-            mem2reg(cached.module)
-            inline_module(cached.module)
-            mem2reg(cached.module)
-            self._built[name] = cached
-        return cached
+        """The workload's O3 base (= the ``noavx`` variant's module)."""
+        return self.toolchain.base(name, self.scale)
 
     def module(self, name: str, variant: str) -> Module:
-        key = (name, variant)
-        cached = self._modules.get(key)
-        if cached is not None:
-            return cached
-        base = self.built(name).module
-        if variant == "noavx":
-            module = base
-        elif variant == "native":
-            module = vectorize(clone_module(base, f"{base.name}.simd"))
-        elif variant == "swiftr":
-            module = swiftr_transform(base)
-        elif variant == "swift":
-            module = swift_transform(base)
-        elif variant in _ELZAR_VARIANTS:
-            module = elzar_transform(base, _ELZAR_VARIANTS[variant])
-        else:
-            raise KeyError(f"unknown variant {variant!r}; have {VARIANTS}")
-        self._modules[key] = module
-        return module
+        return self.toolchain.module(name, self.scale, variant)
 
     # Measurement -----------------------------------------------------------------
 
@@ -102,10 +47,10 @@ class Session:
         cached = self._results.get(key)
         if cached is not None:
             return cached
-        built = self.built(name)
-        module = self.module(name, variant)
-        cost_model = PROPOSED_AVX if variant == "elzar_proposed" else HASWELL
-        machine = Machine(module, MachineConfig(cost_model=cost_model))
+        built = self.toolchain.build(name, self.scale, variant)
+        machine = Machine(
+            built.module, MachineConfig(cost_model=built.spec.cost_model)
+        )
         result = machine.run(built.entry, built.args)
         if self.check_outputs and built.expected is not None:
             if not outputs_match(result.output, built.expected, built.rtol):

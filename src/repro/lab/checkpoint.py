@@ -29,25 +29,15 @@ from ..cpu.interpreter import FaultPlan
 from ..faults.campaign import CampaignConfig, _args_key, _eligibility_key
 from ..faults.models import get_model
 from ..ir.module import Module
-from ..ir.printer import format_module
+# module_digest moved to the toolchain (cluster handshakes and the
+# artifact cache share it); re-exported here for existing importers.
+from ..toolchain.build import module_digest, toolchain_digest  # noqa: F401
 from .events import EventBus
 from .store import LAB_SCHEMA, ResultStore, _canonical, digest_of
 
 #: Injections per shard. Fixed (not derived from the worker count) so
 #: the same store rows serve every ``--workers`` setting.
 DEFAULT_SHARD_SIZE = 25
-
-
-def module_digest(module: Module) -> str:
-    """Content digest of a module's printed IR (globals and their
-    initializers included — the printer is round-trippable, so the text
-    determines execution). Memoized against the module's version stamp."""
-    cached = getattr(module, "_lab_digest", None)
-    if cached is not None and cached[0] == module.version:
-        return cached[1]
-    digest = digest_of(["module-ir", format_module(module)])
-    module._lab_digest = (module.version, digest)
-    return digest
 
 
 def golden_digest(reference: Sequence, eligible: int, executed: int,
@@ -106,7 +96,11 @@ class CampaignSpec:
 
     @property
     def cell_key(self) -> str:
-        return digest_of([LAB_SCHEMA, "cell", self.module_digest, self.entry,
+        # Salted with the toolchain digest (LAB_SCHEMA 3): shards
+        # recorded under a different build recipe (e.g. the pre-unified
+        # cells pipeline that skipped inlining) degrade to misses.
+        return digest_of([LAB_SCHEMA, toolchain_digest(), "cell",
+                          self.module_digest, self.entry,
                           self.args_key, _canonical(self.eligibility)])
 
     @property

@@ -23,13 +23,12 @@ import argparse
 import json
 from typing import Dict, List, Optional
 
-from ..cluster.cells import VERSIONS
 from ..faults.campaign import CampaignConfig
 from ..faults.models import DEFAULT_MODEL, model_names
 from ..faults.outcomes import Outcome
 from ..harness.base import Experiment
-from ..passes.mem2reg import mem2reg
-from ..workloads.registry import FI_BENCHMARKS, SHORT_NAMES, get
+from ..toolchain import default_toolchain, get_variant, variant_names
+from ..workloads.registry import FI_BENCHMARKS, SHORT_NAMES
 from .durable import run_durable_campaign
 from .events import CampaignInterrupted, ConsoleReporter, EventBus, \
     JsonlSink, interrupt_after
@@ -41,10 +40,11 @@ _SCALE_DEFAULTS = {
     "perf": (tuple(w.name for w in FI_BENCHMARKS), 150, 25),
 }
 
-#: Version-name -> transform map now lives in repro.cluster.cells so
-#: cluster workers rebuild cells with the exact same recipes; the old
-#: name stays importable.
-_VERSIONS = VERSIONS
+#: Every registry variant is a valid ``--versions`` entry: the variant
+#: vocabulary lives in repro.toolchain.registry, shared with the
+#: harness figures and cluster workers, so all three cannot disagree
+#: about what ``elzar-detect`` means.
+_VERSIONS = variant_names()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,7 +58,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="comma-separated workload names "
                              "(default depends on --scale)")
     parser.add_argument("--versions", default="native,elzar",
-                        help=f"comma-separated subset of {sorted(_VERSIONS)}")
+                        help="comma-separated subset of the variant "
+                             f"registry: {', '.join(_VERSIONS)} "
+                             "(see `python -m repro variants`)")
     parser.add_argument("--injections", type=int, default=None,
                         help="injection cap per cell (paper: 2500; "
                              "default 150, or 40 at --scale test)")
@@ -161,16 +163,15 @@ def _run_cells(spec: Dict, store: ResultStore, events: EventBus,
     cells: List[Dict] = []
     totals = {"shards_total": 0, "shards_from_store": 0,
               "injections_executed": 0, "injections_from_store": 0}
+    toolchain = default_toolchain()
     for name in spec["benchmarks"]:
-        built = get(name).build_at(build_scale)
-        base = mem2reg(built.module)
         for version in spec["versions"]:
-            transform = _VERSIONS.get(version)
-            if transform is None:
-                raise SystemExit(
-                    f"unknown version {version!r}; have {sorted(_VERSIONS)}"
-                )
-            module = transform(base)
+            try:
+                get_variant(version)
+            except KeyError as exc:
+                raise SystemExit(str(exc.args[0]))
+            built = toolchain.build(name, build_scale, version)
+            module = built.module
             config = CampaignConfig(
                 injections=spec["injections"], seed=spec["seed"],
                 workers=spec["workers"], fault_model=fault_model,

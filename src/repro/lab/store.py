@@ -28,7 +28,6 @@ store file degrades to a miss, never to a wrong answer.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import sqlite3
@@ -38,11 +37,20 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..faults.outcomes import Outcome
+# Canonicalization/digesting moved to repro.toolchain.digest (the
+# toolchain is below the lab in the import graph); re-exported here
+# because store keys are where they are used most.
+from ..toolchain.digest import _canonical, digest_of  # noqa: F401
 
 #: Bump when key derivation or row semantics change.
 #: 2: spec keys carry the fault model + its target-stream population
 #:    (pluggable fault models); goldens record the full stream profile.
-LAB_SCHEMA = 2
+#: 3: cell/spec keys are salted with the toolchain digest
+#:    (repro.toolchain), and campaign cells are built through the
+#:    unified toolchain pipeline (mem2reg -> inline -> mem2reg before
+#:    hardening, same as harness figures) — shards recorded under the
+#:    old divergent cell recipes can never be mixed with new ones.
+LAB_SCHEMA = 3
 
 _SCHEMA_SQL = """
 CREATE TABLE IF NOT EXISTS goldens (
@@ -70,29 +78,6 @@ CREATE TABLE IF NOT EXISTS runs (
     spec    TEXT NOT NULL
 );
 """
-
-
-def _canonical(obj):
-    """JSON-stable form of a key component: sets are sorted, tuples
-    become lists, exotic objects fall back to ``repr``. Equal logical
-    keys must canonicalize identically across processes (``frozenset``
-    iteration order is not stable, ``repr`` of floats is)."""
-    if obj is None or isinstance(obj, (str, int, float, bool)):
-        return obj
-    if isinstance(obj, (list, tuple)):
-        return [_canonical(x) for x in obj]
-    if isinstance(obj, (set, frozenset)):
-        return sorted((_canonical(x) for x in obj), key=repr)
-    if isinstance(obj, dict):
-        return {str(k): _canonical(v) for k, v in
-                sorted(obj.items(), key=lambda kv: str(kv[0]))}
-    return repr(obj)
-
-
-def digest_of(obj) -> str:
-    """Content digest of an arbitrary (canonicalizable) key object."""
-    text = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def _encode_counts(counts: Counter) -> str:

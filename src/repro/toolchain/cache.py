@@ -1,0 +1,176 @@
+"""Persistent content-addressed build-artifact cache.
+
+A built variant is stored as one JSON file holding its *printed IR*
+(the round-trippable textual form — the same text whose digest the
+cluster handshake compares) plus the run metadata a consumer needs
+without re-running ``build_at`` (entry, args, expected output, rtol).
+Artifacts are addressed by a content key digested from (workload,
+scale, variant-spec digest, toolchain pipeline digest), so:
+
+- a variant-spec change (different options, new lanes default) or a
+  pipeline change (``TOOLCHAIN_VERSION`` bump) degrades every old
+  artifact to a miss, never to a wrong module;
+- two processes on the same checkout share artifacts; writes are
+  atomic (write-to-temp + rename), so concurrent builders race
+  benignly — last writer wins with identical bytes.
+
+An artifact is only trusted after rehydration re-digests the parsed
+module and matches the recorded IR digest; mismatches (truncated file,
+hand-edited artifact) are treated as misses and rebuilt.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..ir.module import Module
+from ..ir.parser import ParseError, parse_module
+from ..ir.printer import format_module
+
+
+def default_cache_path() -> str:
+    """``$REPRO_TOOLCHAIN_CACHE`` if set, else a per-user cache dir
+    (sibling of the lab result store)."""
+    env = os.environ.get("REPRO_TOOLCHAIN_CACHE")
+    if env:
+        return env
+    cache_root = os.environ.get(
+        "XDG_CACHE_HOME", os.path.join(os.path.expanduser("~"), ".cache")
+    )
+    return os.path.join(cache_root, "repro-lab", "toolchain")
+
+
+def cache_disabled() -> bool:
+    """``$REPRO_TOOLCHAIN_CACHE`` set to ``0``/``off`` disables the
+    on-disk cache entirely (cold builds every process)."""
+    return os.environ.get("REPRO_TOOLCHAIN_CACHE", "").lower() in ("0", "off")
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Artifacts that existed but failed validation (parse error or
+    #: digest mismatch) and were discarded.
+    invalid: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "invalid": self.invalid}
+
+
+@dataclass
+class Artifact:
+    """One rehydrated cache entry."""
+
+    module: Module
+    meta: Dict
+
+
+class ArtifactCache:
+    """Content-addressed on-disk store of built variants.
+
+    ``root=None`` resolves :func:`default_cache_path` (honouring the
+    ``$REPRO_TOOLCHAIN_CACHE`` off switch); pass an explicit directory
+    to pin one (tests), or construct with ``root=False`` semantics via
+    :meth:`disabled` for a no-op cache.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        if root is None:
+            self._root = None if cache_disabled() else default_cache_path()
+        else:
+            self._root = root
+        self.stats = CacheStats()
+
+    @classmethod
+    def disabled(cls) -> "ArtifactCache":
+        cache = cls(root="")
+        cache._root = None
+        return cache
+
+    @property
+    def root(self) -> Optional[str]:
+        return self._root
+
+    @property
+    def enabled(self) -> bool:
+        return self._root is not None
+
+    def _path(self, key: str) -> str:
+        # Two-level fanout keeps directories small at 14 workloads x
+        # 12 variants x scales but scales to thousands of artifacts.
+        return os.path.join(self._root, key[:2], f"{key}.json")
+
+    # Lookup ------------------------------------------------------------------
+
+    def load(self, key: str, ir_digest) -> Optional[Artifact]:
+        """Rehydrate the artifact at ``key``, or None on miss.
+
+        ``ir_digest`` is the digest function (text -> digest) used to
+        validate the parsed module against the recorded digest — the
+        cache never returns a module whose IR does not re-print to the
+        bytes it was stored under.
+        """
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            module = parse_module(payload["ir"])
+        except (OSError, ValueError, KeyError, ParseError):
+            self.stats.misses += 1
+            if os.path.exists(path):
+                self.stats.invalid += 1
+                _quietly_remove(path)
+            return None
+        meta = payload.get("meta", {})
+        if ir_digest(format_module(module)) != meta.get("ir_digest"):
+            # Printed form drifted (printer changed without a pipeline
+            # bump, or the file was tampered with): rebuild.
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            _quietly_remove(path)
+            return None
+        self.stats.hits += 1
+        return Artifact(module=module, meta=meta)
+
+    # Store -------------------------------------------------------------------
+
+    def store(self, key: str, module: Module, meta: Dict) -> bool:
+        """Persist a built variant; returns False when disabled or the
+        artifact cannot be written (read-only cache dir is non-fatal —
+        the build simply stays cold)."""
+        if not self.enabled:
+            return False
+        path = self._path(key)
+        payload = {"meta": meta, "ir": format_module(module)}
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                _quietly_remove(tmp)
+                raise
+        except OSError:
+            return False
+        self.stats.stores += 1
+        return True
+
+
+def _quietly_remove(path: str) -> None:
+    try:
+        os.remove(path)
+    except OSError:
+        pass

@@ -1,0 +1,36 @@
+"""Canonical content digesting shared by the toolchain artifact cache,
+the lab result store, and the cluster handshake.
+
+Lived in :mod:`repro.lab.store` originally; it moved here so the
+toolchain (which the lab depends on) can address artifacts without a
+circular import. :mod:`repro.lab.store` re-exports both names, so
+existing imports keep working.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def _canonical(obj):
+    """JSON-stable form of a key component: sets are sorted, tuples
+    become lists, exotic objects fall back to ``repr``. Equal logical
+    keys must canonicalize identically across processes (``frozenset``
+    iteration order is not stable, ``repr`` of floats is)."""
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted((_canonical(x) for x in obj), key=repr)
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in
+                sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    return repr(obj)
+
+
+def digest_of(obj) -> str:
+    """Content digest of an arbitrary (canonicalizable) key object."""
+    text = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

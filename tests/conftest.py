@@ -25,6 +25,23 @@ def _isolated_lab_store(tmp_path_factory):
         os.environ["REPRO_LAB_STORE"] = previous
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_toolchain_cache(tmp_path_factory):
+    """Point the toolchain artifact cache (repro.toolchain) at a
+    per-session temp dir so tests never read or pollute the user-level
+    cache. One dir for the whole session: later tests legitimately
+    rehydrate artifacts stored by earlier ones (that path has its own
+    dedicated tests)."""
+    path = tmp_path_factory.mktemp("toolchain-cache")
+    previous = os.environ.get("REPRO_TOOLCHAIN_CACHE")
+    os.environ["REPRO_TOOLCHAIN_CACHE"] = str(path)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_TOOLCHAIN_CACHE", None)
+    else:
+        os.environ["REPRO_TOOLCHAIN_CACHE"] = previous
+
+
 @pytest.fixture
 def fast_config() -> MachineConfig:
     """Machine config for semantic tests: no timing, no caches."""

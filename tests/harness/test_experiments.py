@@ -224,11 +224,11 @@ class TestFaultModelMatrix:
         )
         cells = {(r[1], r[2]) for r in exp.rows}
         # register-bitflip runs against every version...
-        for version in ("native", "swiftr", "elzar-detect", "elzar"):
+        for version in ("noavx", "swiftr", "elzar-detect", "elzar"):
             assert ("register-bitflip", version) in cells
-        # ...but checker-fault has no checker sites in native code: the
-        # cell is a hole in the matrix, not a zero row.
-        assert ("checker-fault", "native") not in cells
+        # ...but checker-fault has no checker sites in the unhardened
+        # scalar base: the cell is a hole in the matrix, not a zero row.
+        assert ("checker-fault", "noavx") not in cells
         assert ("checker-fault", "elzar") in cells
         for row in exp.rows:
             rates = row[3:]

@@ -1,0 +1,107 @@
+"""The variant registry: the single source of truth for variant names,
+options, and cost profiles across every subsystem."""
+
+import dataclasses
+
+import pytest
+
+from repro.avx.costs import HASWELL, PROPOSED_AVX
+from repro.cluster.cells import VERSIONS
+from repro.harness import VARIANTS as HARNESS_VARIANTS
+from repro.passes.elzar import ElzarOptions
+from repro.toolchain import (
+    REGISTRY,
+    VARIANTS,
+    VariantSpec,
+    get_variant,
+    variant_names,
+)
+from repro.toolchain.digest import digest_of
+
+
+class TestRegistryContents:
+    def test_paper_variants_present(self):
+        for name in ("native", "noavx", "elzar", "elzar_noload",
+                     "elzar_nostore", "elzar_nobranch", "elzar_nochecks",
+                     "elzar_float", "elzar_proposed", "elzar_detect",
+                     "swiftr", "swift"):
+            assert name in REGISTRY
+
+    def test_aliases_resolve_to_canonical_spec(self):
+        assert get_variant("elzar-detect") is REGISTRY["elzar_detect"]
+        assert get_variant("elzar-failstop") is REGISTRY["elzar_detect"]
+
+    def test_unknown_variant_error_lists_registry(self):
+        with pytest.raises(KeyError) as err:
+            get_variant("sgx")
+        message = str(err.value)
+        for name in variant_names():
+            assert name in message
+
+    def test_cost_profiles(self):
+        assert get_variant("elzar").cost_model is HASWELL
+        assert get_variant("elzar_proposed").cost_model is PROPOSED_AVX
+
+    def test_elzar_proposed_differs_only_in_cost_profile(self):
+        full = get_variant("elzar")
+        proposed = get_variant("elzar_proposed")
+        assert full.options == proposed.options
+        assert full.cost_profile != proposed.cost_profile
+
+    def test_detect_variant_is_fail_stop(self):
+        assert get_variant("elzar_detect").options.fail_stop is True
+
+    def test_fig12_ablation_is_cumulative(self):
+        """Each Figure 12 step disables a superset of the previous
+        step's checks."""
+        steps = ("elzar", "elzar_noload", "elzar_nostore", "elzar_nobranch")
+        flags = ("check_loads", "check_stores", "check_branches")
+        for i, name in enumerate(steps[1:], start=1):
+            options = get_variant(name).options
+            for flag in flags[:i]:
+                assert getattr(options, flag) is False, (name, flag)
+
+
+class TestSingleSourceOfTruth:
+    """Every subsystem's variant vocabulary IS the registry."""
+
+    def test_harness_variants_are_registry_names(self):
+        assert HARNESS_VARIANTS == variant_names()
+        assert VARIANTS == variant_names()
+
+    def test_cluster_versions_are_registry_specs(self):
+        assert set(VERSIONS) == set(variant_names())
+        for name, spec in VERSIONS.items():
+            assert spec is REGISTRY[name]
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            VariantSpec("bogus", "quadruple")
+
+    def test_unknown_cost_profile_rejected(self):
+        with pytest.raises(ValueError, match="cost profile"):
+            VariantSpec("bogus", "elzar", ElzarOptions(),
+                        cost_profile="SKYLAKE")
+
+
+class TestCacheKeys:
+    def test_keys_deterministic_and_digestable(self):
+        for spec in REGISTRY.values():
+            assert spec.cache_key() == spec.cache_key()
+            assert digest_of(spec.cache_key())  # canonicalizable
+
+    def test_keys_distinguish_every_variant_with_distinct_behaviour(self):
+        digests = {}
+        for spec in REGISTRY.values():
+            digests.setdefault(digest_of(spec.cache_key()), []).append(
+                spec.name)
+        for names in digests.values():
+            assert len(names) == 1, f"colliding cache keys: {names}"
+
+    def test_options_change_changes_key(self):
+        base = get_variant("elzar")
+        tweaked = dataclasses.replace(
+            base, options=ElzarOptions(check_loads=False))
+        assert digest_of(base.cache_key()) != digest_of(tweaked.cache_key())

@@ -1,0 +1,75 @@
+"""``python -m repro variants`` — the registry inspection command."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.toolchain import pipeline_digest, toolchain_digest, variant_names
+
+
+class TestVariantsCommand:
+    def test_lists_every_registry_variant(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        for name in variant_names():
+            assert name in out
+        assert pipeline_digest()[:12] in out
+        assert "elzar-detect" in out  # aliases shown
+
+    def test_listed_by_main_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "variants" in capsys.readouterr().out.split()
+
+    def test_digest_matrix_and_json_report(self, tmp_path, capsys):
+        report_path = str(tmp_path / "variants.json")
+        assert main(["variants", "--workloads", "histogram",
+                     "--scale", "test", "--json", report_path]) == 0
+        capsys.readouterr()
+        with open(report_path) as fh:
+            report = json.load(fh)
+        assert report["toolchain_digest"] == toolchain_digest()
+        assert report["scale"] == "test"
+        digests = report["ir_digests"]["histogram"]
+        assert set(digests) == set(variant_names())
+        # noavx IS the base; every hardened variant differs from it.
+        assert len({digests[v] for v in ("noavx", "elzar", "swiftr",
+                                         "native")}) == 4
+        # Same transform, different cost model: identical IR.
+        assert digests["elzar"] == digests["elzar_proposed"]
+
+    def test_unknown_workload_rejected(self, capsys):
+        assert main(["variants", "--workloads", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().out
+
+
+class TestCampaignUsesRegistry:
+    def test_unknown_version_error_names_registry(
+            self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_LAB_STORE",
+                           str(tmp_path / "store.sqlite"))
+        with pytest.raises(SystemExit) as err:
+            main(["campaign", "--scale", "test", "--quiet",
+                  "--benchmarks", "histogram", "--versions", "sgx",
+                  "--injections", "4"])
+        message = str(err.value)
+        assert "sgx" in message
+        for name in ("elzar_detect", "swiftr", "elzar_float"):
+            assert name in message
+
+    def test_registry_alias_accepted(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_LAB_STORE",
+                           str(tmp_path / "store.sqlite"))
+        report_json = str(tmp_path / "out.json")
+        assert main(["campaign", "--scale", "test", "--quiet",
+                     "--benchmarks", "histogram",
+                     "--versions", "elzar-detect",
+                     "--injections", "10", "--json", report_json]) == 0
+        capsys.readouterr()
+        with open(report_json) as fh:
+            report = json.load(fh)
+        assert report["cells"][0]["version"] == "elzar-detect"
+        from repro.lab.store import _OPEN_STORES
+        store = _OPEN_STORES.pop(str(tmp_path / "store.sqlite"), None)
+        if store is not None:
+            store.close()
