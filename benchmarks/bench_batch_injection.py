@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Batched fault injection (``--batch K``) vs scalar ``inject_once``.
+
+Not a paper figure — this measures the simulator itself: per-injection
+throughput of the SIMD-of-simulations engine (shared golden prefix,
+forked lanes, digest reconvergence) over the Figure-13 benchmark grid,
+sweeping batch size K in {1, 4, 16}. Outcome lists are asserted
+bit-identical to the scalar baseline for every cell and every K; the
+numbers land in ``BENCH_batch.json``. The K=16 geomean target is >=5x.
+
+Run:  PYTHONPATH=src python benchmarks/bench_batch_injection.py
+Env:  REPRO_SCALE ("perf" default -> fi-scale inputs, "test" for smoke)
+      REPRO_BATCH_INJECTIONS (injections per cell, default 64)
+"""
+
+import os
+import sys
+
+from repro.bench_batch import (DEFAULT_INJECTIONS, bench_batch_injection,
+                               write_report)
+
+
+def main() -> int:
+    scale = "fi" if os.environ.get("REPRO_SCALE", "perf") == "perf" else "test"
+    injections = int(os.environ.get("REPRO_BATCH_INJECTIONS",
+                                    str(DEFAULT_INJECTIONS)))
+    rows = bench_batch_injection(scale=scale, injections=injections)
+    out = os.path.normpath(os.path.join(os.path.dirname(__file__), os.pardir,
+                                        "BENCH_batch.json"))
+    write_report(rows, out)
+    print(f"-- wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

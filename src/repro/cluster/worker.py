@@ -33,7 +33,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..faults.campaign import golden_profile, inject_once
+from ..faults.campaign import golden_profile, run_plans
 from ..faults.models import get_model
 from ..lab.checkpoint import golden_digest, module_digest
 from ..lab.store import LAB_SCHEMA
@@ -64,7 +64,7 @@ def _parse_sabotage(text: Optional[str]):
 @dataclass
 class _CellRuntime:
     """One prepared cell: the rebuilt module plus everything
-    ``inject_once`` needs, golden run already priced."""
+    ``run_plans`` needs, golden run already priced."""
 
     module: object
     entry: str
@@ -73,6 +73,11 @@ class _CellRuntime:
     budget: int
     rtol: float
     engine: str
+    #: Lanes per batched golden run; 1 = sequential injection. A
+    #: per-worker execution knob (counts are bit-identical for any
+    #: value), so it rides the prepare frame, not the store spec.
+    batch: int = 1
+    fault_model: str = "register-bitflip"
 
 
 class ClusterWorker:
@@ -175,6 +180,8 @@ class ClusterWorker:
                             * float(message["hang_factor"])) + 10_000),
                 rtol=float(message["rtol"]),
                 engine=engine,
+                batch=int(message.get("batch", 1)),
+                fault_model=str(message["fault_model"]),
             )
         except Exception as exc:
             self._say(f"cannot prepare cell: {exc!r}")
@@ -230,22 +237,27 @@ class ClusterWorker:
         interval = float(lease.get("heartbeat_interval", 1.0))
         plans = [plan_from_wire(p) for p in lease["plans"]]
         self._maybe_sabotage(index, attempt)
-        counts: Counter = Counter()
         started = time.perf_counter()
         last_beat = time.monotonic()
+
+        def beat() -> None:
+            # run_plans ticks after every injection (or batch), which
+            # keeps the lease alive without a heartbeat thread.
+            nonlocal last_beat
+            now = time.monotonic()
+            if now - last_beat >= interval:
+                send_message(self._sock, {
+                    "kind": "heartbeat", "cell": cell_id, "index": index,
+                })
+                last_beat = now
+
         try:
-            for plan in plans:
-                counts[inject_once(
-                    runtime.module, runtime.entry, runtime.args, plan,
-                    runtime.reference, runtime.budget, runtime.rtol, None,
-                    engine=runtime.engine,
-                )] += 1
-                now = time.monotonic()
-                if now - last_beat >= interval:
-                    send_message(self._sock, {
-                        "kind": "heartbeat", "cell": cell_id, "index": index,
-                    })
-                    last_beat = now
+            counts = Counter(run_plans(
+                runtime.module, runtime.entry, runtime.args, plans,
+                runtime.reference, runtime.budget, runtime.rtol, None,
+                engine=runtime.engine, batch=runtime.batch,
+                fault_model=runtime.fault_model, tick=beat,
+            ))
         except Exception as exc:
             send_message(self._sock, {
                 "kind": "shard-error", "cell": cell_id, "index": index,

@@ -154,6 +154,8 @@ def exec_decoded_function(M, dfn: DecodedFunction, args: List,
     mark = M.memory.stack_mark()
     caller = M._current_fn
     M._current_fn = dfn.fn
+    frames = M._frames
+    frames.append((dfn, regs))
     prev_mem = M._mem_stream_live
     prev_branch = M._branch_stream_live
     try:
@@ -165,6 +167,7 @@ def exec_decoded_function(M, dfn: DecodedFunction, args: List,
         M._branch_stream_live = False
         return _run_fast(M, dfn, regs, times)
     finally:
+        frames.pop()
         M._current_fn = caller
         M._mem_stream_live = prev_mem
         M._branch_stream_live = prev_branch
@@ -344,7 +347,13 @@ def _run_inject(M, dfn, regs, times):
                     for (dst, v, t), (ty, phi) in zip(staged, block.phi_meta):
                         index = M.eligible_executed
                         M.eligible_executed = index + 1
-                        if M._trace_eligible is not None:
+                        if (M._trace_eligible is not None
+                                and index >= M._trace_skip_until):
+                            # Publish the exact dynamic-instruction count
+                            # (it is otherwise synced only at call
+                            # boundaries): the batch engine's recorder
+                            # and lane comparators read it per event.
+                            M._executed = executed
                             M._trace_eligible(phi, M._current_fn)
                         if M._checker_needed:
                             v = M._checker_step(v, phi)
@@ -375,7 +384,9 @@ def _run_inject(M, dfn, regs, times):
                         dst, ty, inst = meta
                         index = M.eligible_executed
                         M.eligible_executed = index + 1
-                        if M._trace_eligible is not None:
+                        if (M._trace_eligible is not None
+                                and index >= M._trace_skip_until):
+                            M._executed = executed
                             M._trace_eligible(inst, M._current_fn)
                         if M._checker_needed:
                             regs[dst] = M._checker_step(regs[dst], inst)
@@ -1282,14 +1293,20 @@ def _make_call_defined(rv, inst, costs, static, dst, dfn):
 
     def h(M, regs, times, executed, timing,
           arg_rs=arg_rs, dst=dst, dfn=dfn, lat=lat, uops=uops, isv=isv,
-          port=port):
+          port=port, site=id(inst)):
         args = [regs[s] if s >= 0 else c for s, c in arg_rs]
         ats = [times[s] if s >= 0 else 0.0 for s, c in arg_rs]
         # Publish the exact dynamic-instruction count (this call record
         # included) so the callee continues the global budget, then pick
-        # up whatever it consumed.
+        # up whatever it consumed. The call-site registry identifies
+        # where this frame resumes, for the batch engine's state
+        # digests; no try/finally — Trap unwinding abandons the run and
+        # Machine.run clears the registry on entry.
         M._executed = executed
+        cs = M._call_sites
+        cs.append(site)
         value = exec_decoded_function(M, dfn, args, ats)
+        cs.pop()
         if dst >= 0:
             regs[dst] = value
         if timing is not None:

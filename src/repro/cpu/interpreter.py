@@ -16,6 +16,7 @@ injection rule — is flipped.
 
 from __future__ import annotations
 
+import copy
 import math
 import struct
 import sys
@@ -59,7 +60,7 @@ from .errors import (
     MemoryFault,
     Trap,
 )
-from .memory import HEAP_BASE, Memory
+from .memory import HEAP_BASE, STACK_BASE, Memory
 from .timing import TimingModel
 
 _MASK64 = (1 << 64) - 1
@@ -297,6 +298,35 @@ def _compute_static(inst: Instruction, costs: C.CostModel) -> tuple:
     return (is_avx, is_vec_alu, uops)
 
 
+@dataclass
+class MachineSnapshot:
+    """Between-runs machine state captured by :meth:`Machine.snapshot`.
+
+    Opaque to callers; its only contract is the
+    ``snapshot → run → restore → run`` bit-identity round trip. Memory
+    is stored as the *used* heap/stack prefixes, so a snapshot of a
+    freshly constructed machine costs the laid-out globals, not the
+    configured capacities — cheap enough to take one per injection
+    session and restore per injection."""
+
+    heap: bytes
+    stack: bytes
+    heap_top: int
+    stack_top: int
+    output: List
+    counters: PerfCounters
+    cache: Optional[CacheHierarchy]
+    predictor: GSharePredictor
+    timing: Optional[TimingModel]
+    branch_pcs: Dict[int, int]
+    next_pc: int
+    executed: int
+    fault_state: tuple
+    count_only: bool
+    trace_eligible: object
+    watches: tuple
+
+
 class Machine:
     def __init__(self, module: Module, config: Optional[MachineConfig] = None):
         self.module = module
@@ -344,7 +374,31 @@ class Machine:
         self.cond_branches_eligible = 0
         self._eligible_fn_cache: Dict[int, bool] = {}
         self._trace_eligible = None
+        # Skip gate for the eligible-stream hook: the engines invoke
+        # ``_trace_eligible`` only once ``eligible_executed`` exceeds
+        # this, so a hook that knows its next interesting index (a site
+        # watch or checkpoint comparator) costs one int compare per
+        # event instead of a Python call. -1 (the value the setter
+        # resets to) fires at every event — dense hooks like
+        # ``faults.trace`` need no changes.
+        self._trace_skip_until = -1
         self._count_only = False
+        # Stream watch hooks (repro.cpu.batch). Each is an optional
+        # ``(inst, index) -> None`` callable fired at every dynamic event
+        # of its stream *before* that event's plan-cursor reads, so a
+        # hook may arm plans that fire at the very event it observed
+        # (the batch engine forks a lane inside the hook and arms the
+        # lane's plan in the child). Set via :meth:`set_stream_watches`.
+        self._watch_checker = None
+        self._watch_mem = None
+        self._watch_branch = None
+        # Execution-position registries for the batch engine's state
+        # digests (decoded engine only; cleared at every ``run()``):
+        # ``_frames`` holds ``(dfn, regs)`` per live decoded frame,
+        # outermost first; ``_call_sites`` holds ``id(call_inst)`` per
+        # suspended caller, identifying where each frame resumes.
+        self._frames: List[tuple] = []
+        self._call_sites: List[int] = []
         #: True when any per-eligible-instruction bookkeeping is needed
         #: (armed plans, count-only profiling, or a trace hook); the
         #: decoded engine skips that bookkeeping entirely otherwise.
@@ -373,12 +427,36 @@ class Machine:
             or bool(self._branch_plans)
             or self._count_only
             or self._trace_eligible is not None
+            or self._watch_checker is not None
+            or self._watch_mem is not None
+            or self._watch_branch is not None
         )
-        self._checker_needed = self._count_only or bool(self._checker_plans)
-        self._mem_stream_needed = self._count_only or bool(self._mem_plans)
+        self._checker_needed = (
+            self._count_only
+            or bool(self._checker_plans)
+            or self._watch_checker is not None
+        )
+        self._mem_stream_needed = (
+            self._count_only
+            or bool(self._mem_plans)
+            or self._watch_mem is not None
+        )
         self._branch_stream_needed = (
-            self._count_only or bool(self._branch_plans)
+            self._count_only
+            or bool(self._branch_plans)
+            or self._watch_branch is not None
         )
+
+    def set_stream_watches(self, checker=None, mem=None, branch=None) -> None:
+        """Install (or, with no arguments, clear) the per-stream watch
+        hooks and recompute the bookkeeping gates. The eligible stream
+        has no separate watch — use :attr:`trace_eligible`, which fires
+        at every eligible event with the same fire-at-observed-event
+        guarantee."""
+        self._watch_checker = checker
+        self._watch_mem = mem
+        self._watch_branch = branch
+        self._refresh_fault_mode()
 
     @property
     def trace_eligible(self):
@@ -389,6 +467,7 @@ class Machine:
     @trace_eligible.setter
     def trace_eligible(self, hook) -> None:
         self._trace_eligible = hook
+        self._trace_skip_until = -1
         self._refresh_fault_mode()
 
     @property
@@ -506,8 +585,9 @@ class Machine:
             return value
         index = self.eligible_executed
         self.eligible_executed += 1
-        if self.trace_eligible is not None:
-            self.trace_eligible(inst, self._current_fn)
+        if (self._trace_eligible is not None
+                and self.eligible_executed > self._trace_skip_until):
+            self._trace_eligible(inst, self._current_fn)
         if self._checker_needed:
             value = self._checker_step(value, inst)
         plans = self.fault_plans
@@ -565,6 +645,10 @@ class Machine:
             return value
         index = self.checker_sites_executed
         self.checker_sites_executed = index + 1
+        if self._watch_checker is not None:
+            # The hook may arm plans aimed at this very site (batch lane
+            # fork), so the plan list and cursor are read after it.
+            self._watch_checker(inst, index)
         plans = self._checker_plans
         cursor = self._next_checker_plan
         if cursor >= len(plans) or index != plans[cursor].target_index:
@@ -587,6 +671,8 @@ class Machine:
         the paper's post-check window on extracted scalar addresses."""
         index = self.mem_accesses_eligible
         self.mem_accesses_eligible = index + 1
+        if self._watch_mem is not None:
+            self._watch_mem(inst, index)
         plans = self._mem_plans
         cursor = self._next_mem_plan
         if cursor >= len(plans) or index != plans[cursor].target_index:
@@ -605,6 +691,8 @@ class Machine:
         ptest/branch synchronisation point."""
         index = self.cond_branches_eligible
         self.cond_branches_eligible = index + 1
+        if self._watch_branch is not None:
+            self._watch_branch(inst, index)
         plans = self._branch_plans
         cursor = self._next_branch_plan
         if cursor >= len(plans) or index != plans[cursor].target_index:
@@ -634,6 +722,13 @@ class Machine:
             raise TypeError(
                 f"@{fn_name} expects {len(fn.args)} args, got {len(arg_values)}"
             )
+        # A previous run abandoned after a Trap leaves stale entries in
+        # the position registries (they are popped by normal unwinding,
+        # but a machine is allowed to be rerun after a caught Trap).
+        if self._frames:
+            self._frames.clear()
+        if self._call_sites:
+            self._call_sites.clear()
         saved_limit = sys.getrecursionlimit()
         if saved_limit < _RUN_RECURSION_LIMIT:
             sys.setrecursionlimit(_RUN_RECURSION_LIMIT)
@@ -664,6 +759,109 @@ class Machine:
             ilp=ilp,
             fault_injected=self.fault_injected,
         )
+
+    # Snapshot / restore -----------------------------------------------------------------
+
+    def snapshot(self) -> "MachineSnapshot":
+        """Capture the machine's *between-runs* architectural state.
+
+        Valid only while no ``run()`` is in progress (the live Python
+        call stack of a run cannot be captured). Everything a later
+        :meth:`restore` needs to make the next run bit-identical to a
+        run from this point is copied: the used prefixes of heap and
+        stack, the output list, counters, cache, predictor and timing
+        state, branch-PC numbering, the instruction budget cursor, and
+        the complete fault-plumbing state (plans, cursors, stream
+        counters, hooks). Pure caches that cannot affect results
+        (``_static_info``, ``_eligible_fn_cache``, the module's decoded
+        form) are deliberately *not* part of a snapshot.
+        """
+        mem = self.memory
+        heap_used = mem.heap_top - HEAP_BASE
+        stack_used = mem.stack_top - STACK_BASE
+        return MachineSnapshot(
+            heap=bytes(memoryview(mem._heap)[:heap_used]),
+            stack=bytes(memoryview(mem._stack)[:stack_used]),
+            heap_top=mem.heap_top,
+            stack_top=mem.stack_top,
+            output=list(self.output),
+            counters=copy.deepcopy(self.counters),
+            cache=copy.deepcopy(self.cache),
+            predictor=copy.deepcopy(self.predictor),
+            timing=copy.deepcopy(self.timing),
+            branch_pcs=dict(self._branch_pcs),
+            next_pc=self._next_pc,
+            executed=self._executed,
+            fault_state=(
+                list(self.fault_plans), self._next_plan,
+                list(self._checker_plans), self._next_checker_plan,
+                list(self._mem_plans), self._next_mem_plan,
+                list(self._branch_plans), self._next_branch_plan,
+                self.fault_injected, self.fault_target,
+                self.eligible_executed, self.checker_sites_executed,
+                self.mem_accesses_eligible, self.cond_branches_eligible,
+            ),
+            count_only=self._count_only,
+            trace_eligible=self._trace_eligible,
+            watches=(self._watch_checker, self._watch_mem,
+                     self._watch_branch),
+        )
+
+    def restore(self, snap: "MachineSnapshot") -> None:
+        """Return the machine to a state captured by :meth:`snapshot`;
+        the next ``run()`` is bit-identical to one started right after
+        the snapshot was taken (the round-trip property test pins
+        this). Memory the machine touched *after* the snapshot is
+        re-zeroed, so a restored machine is indistinguishable from a
+        fresh one with the snapshot replayed onto it."""
+        mem = self.memory
+        heap_used = snap.heap_top - HEAP_BASE
+        cur_heap = mem.heap_top - HEAP_BASE
+        mem._heap[:heap_used] = snap.heap
+        if cur_heap > heap_used:
+            mem._heap[heap_used:cur_heap] = bytes(cur_heap - heap_used)
+        stack_used = snap.stack_top - STACK_BASE
+        cur_stack = mem.stack_top - STACK_BASE
+        mem._stack[:stack_used] = snap.stack
+        if cur_stack > stack_used:
+            mem._stack[stack_used:cur_stack] = bytes(cur_stack - stack_used)
+        mem.heap_top = snap.heap_top
+        mem.stack_top = snap.stack_top
+        self.output = list(snap.output)
+        self.counters = copy.deepcopy(snap.counters)
+        self.cache = copy.deepcopy(snap.cache)
+        self.predictor = copy.deepcopy(snap.predictor)
+        self.timing = copy.deepcopy(snap.timing)
+        self._branch_pcs = dict(snap.branch_pcs)
+        self._next_pc = snap.next_pc
+        self._executed = snap.executed
+        (self.fault_plans, self._next_plan,
+         self._checker_plans, self._next_checker_plan,
+         self._mem_plans, self._next_mem_plan,
+         self._branch_plans, self._next_branch_plan,
+         self.fault_injected, self.fault_target,
+         self.eligible_executed, self.checker_sites_executed,
+         self.mem_accesses_eligible, self.cond_branches_eligible,
+         ) = snap.fault_state
+        self.fault_plans = list(self.fault_plans)
+        self._checker_plans = list(self._checker_plans)
+        self._mem_plans = list(self._mem_plans)
+        self._branch_plans = list(self._branch_plans)
+        self._count_only = snap.count_only
+        self._trace_eligible = snap.trace_eligible
+        self._trace_skip_until = -1
+        self._watch_checker, self._watch_mem, self._watch_branch = (
+            snap.watches
+        )
+        # Between-runs invariants (restore targets a quiescent machine;
+        # an aborted run may have left these mid-frame).
+        self._current_fn = None
+        self._depth = -1
+        self._mem_stream_live = False
+        self._branch_stream_live = False
+        self._frames.clear()
+        self._call_sites.clear()
+        self._refresh_fault_mode()
 
     # The core loop ---------------------------------------------------------------------
 

@@ -3,6 +3,7 @@ classification (paper §IV-B, Table I, Figure 13)."""
 
 from .campaign import (
     CampaignConfig,
+    InjectionSession,
     draw_model_plans,
     draw_plans,
     golden_profile,
@@ -10,6 +11,7 @@ from .campaign import (
     inject_once,
     resolve_workers,
     run_campaign,
+    run_plans,
     trap_outcome,
 )
 from .models import (
@@ -40,9 +42,11 @@ __all__ = [
     "golden_run",
     "hardened_only",
     "inject_once",
+    "InjectionSession",
     "model_names",
     "register_model",
     "resolve_workers",
+    "run_plans",
     "run_campaign",
     "trap_outcome",
 ]

@@ -64,6 +64,16 @@ class CampaignConfig:
     #: differential tests enforce it); the knob exists so CI can prove
     #: that end to end. Excluded from durable store keys.
     engine: str = "decoded"
+    #: Injections executed per batched lane group (see
+    #: :mod:`repro.cpu.batch`): 1 runs the classic sequential loop;
+    #: K > 1 shares each batch's golden prefix across K forked lanes.
+    #: Per-plan outcomes are bit-identical to sequential injection, so
+    #: — like ``engine`` and ``workers`` — ``batch`` is a pure
+    #: execution knob, excluded from durable store keys. Batching is
+    #: per *worker*: with forked or distributed workers each worker
+    #: batches its own shards. Requires the decoded engine and
+    #: ``os.fork``; anything else falls back to sequential injection.
+    batch: int = 1
 
 
 def resolve_workers(workers: int) -> int:
@@ -222,20 +232,18 @@ _draw_plans = draw_plans
 
 
 # Fork-inherited campaign context: (module, entry, args, reference,
-# budget, rtol, fault_eligible, engine). Set in the parent right before
-# the pool forks; never pickled, so modules and predicates need not be
-# picklable.
+# budget, rtol, fault_eligible, engine, batch, fault_model). Set in the
+# parent right before the pool forks; never pickled, so modules and
+# predicates need not be picklable.
 _FORK_CONTEXT = None
 
 
 def _run_shard(plans: List[FaultPlan]) -> List[Outcome]:
     (module, entry, args, reference, budget, rtol, fault_eligible,
-     engine) = _FORK_CONTEXT
-    return [
-        inject_once(module, entry, args, plan, reference, budget, rtol,
-                    fault_eligible, engine=engine)
-        for plan in plans
-    ]
+     engine, batch, fault_model) = _FORK_CONTEXT
+    return run_plans(module, entry, args, plans, reference, budget, rtol,
+                     fault_eligible, engine=engine, batch=batch,
+                     fault_model=fault_model)
 
 
 def _fork_available() -> bool:
@@ -276,7 +284,8 @@ def run_campaign(
     if workers > 1 and _fork_available():
         shards = [plans[i::workers] for i in range(workers)]
         _FORK_CONTEXT = (module, entry, args, reference, budget,
-                         config.rtol, config.fault_eligible, config.engine)
+                         config.rtol, config.fault_eligible, config.engine,
+                         config.batch, config.fault_model)
         try:
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(processes=workers) as pool:
@@ -287,10 +296,10 @@ def run_campaign(
             _FORK_CONTEXT = None
         return result
 
-    for plan in plans:
-        outcome = inject_once(module, entry, args, plan, reference,
-                              budget, config.rtol, config.fault_eligible,
-                              engine=config.engine)
+    for outcome in run_plans(module, entry, args, plans, reference, budget,
+                             config.rtol, config.fault_eligible,
+                             engine=config.engine, batch=config.batch,
+                             fault_model=config.fault_model):
         result.counts[outcome] += 1
     return result
 
@@ -333,3 +342,199 @@ def inject_once(
     if machine.counters.corrections > 0:
         return Outcome.CORRECTED
     return Outcome.MASKED
+
+
+class InjectionSession:
+    """Per-cell injection scaffolding, hoisted out of the per-plan loop.
+
+    :func:`inject_once` rebuilds the whole machine for every injection —
+    a fresh multi-megabyte memory image, global layout, and (first time
+    through) the decoded module. A session builds the machine once,
+    warms the decode, snapshots the golden start state, and turns each
+    injection into restore → arm → run → classify. Classification is
+    the same code path as :func:`inject_once`, and the differential
+    tests pin per-plan outcome identity between the two.
+
+    The session machine/snapshot pair doubles as the execution substrate
+    for the batched engine (:mod:`repro.cpu.batch`).
+    """
+
+    def __init__(self, module: Module, entry: str, args: Sequence,
+                 reference: Sequence, budget: int, rtol: float = 1e-9,
+                 fault_eligible: Optional[Callable] = None,
+                 engine: str = "decoded"):
+        self.module = module
+        self.entry = entry
+        self.args = list(args)
+        self.reference = list(reference)
+        self.budget = budget
+        self.rtol = rtol
+        self.engine = engine
+        self.machine = _fresh_machine(module, max_instructions=budget,
+                                      fault_eligible=fault_eligible,
+                                      engine=engine)
+        if engine == "decoded":
+            # Decode up front so the first injection's timing is not an
+            # outlier (the decode is cached on the module either way).
+            from ..cpu.engine import decoded_module
+
+            decoded_module(
+                module, self.machine.config.cost_model,
+                self.machine.globals_addr,
+            ).function(module.get_function(entry))
+        self.snapshot = self.machine.snapshot()
+        self._trace = None  # lockstep trace, built on first batched use
+
+    def inject(self, plan: FaultPlan) -> Outcome:
+        """One injection on the reused machine, classified per Table I."""
+        machine = self.machine
+        machine.restore(self.snapshot)
+        machine.arm_fault(plan)
+        try:
+            result = machine.run(self.entry, self.args)
+        except Trap as exc:
+            return trap_outcome(exc)
+        if not outputs_match(result.output, list(self.reference), self.rtol):
+            return Outcome.SDC
+        if machine.counters.corrections > 0:
+            return Outcome.CORRECTED
+        return Outcome.MASKED
+
+
+#: The one live injection session, as ``(module, key, session)``. A
+#: single slot across ALL modules, not one per module: every session
+#: pins a Machine whose heap/stack arenas are tens of MB, and a
+#: multi-cell campaign (or benchmark sweep) that kept one per module
+#: would accumulate an arena per cell ever run. Beyond parent RSS,
+#: that bloat taxes every ``os.fork()`` the batched engine makes —
+#: page-table size and copy-on-write faults scale with the parent's
+#: resident footprint, which measurably halves late cells' speedup.
+#: Campaigns iterate cells one at a time, so one slot hits for every
+#: shard of the current cell and retires the previous cell's arena.
+_SESSION_SLOT: Optional[tuple] = None
+
+
+def _get_session(module: Module, entry: str, args: Sequence,
+                 reference: Sequence, budget: int, rtol: float,
+                 fault_eligible: Optional[Callable],
+                 engine: str) -> InjectionSession:
+    """Fetch (or build) the cached injection session for this cell."""
+    global _SESSION_SLOT
+    ekey = _eligibility_key(fault_eligible)
+    key = None
+    if ekey is not None:
+        key = (module.version, entry, _args_key(args), budget, rtol, ekey,
+               engine)
+        slot = _SESSION_SLOT
+        if slot is not None and slot[0] is module and slot[1] == key:
+            return slot[2]
+    session = InjectionSession(module, entry, args, reference, budget, rtol,
+                               fault_eligible, engine)
+    if key is not None:
+        _SESSION_SLOT = (module, key, session)
+    return session
+
+
+def _lockstep_trace(module: Module, session: InjectionSession,
+                    fault_eligible: Optional[Callable],
+                    profile: StreamProfile):
+    """Golden checkpoint trace for batched execution, collected once per
+    cell and cached both on the session and (when keyable) in the
+    module's golden cache — forked lab workers inherit the parent's
+    entry instead of re-tracing per shard."""
+    if session._trace is not None:
+        return session._trace
+    from ..cpu.batch import collect_lockstep_trace, default_interval
+
+    interval = default_interval(profile.eligible)
+    ekey = _eligibility_key(fault_eligible)
+    key = None
+    if ekey is not None:
+        key = ("lockstep-trace", module.version, session.entry,
+               _args_key(session.args), session.budget, ekey, interval)
+        cached = module._golden_cache.get(key)
+        if cached is not None:
+            session._trace = cached
+            return cached
+    trace = collect_lockstep_trace(session.machine, session.snapshot,
+                                   session.entry, session.args, profile,
+                                   interval)
+    if key is not None:
+        module._golden_cache[key] = trace
+    session._trace = trace
+    return trace
+
+
+def run_plans(
+    module: Module,
+    entry: str,
+    args: Sequence,
+    plans: Sequence[FaultPlan],
+    reference: Sequence,
+    budget: int,
+    rtol: float = 1e-9,
+    fault_eligible: Optional[Callable] = None,
+    engine: str = "decoded",
+    batch: int = 1,
+    fault_model: str = DEFAULT_MODEL,
+    tick: Optional[Callable] = None,
+) -> List[Outcome]:
+    """Classify a list of fault plans; the shard-level entry point every
+    fabric (inline, forked, durable, distributed) runs.
+
+    Returns outcomes in plan order. With ``batch > 1`` on the decoded
+    engine (and ``os.fork`` available), plans are re-ordered by the
+    model's ``sort_for_batching`` hook, grouped into batches of
+    ``batch``, and dispatched to :func:`repro.cpu.batch.run_batch`;
+    results are scattered back to plan order, so the outcome *list* —
+    not just its counts — is bit-identical to sequential injection.
+    Everything else (reference engine, no fork, ``batch=1``) runs the
+    sequential loop on a reused :class:`InjectionSession`. ``tick``,
+    when given, is called after every injection or batch (cluster
+    workers heartbeat there)."""
+    session = _get_session(module, entry, args, reference, budget, rtol,
+                           fault_eligible, engine)
+    plans = list(plans)
+    batched = (batch > 1 and len(plans) > 1 and engine == "decoded"
+               and hasattr(os, "fork"))
+    if not batched:
+        outcomes = []
+        for plan in plans:
+            outcomes.append(session.inject(plan))
+            if tick is not None:
+                tick()
+        return outcomes
+
+    from ..cpu.batch import run_batch
+
+    _, profile = golden_profile(module, entry, args, fault_eligible,
+                                engine=engine)
+    trace = _lockstep_trace(module, session, fault_eligible, profile)
+    order = get_model(fault_model).sort_for_batching(plans)
+    outcomes: List[Optional[Outcome]] = [None] * len(plans)
+    # Convergence is a pure scheduling win (it truncates lane tails,
+    # never changes an outcome), so probe it: if a full batch forks a
+    # whole lane-worth of plans and not one reconverges — typical of
+    # float workloads whose faulted state drifts within rtol forever —
+    # stop installing the comparator for the rest of the cell.
+    stats = {"forked": 0, "converged": 0}
+    for start in range(0, len(order), batch):
+        group = [(i, plans[i]) for i in order[start:start + batch]]
+        if len(group) == 1:
+            index, plan = group[0]
+            outcomes[index] = session.inject(plan)
+        else:
+            converge = stats["converged"] > 0 or stats["forked"] < batch
+            got = run_batch(session.machine, session.snapshot, entry,
+                            session.args, group, session.reference,
+                            budget, rtol, trace, converge=converge,
+                            stats=stats)
+            for index, plan in group:
+                outcome = got.get(index)
+                if outcome is None:
+                    # Lane died unreported: classify sequentially.
+                    outcome = session.inject(plan)
+                outcomes[index] = outcome
+        if tick is not None:
+            tick()
+    return outcomes

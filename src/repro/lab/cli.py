@@ -76,6 +76,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=2016)
     parser.add_argument("--workers", type=int, default=1,
                         help="forked campaign workers (0 = all CPUs)")
+    parser.add_argument("--batch", type=int, default=1, metavar="K",
+                        help="lane-parallel injections per batched golden "
+                             "run (repro.cpu.batch); a per-worker knob that "
+                             "composes with --workers and --cluster — each "
+                             "worker batches its own shards. Outcome counts "
+                             "are bit-identical to --batch 1, so the store "
+                             "is shared across batch sizes. Requires the "
+                             "decoded engine; falls back to sequential "
+                             "injection otherwise")
     parser.add_argument("--cluster", type=int, default=None, metavar="N",
                         help="distribute shards over N local worker agents "
                              "(TCP, not fork) — counts are bit-identical to "
@@ -132,6 +141,7 @@ def _spec_from_args(args: argparse.Namespace) -> Dict:
         else shard_size,
         "fault_model": args.fault_model,
         "engine": args.engine,
+        "batch": args.batch,
         "cluster": args.cluster or 0,
     }
 
@@ -147,10 +157,12 @@ def _run_cells(spec: Dict, store: ResultStore, events: EventBus,
     pass a runner that leases shards to networked worker agents.
     Either way the cell's outcome counts are bit-identical."""
     build_scale = "fi" if spec["scale"] == "perf" else "test"
-    # Resume manifests written before the fault-model/engine flags
-    # existed lack these keys; default to the historical behaviour.
+    # Resume manifests written before the fault-model/engine/batch
+    # flags existed lack these keys; default to the historical
+    # behaviour.
     fault_model = spec.get("fault_model", DEFAULT_MODEL)
     engine = spec.get("engine", "decoded")
+    batch = int(spec.get("batch", 1))
     if cell_runner is None:
         def cell_runner(module, built, name, version, config, build_scale):
             return run_durable_campaign(
@@ -175,7 +187,7 @@ def _run_cells(spec: Dict, store: ResultStore, events: EventBus,
             config = CampaignConfig(
                 injections=spec["injections"], seed=spec["seed"],
                 workers=spec["workers"], fault_model=fault_model,
-                engine=engine,
+                engine=engine, batch=batch,
             )
             try:
                 outcome = cell_runner(module, built, name, version, config,
@@ -218,7 +230,10 @@ def _run_cells(spec: Dict, store: ResultStore, events: EventBus,
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.batch < 1:
+        parser.error(f"--batch must be >= 1 (got {args.batch})")
     store_path = args.store or default_store_path()
     store = ResultStore(store_path)
 

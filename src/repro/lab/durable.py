@@ -32,8 +32,8 @@ from ..faults.campaign import (
     CampaignConfig,
     draw_model_plans,
     golden_profile,
-    inject_once,
     resolve_workers,
+    run_plans,
 )
 from ..faults.models import get_model
 from ..faults.outcomes import CampaignResult
@@ -171,12 +171,14 @@ def run_durable_campaign(
     executed_injections = [0]
 
     def runner(shard: ShardPlan) -> Counter:
-        counts: Counter = Counter()
-        for plan in shard.plans:
-            counts[inject_once(module, entry, args, plan, reference, budget,
-                               config.rtol, config.fault_eligible,
-                               engine=config.engine)] += 1
-        return counts
+        # Shard-level entry point shared with every other fabric:
+        # honours config.batch (and falls back to the sequential
+        # session loop when batching can't apply) with outcome counts
+        # bit-identical either way.
+        return Counter(run_plans(
+            module, entry, args, shard.plans, reference, budget,
+            config.rtol, config.fault_eligible, engine=config.engine,
+            batch=config.batch, fault_model=config.fault_model))
 
     def on_result(shard: ShardPlan, counts: Counter, seconds: float) -> None:
         results[shard.index] = counts

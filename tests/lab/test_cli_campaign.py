@@ -85,6 +85,34 @@ class TestCampaignCommand:
         assert report["spec"]["ci_target"] == 0.5
         assert report["cells"][0]["ci_halfwidth"] is not None
 
+    def test_batch_matches_sequential_counts(self, tmp_path, capsys):
+        # --batch is a per-worker execution knob: same store-less
+        # counts as --batch 1, and its shards land in the same store
+        # rows (separate stores here so both runs actually execute).
+        seq_json = str(tmp_path / "seq.json")
+        assert main(["campaign", "--scale", "test", "--quiet",
+                     "--benchmarks", "histogram", "--versions", "native",
+                     "--injections", "20",
+                     "--store", str(tmp_path / "seq.sqlite"),
+                     "--json", seq_json]) == 0
+        batched_json = str(tmp_path / "batched.json")
+        assert main(["campaign", "--scale", "test", "--quiet",
+                     "--benchmarks", "histogram", "--versions", "native",
+                     "--injections", "20", "--batch", "8",
+                     "--store", str(tmp_path / "batched.sqlite"),
+                     "--json", batched_json]) == 0
+        capsys.readouterr()
+        seq, batched = _report(seq_json), _report(batched_json)
+        assert batched["cells"][0]["counts"] == seq["cells"][0]["counts"]
+        assert batched["spec"]["batch"] == 8
+        assert batched["store"]["injections_executed"] == 20
+
+    def test_batch_rejects_nonpositive(self, lab_store, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _campaign("--batch", "0")
+        assert exc.value.code == 2
+        assert "--batch must be >= 1" in capsys.readouterr().err
+
 
 class TestMainDispatch:
     def test_list_includes_campaign(self, capsys):
