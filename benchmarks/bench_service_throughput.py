@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Service throughput: submission-to-completion latency through the
+campaign service's HTTP API, cold versus store-hit.
+
+Not a paper figure — this measures the service machinery itself
+(docs/SERVICE.md). An in-process ``ReproService`` on the local forked
+fabric takes a batch of campaign cells submitted concurrently by two
+tenants; once the batch settles, every spec is resubmitted verbatim.
+The warm pass must execute zero injections (every shard served from
+the content-addressed store) and return counts bit-identical to the
+cold pass — asserted here before any latency is reported.
+
+Writes ``BENCH_service.json`` with per-campaign cold/warm latencies,
+batch wall times, and the warm-over-cold speedup (the value of the
+spec-digest cache to a duplicate submitter).
+
+Run:  PYTHONPATH=src python benchmarks/bench_service_throughput.py
+Env:  REPRO_SCALE ("perf" default, "test" for smoke)
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.service import ReproService, ServiceClient
+
+_SCALES = {
+    # service spec scale, expected injections per cell
+    "perf": ("perf", 150),
+    "test": ("test", 40),
+}
+
+_CELLS = [
+    ("alice", {"workload": "histogram", "version": "native"}),
+    ("alice", {"workload": "histogram", "version": "elzar"}),
+    ("bob", {"workload": "blackscholes", "version": "native"}),
+]
+
+
+def _run_batch(host, port, spec_scale, label):
+    """Submit every cell concurrently; wait; return per-campaign rows."""
+    submitted = []
+    batch_start = time.perf_counter()
+    for tenant, cell in _CELLS:
+        client = ServiceClient(host, port, tenant=tenant)
+        spec = dict(cell, scale=spec_scale)
+        submitted.append((client, cell, time.perf_counter(),
+                          client.submit(spec)["id"]))
+    rows = []
+    for client, cell, t0, campaign_id in submitted:
+        record = client.wait(campaign_id, timeout=1800.0)
+        latency = time.perf_counter() - t0
+        assert record["status"] == "succeeded", record.get("error")
+        rows.append({
+            "workload": cell["workload"],
+            "version": cell["version"],
+            "seconds": round(latency, 4),
+            "counts": record["result"]["counts"],
+            "injections_executed": record["result"]["injections_executed"],
+        })
+        print(f"{label} {cell['workload']}/{cell['version']:>6}: "
+              f"{latency:6.2f}s "
+              f"({record['result']['injections_executed']} executed)")
+    return rows, time.perf_counter() - batch_start
+
+
+def main() -> int:
+    scale = os.environ.get("REPRO_SCALE", "perf")
+    spec_scale, injections = _SCALES[scale]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = ReproService(os.path.join(tmp, "store.sqlite"),
+                               port=0, max_running=len(_CELLS))
+        host, port = service.start()
+        try:
+            cold, cold_wall = _run_batch(host, port, spec_scale, "cold")
+            warm, warm_wall = _run_batch(host, port, spec_scale, "warm")
+        finally:
+            service.stop()
+
+    for before, after in zip(cold, warm):
+        cell = (before["workload"], before["version"])
+        assert after["counts"] == before["counts"], \
+            f"{cell}: warm counts diverged from cold"
+        assert after["injections_executed"] == 0, \
+            f"{cell}: warm pass executed injections"
+        after["speedup_vs_cold"] = round(
+            before["seconds"] / max(after["seconds"], 1e-9), 2)
+
+    report = {
+        "benchmark": "service_throughput",
+        "scale": scale,
+        "injections_per_cell": injections,
+        "cells": len(_CELLS),
+        "cold": {"wall_seconds": round(cold_wall, 4), "campaigns": cold},
+        "warm": {"wall_seconds": round(warm_wall, 4), "campaigns": warm},
+        "warm_speedup": round(cold_wall / max(warm_wall, 1e-9), 2),
+    }
+    out = os.path.normpath(os.path.join(os.path.dirname(__file__), os.pardir,
+                                        "BENCH_service.json"))
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"-- warm batch {report['warm_speedup']}x faster than cold "
+          "(0 injections executed, counts bit-identical)")
+    print(f"-- wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Usage::
     python -m repro bench [--scale test|perf] [--json PATH]
     python -m repro campaign [--resume] [--workers N] [--ci-target F]
     python -m repro cluster coordinator|worker ...
+    python -m repro serve [--port P] [--cluster N]
+    python -m repro submit --workload W --version V [--wait]
     python -m repro variants [--workloads W1,W2|all] [--scale S]
 """
 
@@ -69,6 +71,17 @@ def main(argv=None) -> int:
         from .cluster.cli import main as cluster_main
 
         return cluster_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The always-on campaign service (HTTP API, tenant quotas);
+        # see repro.service and docs/SERVICE.md.
+        from .service.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        # Client side of the campaign service.
+        from .service.cli import submit_main
+
+        return submit_main(argv[1:])
     if argv and argv[0] == "variants":
         # The toolchain variant registry + per-cell IR digests; see
         # repro.toolchain.cli.
@@ -103,6 +116,8 @@ def main(argv=None) -> int:
         print("bench")
         print("campaign")
         print("cluster")
+        print("serve")
+        print("submit")
         print("variants")
         return 0
 

@@ -52,7 +52,7 @@ def _reset_campaign_state(module) -> None:
     """Forget cached sessions/goldens so a timed run pays the same
     one-time costs a fresh campaign cell pays."""
     from .faults import campaign as _campaign
-    _campaign._SESSION_SLOT = None
+    _campaign._SESSION_TLS.slot = None
     module._golden_cache.clear()
 
 

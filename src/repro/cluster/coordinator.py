@@ -14,8 +14,10 @@ CLI stays synchronous) owns:
   refused before any shard is leased: a drifted checkout can waste at
   most one handshake, never corrupt a campaign.
 - the **lease table** (:mod:`repro.cluster.lease`): heartbeats,
-  expiry, exponential-backoff requeue, at-most-once commit.
-- the **store writer**: one task drains a *bounded* commit queue into
+  expiry, exponential-backoff requeue (with bounded jitter),
+  at-most-once commit.
+- the **store writer**: one task per cell session drains a *bounded*
+  commit queue into
   the coordinator's own SQLite connection. The bound is backpressure —
   when workers outpace the writer, connection handlers block in
   ``queue.put`` and stop reading their sockets, so TCP flow control
@@ -25,6 +27,18 @@ CLI stays synchronous) owns:
   :class:`~repro.lab.events.EventBus` vocabulary the local lab uses
   (plus cluster-specific kinds), so ``python -m repro campaign``
   progress output and ``--events-log`` JSONL traces work unchanged.
+
+Since the always-on service (:mod:`repro.service`) arrived, the
+coordinator **multiplexes many concurrent cell sessions over one
+worker pool**: every in-flight :class:`CellJob` owns its own lease
+table, leases are tagged with the job's campaign id, and idle workers
+are steered by a priority-aware fair-share rule — among the sessions
+with grantable shards the highest ``priority`` wins, ties broken by
+least-recently-granted, with a mild stickiness bonus for the cell a
+worker has already prepared (so two workers serving two campaigns
+settle into one-each instead of thrashing prepares). A worker switches
+cells by re-preparing, which is cheap: builds come from the worker's
+cell cache and golden runs are memoized on the module.
 
 :func:`run_distributed_campaign` is the cluster twin of
 :func:`repro.lab.durable.run_durable_campaign`: same golden run, same
@@ -37,6 +51,7 @@ run of the same campaign, wherever each shard lands.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import threading
 import time
 from collections import Counter
@@ -76,6 +91,11 @@ from .proto import (
     shard_to_wire,
 )
 
+#: Uniquifies concurrent sessions of the same campaign spec: two
+#: service campaigns may race over one cell recipe, and worker frames
+#: are routed by cell id alone.
+_SESSION_SEQ = itertools.count()
+
 
 @dataclass
 class CellJob:
@@ -110,6 +130,12 @@ class CellJob:
     loaded: Dict[int, Dict[str, int]]
     ci_target: Optional[float] = None
     min_injections: int = 50
+    #: Fair-share inputs: sessions with higher priority are granted
+    #: first; the campaign id tags every session-scoped event (and the
+    #: leases themselves), which is how the service routes one shared
+    #: event stream out to per-campaign feeds.
+    priority: int = 0
+    campaign: str = ""
 
 
 @dataclass
@@ -128,8 +154,10 @@ class _WorkerConn:
     pid: int = 0
     #: cell_id this worker has successfully prepared for.
     prepared: Optional[str] = None
-    #: Shard index currently leased to this worker, if any.
-    lease: Optional[int] = None
+    #: cell_id of an in-flight prepare (sent, not yet acknowledged).
+    preparing: Optional[str] = None
+    #: (cell_id, shard index) currently leased to this worker, if any.
+    lease: Optional[Tuple[str, int]] = None
 
 
 class _CellSession:
@@ -147,6 +175,9 @@ class _CellSession:
         self.stopped = False
         #: SIGINT drain — stop granting, keep committing in-flight.
         self.draining = False
+        #: Global grant sequence number of this session's most recent
+        #: lease — the fair-share tiebreaker (lowest goes next).
+        self.last_grant = 0
         self.stopper = (AdaptiveStop(ci_target=job.ci_target,
                                      min_injections=job.min_injections)
                         if job.ci_target is not None else None)
@@ -155,6 +186,9 @@ class _CellSession:
         merged = {i: counts_from_wire(w) for i, w in self.job.loaded.items()}
         merged.update(self.executed)
         return merged
+
+    def grantable(self) -> bool:
+        return not (self.stopped or self.draining or self.done.done())
 
     def fail(self, exc: BaseException) -> None:
         if not self.done.done():
@@ -179,9 +213,10 @@ class _CellFailure(Exception):
 
 class ClusterCoordinator:
     """The cluster's brain: owns the server socket, the worker pool,
-    and (at most) one in-flight :class:`CellJob` at a time. Runs its
+    and any number of in-flight :class:`CellJob` sessions. Runs its
     asyncio loop on a daemon thread; `run_cell` is the synchronous
-    facade the campaign driver calls per cell."""
+    facade campaign drivers call per cell — from one thread (the
+    campaign CLI) or many (the service's campaign runners)."""
 
     def __init__(self, store_path: Optional[str] = None,
                  events: Optional[EventBus] = None,
@@ -197,9 +232,11 @@ class ClusterCoordinator:
         self._thread: Optional[threading.Thread] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._workers: Dict[str, _WorkerConn] = {}
-        self._session: Optional[_CellSession] = None
+        self._sessions: Dict[str, _CellSession] = {}
         self._store: Optional[ResultStore] = None
         self._ticker_task: Optional[asyncio.Task] = None
+        self._grant_seq = 0
+        self._draining = False
         self._stopped = False
 
     # Lifecycle (called from the driver thread) -------------------------------
@@ -253,7 +290,9 @@ class ClusterCoordinator:
     def run_cell(self, job: CellJob) -> Dict[int, Counter]:
         """Distribute one cell's missing shards; blocks until every
         one is committed (or the cell fails / is interrupted). Returns
-        the freshly executed counts by shard index."""
+        the freshly executed counts by shard index. Thread-safe: many
+        driver threads may each run their own cell concurrently — the
+        loop thread interleaves their shard grants fair-share."""
         if self._loop is None:
             raise RuntimeError("coordinator not started")
         future = asyncio.run_coroutine_threadsafe(
@@ -265,9 +304,17 @@ class ClusterCoordinator:
 
     def request_drain(self) -> None:
         """Stop granting leases (thread-safe); in-flight shards keep
-        committing. The SIGINT path."""
+        committing. The SIGINT/SIGTERM path."""
         if self._loop is not None:
             self._loop.call_soon_threadsafe(self._drain_now)
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)
 
     def stop(self, drain_timeout: float = 5.0) -> None:
         """Drain (bounded wait for in-flight leases), tell workers to
@@ -288,20 +335,31 @@ class ClusterCoordinator:
 
     # Loop-thread internals ---------------------------------------------------
 
+    def _emit_session(self, session: _CellSession, kind: str, **data) -> None:
+        """Session-scoped events carry the campaign tag (when set) so
+        one shared bus can be demultiplexed into per-campaign feeds."""
+        if session.job.campaign:
+            data.setdefault("campaign", session.job.campaign)
+        self.events.emit(kind, **data)
+
     def _drain_now(self) -> None:
-        if self._session is not None:
-            self._session.draining = True
+        self._draining = True
+        for session in self._sessions.values():
+            session.draining = True
+        if self._sessions:
             self.events.emit("cluster-drain", reason="requested")
 
     async def _shutdown(self, drain_timeout: float) -> None:
-        session = self._session
-        if session is not None:
+        self._draining = True
+        for session in list(self._sessions.values()):
             session.draining = True
-            deadline = time.monotonic() + drain_timeout
-            while (not session.table.drained()
-                   and time.monotonic() < deadline):
-                await asyncio.sleep(0.05)
-            from ..lab.events import CampaignInterrupted
+        deadline = time.monotonic() + drain_timeout
+        while (any(not s.table.drained()
+                   for s in self._sessions.values())
+               and time.monotonic() < deadline):
+            await asyncio.sleep(0.05)
+        from ..lab.events import CampaignInterrupted
+        for session in list(self._sessions.values()):
             session.fail(CampaignInterrupted("coordinator shut down"))
         for worker in list(self._workers.values()):
             try:
@@ -322,51 +380,97 @@ class ClusterCoordinator:
     async def _ticker(self) -> None:
         """Periodic lease maintenance: expire lapsed heartbeats
         (requeue with backoff) and grant whatever became grantable
-        (backoff expiry, newly idle workers)."""
+        (backoff expiry, newly idle workers) across every session."""
         while True:
             await asyncio.sleep(self._tick_interval())
-            session = self._session
-            if session is None:
+            if not self._sessions:
                 continue
             now = time.monotonic()
-            for expiry in session.table.expire(now):
-                self.events.emit(
-                    "lease-expired", index=expiry.index,
-                    worker=expiry.worker, attempt=expiry.attempt,
+            for session in list(self._sessions.values()):
+                for expiry in session.table.expire(now):
+                    self._emit_session(
+                        session, "lease-expired", index=expiry.index,
+                        worker=expiry.worker, attempt=expiry.attempt,
+                    )
+                    holder = self._workers.get(expiry.worker)
+                    if (holder is not None and holder.lease ==
+                            (session.job.cell_id, expiry.index)):
+                        holder.lease = None
+                if session.stopped or session.draining:
+                    session.table.cancel_pending()
+                    self._check_done(session)
+            await self._grant_all()
+
+    # Fair-share session picking ----------------------------------------------
+
+    def _pick_session(self, worker: _WorkerConn,
+                      now: float) -> Optional[_CellSession]:
+        """The session whose shard this idle worker should run next.
+
+        Among sessions with a grantable shard, highest ``priority``
+        first, then least-recently-granted (fair-share interleaving).
+        Within the winning priority band, stick with the cell the
+        worker already prepared *if* some other idle worker is (or is
+        becoming) prepared for the front-runner — that keeps a
+        multi-worker pool partitioned one-campaign-each instead of
+        thrashing prepares, while a lone worker still alternates."""
+        candidates = [
+            s for s in self._sessions.values()
+            if s.grantable() and s.table.has_grantable(now)
+        ]
+        if not candidates:
+            return None
+        top = max(s.job.priority for s in candidates)
+        band = sorted((s for s in candidates if s.job.priority == top),
+                      key=lambda s: s.last_grant)
+        front = band[0]
+        if worker.prepared is not None and worker.prepared != front.job.cell_id:
+            sticky = next((s for s in band
+                           if s.job.cell_id == worker.prepared), None)
+            if sticky is not None:
+                covered = any(
+                    w is not worker and w.lease is None
+                    and front.job.cell_id in (w.prepared, w.preparing)
+                    for w in self._workers.values()
                 )
-                holder = self._workers.get(expiry.worker)
-                if holder is not None and holder.lease == expiry.index:
-                    holder.lease = None
-            if session.stopped or session.draining:
-                session.table.cancel_pending()
-                self._check_done(session)
-            await self._grant_all(session)
+                if covered:
+                    return sticky
+        return front
 
-    async def _grant_all(self, session: _CellSession) -> None:
+    async def _grant_all(self) -> None:
         for worker in list(self._workers.values()):
-            await self._maybe_grant(worker, session)
+            await self._maybe_grant(worker)
 
-    async def _maybe_grant(self, worker: _WorkerConn,
-                           session: _CellSession) -> None:
-        if (session.stopped or session.draining
-                or worker.prepared != session.job.cell_id
-                or worker.lease is not None):
+    async def _maybe_grant(self, worker: _WorkerConn) -> None:
+        if worker.lease is not None:
+            return
+        now = time.monotonic()
+        session = self._pick_session(worker, now)
+        if session is None:
+            return
+        job = session.job
+        if worker.prepared != job.cell_id:
+            if worker.preparing != job.cell_id:
+                worker.preparing = job.cell_id
+                await self._send_prepare(worker, session)
             return
         try:
-            grant = session.table.grant(worker.worker_id, time.monotonic())
+            grant = session.table.grant(worker.worker_id, now)
         except ShardExhausted as exc:
             session.fail(exc)
             return
         if grant is None:
             return
-        worker.lease = grant.index
+        worker.lease = (job.cell_id, grant.index)
+        self._grant_seq += 1
+        session.last_grant = self._grant_seq
         shard = session.shards_by_index[grant.index]
-        self.events.emit("lease-granted", index=grant.index,
-                         worker=worker.worker_id, attempt=grant.attempt)
+        self._emit_session(session, "lease-granted", index=grant.index,
+                           worker=worker.worker_id, attempt=grant.attempt)
         try:
             await send_message_async(worker.writer, {
                 "kind": "lease",
-                "cell": session.job.cell_id,
+                "cell": job.cell_id,
                 "index": grant.index,
                 "start": shard["start"],
                 "attempt": grant.attempt,
@@ -381,16 +485,18 @@ class ClusterCoordinator:
             session.finish()
 
     async def _run_cell_async(self, job: CellJob) -> Dict[int, Counter]:
-        if self._session is not None:
-            raise RuntimeError("a cell is already being distributed")
+        if job.cell_id in self._sessions:
+            raise RuntimeError(
+                f"cell session {job.cell_id!r} is already being distributed")
         loop = asyncio.get_running_loop()
         session = _CellSession(job, self.policy, loop)
-        self._session = session
+        if self._draining:
+            session.draining = True
+        self._sessions[job.cell_id] = session
         writer_task = loop.create_task(self._writer_loop(session))
         try:
             if not session.table.done():
-                for worker in list(self._workers.values()):
-                    await self._send_prepare(worker, session)
+                await self._grant_all()
             else:  # nothing missing; degenerate but legal
                 session.finish()
             try:
@@ -400,15 +506,26 @@ class ClusterCoordinator:
             except BaseException as exc:
                 raise _CellFailure(exc) from None
         finally:
-            self._session = None
+            self._sessions.pop(job.cell_id, None)
             writer_task.cancel()
+            for worker in self._workers.values():
+                if worker.prepared == job.cell_id:
+                    worker.prepared = None
+                if worker.preparing == job.cell_id:
+                    worker.preparing = None
+                if worker.lease is not None and worker.lease[0] == job.cell_id:
+                    worker.lease = None
+            if self._sessions:
+                loop.create_task(self._grant_all())
 
     async def _writer_loop(self, session: _CellSession) -> None:
-        """The store writer: the only consumer of the bounded commit
-        queue. Persists each shard *before* emitting its
+        """The store writer: the only consumer of this session's
+        bounded commit queue. Persists each shard *before* emitting its
         ``shard-completed`` event — the same interrupt-safety
         discipline as the local lab — then re-evaluates the adaptive
-        stopping rule over the completed prefix."""
+        stopping rule over the completed prefix. Every session's writer
+        runs on the one loop thread, so all of them funnel through the
+        coordinator's single SQLite connection without locking."""
         job = session.job
         while True:
             index, wire_counts, n, seconds, worker_id = \
@@ -422,10 +539,11 @@ class ClusterCoordinator:
                         self._store = ResultStore(self.store_path)
                     self._store.put_shard(job.spec_key, job.cell_key,
                                           index, n, counts, seconds)
-                self.events.emit(
-                    "shard-completed", index=index, n=n, seconds=seconds,
-                    workload=job.workload, version=job.version,
-                    worker=worker_id, counts=dict(wire_counts),
+                self._emit_session(
+                    session, "shard-completed", index=index, n=n,
+                    seconds=seconds, workload=job.workload,
+                    version=job.version, worker=worker_id,
+                    counts=dict(wire_counts),
                 )
             except BaseException as exc:
                 session.fail(exc)
@@ -438,9 +556,9 @@ class ClusterCoordinator:
                     session.stopped = True
                     cancelled = session.table.cancel_pending()
                     if cancelled:
-                        self.events.emit("leases-cancelled",
-                                         count=len(cancelled),
-                                         reason="adaptive-stop")
+                        self._emit_session(session, "leases-cancelled",
+                                           count=len(cancelled),
+                                           reason="adaptive-stop")
             self._check_done(session)
 
     # Connection handling -----------------------------------------------------
@@ -488,8 +606,7 @@ class ClusterCoordinator:
                 "kind": "welcome", "proto": PROTO_VERSION,
                 "schema": LAB_SCHEMA, "worker": worker.worker_id,
             })
-            if self._session is not None:
-                await self._send_prepare(worker, self._session)
+            await self._maybe_grant(worker)
             while True:
                 message = await recv_message_async(reader)
                 if message is None:
@@ -502,20 +619,19 @@ class ClusterCoordinator:
                 self._workers.pop(worker.worker_id, None)
                 self.events.emit("worker-disconnected",
                                  worker=worker.worker_id)
-                session = self._session
-                if session is not None:
-                    now = time.monotonic()
+                now = time.monotonic()
+                for session in list(self._sessions.values()):
                     for expiry in session.table.release_worker(
                             worker.worker_id, now):
-                        self.events.emit(
-                            "lease-requeued", index=expiry.index,
+                        self._emit_session(
+                            session, "lease-requeued", index=expiry.index,
                             worker=expiry.worker, attempt=expiry.attempt,
                             reason="worker-disconnected",
                         )
                     if session.stopped or session.draining:
                         session.table.cancel_pending()
                         self._check_done(session)
-                    await self._grant_all(session)
+                await self._grant_all()
             try:
                 writer.close()
             except Exception:
@@ -542,19 +658,21 @@ class ClusterCoordinator:
 
     async def _dispatch(self, worker: _WorkerConn, message: Dict) -> None:
         kind = message.get("kind")
-        session = self._session
         if kind == "event":
             data = message.get("data") or {}
             self.events.emit(str(message.get("name", "worker-event")),
                              worker=worker.worker_id, **data)
             return
-        if session is None or message.get("cell") != session.job.cell_id:
+        session = self._sessions.get(str(message.get("cell")))
+        if session is None:
             return  # stale frame from a finished/failed cell
         if kind == "prepared":
+            if worker.preparing == session.job.cell_id:
+                worker.preparing = None
             mismatch = self._verify_prepared(session.job, message)
             if mismatch:
-                self.events.emit("worker-mismatch", worker=worker.worker_id,
-                                 reason=mismatch)
+                self._emit_session(session, "worker-mismatch",
+                                   worker=worker.worker_id, reason=mismatch)
                 try:
                     await send_message_async(worker.writer, {
                         "kind": "mismatch", "reason": mismatch})
@@ -562,15 +680,18 @@ class ClusterCoordinator:
                     pass
                 return
             worker.prepared = session.job.cell_id
-            self.events.emit(
-                "worker-prepared", worker=worker.worker_id,
+            self._emit_session(
+                session, "worker-prepared", worker=worker.worker_id,
                 cell=session.job.cell_id,
                 seconds=float(message.get("golden_seconds", 0.0)),
             )
-            await self._maybe_grant(worker, session)
+            await self._maybe_grant(worker)
         elif kind == "prepare-error":
-            self.events.emit("worker-mismatch", worker=worker.worker_id,
-                             reason=str(message.get("error")))
+            if worker.preparing == session.job.cell_id:
+                worker.preparing = None
+            self._emit_session(session, "worker-mismatch",
+                               worker=worker.worker_id,
+                               reason=str(message.get("error")))
             try:
                 await send_message_async(worker.writer, {
                     "kind": "mismatch", "reason": str(message.get("error"))})
@@ -581,37 +702,37 @@ class ClusterCoordinator:
                                     worker.worker_id, time.monotonic())
         elif kind == "result":
             index = int(message["index"])
-            if worker.lease == index:
+            if worker.lease == (session.job.cell_id, index):
                 worker.lease = None
             status = session.table.commit(index, worker.worker_id)
             if status == "ok":
-                # Bounded put = backpressure: while the store writer
-                # is behind, this handler blocks and stops reading the
-                # worker's socket.
+                # Bounded put = backpressure: while this session's
+                # store writer is behind, this handler blocks and stops
+                # reading the worker's socket.
                 await session.commits.put((
                     index, dict(message["counts"]), int(message["n"]),
                     float(message.get("seconds", 0.0)), worker.worker_id,
                 ))
             elif status == "duplicate":
-                self.events.emit("late-commit-discarded", index=index,
-                                 worker=worker.worker_id)
-            await self._maybe_grant(worker, session)
+                self._emit_session(session, "late-commit-discarded",
+                                   index=index, worker=worker.worker_id)
+            await self._maybe_grant(worker)
         elif kind == "shard-error":
             index = int(message["index"])
-            if worker.lease == index:
+            if worker.lease == (session.job.cell_id, index):
                 worker.lease = None
             disposition = session.table.fail(index, worker.worker_id,
                                              time.monotonic())
-            self.events.emit("shard-error", index=index,
-                             worker=worker.worker_id,
-                             error=str(message.get("error")),
-                             disposition=disposition)
+            self._emit_session(session, "shard-error", index=index,
+                               worker=worker.worker_id,
+                               error=str(message.get("error")),
+                               disposition=disposition)
             if disposition == "exhausted":
                 session.fail(ShardExhausted(
                     f"shard {index} failed on every attempt; last error: "
                     f"{message.get('error')}"))
             else:
-                await self._maybe_grant(worker, session)
+                await self._maybe_grant(worker)
 
     @staticmethod
     def _verify_prepared(job: CellJob, message: Dict) -> Optional[str]:
@@ -647,6 +768,8 @@ def run_distributed_campaign(
     shard_size: int = DEFAULT_SHARD_SIZE,
     ci_target: Optional[float] = None,
     min_injections: int = 50,
+    priority: int = 0,
+    campaign: str = "",
 ) -> DurableCampaign:
     """Run one campaign cell across the coordinator's worker pool.
 
@@ -662,6 +785,11 @@ def run_distributed_campaign(
     workload registry (which is what every campaign CLI runs);
     ``config.fault_eligible`` predicates cannot travel and are
     rejected.
+
+    ``priority`` and ``campaign`` feed the coordinator's fair-share
+    multiplexing when many cells are in flight (the service path):
+    higher priority is granted first, and the campaign id tags this
+    cell's leases and events.
     """
     config = config or CampaignConfig()
     events = events or EventBus()
@@ -709,10 +837,14 @@ def run_distributed_campaign(
     missing = [s for s in shards if s.index not in loaded]
     executed: Dict[int, Counter] = {}
     if missing:
+        base = (spec.spec_key if spec is not None
+                else digest_of(["ephemeral", workload, version,
+                                config.seed, len(plans)]))
         job = CellJob(
-            cell_id=(spec.spec_key if spec is not None
-                     else digest_of(["ephemeral", workload, version,
-                                     config.seed, len(plans)])),
+            # Uniquified per session: two concurrent campaigns over
+            # the same spec must not collide in the coordinator's
+            # routing table (their store rows still coincide).
+            cell_id=f"{base}.{next(_SESSION_SEQ)}",
             workload=workload,
             build_scale=build_scale,
             version=version,
@@ -737,6 +869,8 @@ def run_distributed_campaign(
             loaded={i: counts_to_wire(c) for i, c in loaded.items()},
             ci_target=ci_target,
             min_injections=min_injections,
+            priority=priority,
+            campaign=campaign,
         )
         executed = coordinator.run_cell(job)
 

@@ -28,6 +28,7 @@ resume path are defined over.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -44,6 +45,14 @@ class LeasePolicy:
     #: Base requeue delay; grows by ``backoff_factor`` per attempt.
     backoff: float = 0.05
     backoff_factor: float = 2.0
+    #: Bounded jitter on every requeue delay: the actual delay is
+    #: uniform in ``[d, d * (1 + backoff_jitter)]``. Without it the
+    #: backoff schedule is *deterministic*, so the leases of many
+    #: campaigns expired by one stalled worker (or one coordinator GC
+    #: pause) all become grantable at the same instant and requeue in
+    #: a thundering herd; the jitter spreads them out. 0 disables
+    #: (tests asserting exact backoff instants do so).
+    backoff_jitter: float = 0.25
     #: Bound on commits awaiting the store writer (backpressure: the
     #: coordinator stops reading a worker's socket while full).
     commit_backlog: int = 64
@@ -80,8 +89,13 @@ class ShardExhausted(RuntimeError):
 
 
 class LeaseTable:
-    def __init__(self, indices: List[int], policy: Optional[LeasePolicy] = None):
+    def __init__(self, indices: List[int], policy: Optional[LeasePolicy] = None,
+                 rng: Optional[random.Random] = None):
         self.policy = policy or LeasePolicy()
+        #: Jitter source; injectable so tests can pin the schedule.
+        #: Requeue timing never affects outcome counts (shard plans are
+        #: pre-drawn), so an unseeded RNG does not break determinism.
+        self._rng = rng if rng is not None else random.Random()
         self._shards: Dict[int, _ShardState] = {
             index: _ShardState(index=index) for index in indices
         }
@@ -123,6 +137,18 @@ class LeaseTable:
                 wakeups.append(s.not_before)
         return min(wakeups) if wakeups else None
 
+    def has_grantable(self, now: float) -> bool:
+        """True when :meth:`grant` called now would lease a shard —
+        or raise :class:`ShardExhausted` (the caller must find out).
+        Read-only: the coordinator's fair-share picker uses it to
+        choose between sessions without mutating any of them."""
+        for s in self._shards.values():
+            if (s.committed or s.holder is not None
+                    or s.index in self._cancelled or s.not_before > now):
+                continue
+            return True
+        return False
+
     # Leasing -----------------------------------------------------------------
 
     def grant(self, worker: str, now: float) -> Optional[Grant]:
@@ -158,6 +184,8 @@ class LeaseTable:
         delay = self.policy.backoff * (
             self.policy.backoff_factor ** (s.attempt - 1)
         )
+        if self.policy.backoff_jitter > 0:
+            delay *= 1.0 + self._rng.random() * self.policy.backoff_jitter
         s.holder = None
         s.deadline = None
         s.not_before = now + delay

@@ -30,6 +30,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
+import threading
 import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
@@ -411,27 +412,34 @@ class InjectionSession:
 #: resident footprint, which measurably halves late cells' speedup.
 #: Campaigns iterate cells one at a time, so one slot hits for every
 #: shard of the current cell and retires the previous cell's arena.
-_SESSION_SLOT: Optional[tuple] = None
+#:
+#: The slot is *per thread*: a Machine is deeply stateful during a run
+#: (frame stack, fault arming, memory image), so two campaign threads
+#: sharing one session corrupt each other — the service runs campaigns
+#: on a thread pool, and each runner thread must pin its own arena.
+#: Single-threaded drivers (the CLI) see the exact historical
+#: one-slot-per-process behaviour.
+_SESSION_TLS = threading.local()
 
 
 def _get_session(module: Module, entry: str, args: Sequence,
                  reference: Sequence, budget: int, rtol: float,
                  fault_eligible: Optional[Callable],
                  engine: str) -> InjectionSession:
-    """Fetch (or build) the cached injection session for this cell."""
-    global _SESSION_SLOT
+    """Fetch (or build) this thread's cached injection session for the
+    cell."""
     ekey = _eligibility_key(fault_eligible)
     key = None
     if ekey is not None:
         key = (module.version, entry, _args_key(args), budget, rtol, ekey,
                engine)
-        slot = _SESSION_SLOT
+        slot = getattr(_SESSION_TLS, "slot", None)
         if slot is not None and slot[0] is module and slot[1] == key:
             return slot[2]
     session = InjectionSession(module, entry, args, reference, budget, rtol,
                                fault_eligible, engine)
     if key is not None:
-        _SESSION_SLOT = (module, key, session)
+        _SESSION_TLS.slot = (module, key, session)
     return session
 
 

@@ -27,9 +27,9 @@ from ..faults.campaign import CampaignConfig
 from ..faults.models import DEFAULT_MODEL, model_names
 from ..faults.outcomes import Outcome
 from ..harness.base import Experiment
+from ..service.runner import CampaignRunner
 from ..toolchain import default_toolchain, get_variant, variant_names
 from ..workloads.registry import FI_BENCHMARKS, SHORT_NAMES
-from .durable import run_durable_campaign
 from .events import CampaignInterrupted, ConsoleReporter, EventBus, \
     JsonlSink, interrupt_after
 from .store import ResultStore, default_store_path
@@ -147,14 +147,14 @@ def _spec_from_args(args: argparse.Namespace) -> Dict:
 
 
 def _run_cells(spec: Dict, store: ResultStore, events: EventBus,
-               cell_runner=None):
+               cell_runner):
     """Execute every benchmark × version cell; returns (rows, cells,
     totals) where rows feed the text table and cells the JSON report.
 
     ``cell_runner(module, built, name, version, config, build_scale)``
-    is the execution fabric for one cell — the default schedules onto
-    local forked workers (:func:`run_durable_campaign`); cluster modes
-    pass a runner that leases shards to networked worker agents.
+    is the execution fabric for one cell — ``main`` builds it from
+    :class:`repro.service.runner.CampaignRunner`, which schedules onto
+    local forked workers or leases shards to networked worker agents.
     Either way the cell's outcome counts are bit-identical."""
     build_scale = "fi" if spec["scale"] == "perf" else "test"
     # Resume manifests written before the fault-model/engine/batch
@@ -163,14 +163,6 @@ def _run_cells(spec: Dict, store: ResultStore, events: EventBus,
     fault_model = spec.get("fault_model", DEFAULT_MODEL)
     engine = spec.get("engine", "decoded")
     batch = int(spec.get("batch", 1))
-    if cell_runner is None:
-        def cell_runner(module, built, name, version, config, build_scale):
-            return run_durable_campaign(
-                module, built.entry, built.args, name, version, config,
-                store=store, events=events,
-                shard_size=spec["shard_size"],
-                ci_target=spec["ci_target"],
-            )
     rows: List[tuple] = []
     cells: List[Dict] = []
     totals = {"shards_total": 0, "shards_from_store": 0,
@@ -264,13 +256,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     cluster_n = int(spec.get("cluster") or 0)
     coordinator = None
     worker_procs: List = []
-    cell_runner = None
     if cluster_n or args.serve_cluster:
         from ..cluster.cli import reap_workers, spawn_local_workers
-        from ..cluster.coordinator import (
-            ClusterCoordinator,
-            run_distributed_campaign,
-        )
+        from ..cluster.coordinator import ClusterCoordinator
         from ..cluster.lease import LeasePolicy
 
         if args.serve_cluster:
@@ -291,14 +279,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "127.0.0.1", bound_port, cluster_n)
             print(f"-- spawned {cluster_n} local worker agent(s)")
 
-        def cell_runner(module, built, name, version, config, build_scale):
-            return run_distributed_campaign(
-                module, built.entry, built.args, name, version, config,
-                coordinator=coordinator, build_scale=build_scale,
-                store=store, events=events,
-                shard_size=spec["shard_size"],
-                ci_target=spec["ci_target"],
-            )
+    # Both fabrics run through the same embeddable executor the
+    # service uses, so the CLI and the API cannot drift apart.
+    runner = CampaignRunner(store_path, coordinator=coordinator)
+
+    def cell_runner(module, built, name, version, config, build_scale):
+        return runner.run_cell(
+            module, built.entry, built.args, name, version, config,
+            build_scale=build_scale, shard_size=spec["shard_size"],
+            ci_target=spec["ci_target"], store=store, events=events,
+        )
 
     try:
         rows, cells, totals = _run_cells(spec, store, events, cell_runner)

@@ -32,6 +32,7 @@ Event kinds emitted today:
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -103,13 +104,21 @@ class JsonlSink:
     monotonic (``mono``) emit stamp. Both local (``--events-log``) and
     cluster campaigns leave the same inspectable trace format.
 
-    Each line is flushed as it is written, so a trace is complete up to
+    Each line is flushed as it is written, so readers tailing the file
+    (``GET /campaigns/{id}/events``, ``tail -f`` on ``--events-log``)
+    never see a torn or stale line, and a trace is complete up to
     the moment of an interrupt or crash. Values that JSON cannot encode
     degrade to ``repr`` rather than aborting the campaign.
+
+    ``fsync=True`` additionally forces every line to stable storage
+    before the emitter proceeds — for audit trails that must survive a
+    machine (not just process) crash. It costs a syscall per event;
+    the default is the plain flush.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, fsync: bool = False):
         self.path = path
+        self.fsync = fsync
         self._fh = open(path, "a", encoding="utf-8")
 
     def __call__(self, event: LabEvent) -> None:
@@ -122,6 +131,8 @@ class JsonlSink:
             )
         self._fh.write(line + "\n")
         self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         self._fh.close()

@@ -155,6 +155,30 @@ class ResultStore:
         ).fetchall()
         return {idx: (n, _decode_counts(text)) for idx, n, text in rows}
 
+    def spec_progress(self, spec_key: str) -> Tuple[int, int, Counter]:
+        """(completed shards, injections, summed counts) for one spec.
+
+        Reads the *contiguous completed prefix* (shard 0..k with no
+        gap), matching how the durable runner counts shards into a
+        result — a shard landed out of order by a cluster worker is
+        excluded until the gap before it fills. The service polls this
+        for live partial status and to report how much of a submission
+        is already banked (the resubmission ~0-compute probe)."""
+        rows = self._conn.execute(
+            "SELECT shard_index, n, counts FROM shards WHERE spec_key = ? "
+            "ORDER BY shard_index", (spec_key,),
+        ).fetchall()
+        shards = 0
+        injections = 0
+        counts: Counter = Counter()
+        for index, n, text in rows:
+            if index != shards:
+                break
+            shards += 1
+            injections += n
+            counts.update(_decode_counts(text))
+        return shards, injections, counts
+
     def put_shard(self, spec_key: str, cell_key: str, index: int, n: int,
                   counts: Counter, seconds: float) -> None:
         self._conn.execute(

@@ -1,0 +1,107 @@
+"""Admission control: per-tenant quotas at the service front door.
+
+Tenancy is declared, not authenticated: the ``X-Repro-Tenant`` header
+names the tenant (absent = ``"anonymous"``), and every submission is
+checked against that tenant's quotas *before* a campaign record is
+created. A violation is a structured 429-style rejection — code,
+limit, current usage — never a silent queue.
+
+Three quotas, all enforced on *admitted-and-unfinished* campaigns:
+
+- ``max_concurrent``: campaigns a tenant may have queued or running;
+- ``max_injections``: the injection budget of any single campaign;
+- ``max_active_injections``: the summed budget of a tenant's
+  unfinished campaigns (so many small campaigns cannot add up to one
+  giant one).
+
+The controller is plain synchronous state driven from the service's
+event loop thread; releases are routed back to that thread by the
+campaign lifecycle, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class TenantQuotas:
+    max_concurrent: int = 4
+    max_injections: int = 100_000
+    max_active_injections: int = 250_000
+
+
+class QuotaExceeded(Exception):
+    """A submission would exceed a tenant quota; maps to HTTP 429."""
+
+    def __init__(self, tenant: str, quota: str, limit: int, current: int,
+                 requested: int):
+        super().__init__(
+            f"tenant {tenant!r} exceeds {quota}: limit {limit}, "
+            f"current {current}, requested {requested}"
+        )
+        self.tenant = tenant
+        self.quota = quota
+        self.limit = limit
+        self.current = current
+        self.requested = requested
+
+    def as_dict(self) -> Dict:
+        return {
+            "code": "quota-exceeded",
+            "tenant": self.tenant,
+            "quota": self.quota,
+            "limit": self.limit,
+            "current": self.current,
+            "requested": self.requested,
+        }
+
+
+@dataclass
+class _TenantUsage:
+    campaigns: int = 0
+    injections: int = 0
+
+
+class AdmissionController:
+    def __init__(self, quotas: Optional[TenantQuotas] = None,
+                 overrides: Optional[Dict[str, TenantQuotas]] = None):
+        self.default_quotas = quotas or TenantQuotas()
+        self.overrides = dict(overrides or {})
+        self._usage: Dict[str, _TenantUsage] = {}
+
+    def quotas_for(self, tenant: str) -> TenantQuotas:
+        return self.overrides.get(tenant, self.default_quotas)
+
+    def usage_for(self, tenant: str) -> _TenantUsage:
+        return self._usage.setdefault(tenant, _TenantUsage())
+
+    def admit(self, tenant: str, injections: int) -> None:
+        """Charge ``tenant`` for a campaign of ``injections`` budget,
+        or raise :class:`QuotaExceeded` (charging nothing)."""
+        quotas = self.quotas_for(tenant)
+        usage = self.usage_for(tenant)
+        if injections > quotas.max_injections:
+            raise QuotaExceeded(tenant, "max_injections",
+                                quotas.max_injections, 0, injections)
+        if usage.campaigns + 1 > quotas.max_concurrent:
+            raise QuotaExceeded(tenant, "max_concurrent",
+                                quotas.max_concurrent, usage.campaigns, 1)
+        if usage.injections + injections > quotas.max_active_injections:
+            raise QuotaExceeded(tenant, "max_active_injections",
+                                quotas.max_active_injections,
+                                usage.injections, injections)
+        usage.campaigns += 1
+        usage.injections += injections
+
+    def release(self, tenant: str, injections: int) -> None:
+        usage = self.usage_for(tenant)
+        usage.campaigns = max(0, usage.campaigns - 1)
+        usage.injections = max(0, usage.injections - injections)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        return {
+            tenant: {"campaigns": u.campaigns, "injections": u.injections}
+            for tenant, u in sorted(self._usage.items()) if u.campaigns
+        }

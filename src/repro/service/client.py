@@ -1,0 +1,112 @@
+"""Stdlib client for the campaign service.
+
+Wraps :mod:`http.client` so scripts, tests, and ``python -m repro
+submit`` all speak the API through the same code. The service closes
+each connection after its response (NDJSON streams are delimited by
+that close), so every call opens a fresh connection — which is exactly
+the shape ``http.client`` handles without help.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, Optional
+
+
+class ServiceError(Exception):
+    """Non-2xx response; carries the structured error body."""
+
+    def __init__(self, status: int, payload: Dict):
+        super().__init__(f"HTTP {status}: {json.dumps(payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    def __init__(self, host: str, port: int,
+                 tenant: Optional[str] = None, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.tenant:
+            headers["X-Repro-Tenant"] = self.tenant
+        return headers
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = None
+            headers = self._headers()
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode("utf-8"))
+            if response.status >= 400:
+                raise ServiceError(response.status,
+                                   data.get("error", data))
+            return data
+        finally:
+            conn.close()
+
+    # API ---------------------------------------------------------------------
+
+    def submit(self, spec: Dict) -> Dict:
+        """POST /campaigns; returns {id, status, digest, coalesced_with}."""
+        return self._request("POST", "/campaigns", body=spec)
+
+    def campaign(self, campaign_id: str) -> Dict:
+        return self._request("GET", f"/campaigns/{campaign_id}")
+
+    def campaigns(self) -> Dict:
+        return self._request("GET", "/campaigns")
+
+    def results(self, campaign_id: str) -> Dict:
+        return self._request("GET", f"/campaigns/{campaign_id}/results")
+
+    def status(self) -> Dict:
+        return self._request("GET", "/status")
+
+    def wait(self, campaign_id: str, timeout: float = 600.0,
+             poll: float = 0.2) -> Dict:
+        """Poll until the campaign reaches a terminal state; returns
+        its final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.campaign(campaign_id)
+            if record["status"] in ("succeeded", "failed", "interrupted"):
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} still {record['status']} "
+                    f"after {timeout}s")
+            time.sleep(poll)
+
+    def stream_events(self, campaign_id: str) -> Iterator[Dict]:
+        """GET /campaigns/{id}/events — yields events until the
+        campaign settles and the service closes the stream."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/campaigns/{campaign_id}/events",
+                         headers=self._headers())
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = json.loads(response.read().decode("utf-8"))
+                raise ServiceError(response.status,
+                                   data.get("error", data))
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()

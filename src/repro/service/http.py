@@ -1,0 +1,151 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The repo takes no dependencies, so the service speaks just enough HTTP
+for its own API: request line + headers + ``Content-Length`` body in,
+status + JSON body out, one request per connection
+(``Connection: close``). That last restriction is a feature, not a
+shortcut — the ``/events`` endpoint streams NDJSON of unknown length,
+and closing the connection is the standard stdlib-parseable way to
+delimit it (``http.client`` reads to EOF).
+
+The layer is transport only: :class:`HttpRequest` in, a handler
+coroutine out. Routing, admission, and campaign semantics live in
+:mod:`repro.service.app`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Guard rails against garbage/hostile peers, far above any legal use.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Abort request handling with a structured JSON error body."""
+
+    def __init__(self, status: int, payload: Dict):
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        if not self.body:
+            raise HttpError(400, {"code": "invalid-json",
+                                  "message": "empty body"})
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(400, {"code": "invalid-json",
+                                  "message": str(exc)}) from None
+
+    @property
+    def tenant(self) -> str:
+        return self.headers.get("x-repro-tenant", "").strip() or "anonymous"
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> Optional[HttpRequest]:
+    """Parse one request; None on a clean EOF before any bytes."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, {"code": "bad-request",
+                              "message": "truncated request head"})
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, {"code": "bad-request",
+                              "message": "request head too large"})
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, {"code": "bad-request",
+                              "message": "request head too large"})
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, {"code": "bad-request",
+                              "message": f"malformed request line "
+                                         f"{lines[0]!r}"})
+    method, target = parts[0].upper(), parts[1]
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, {"code": "bad-request",
+                                  "message": f"malformed header {line!r}"})
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, {"code": "bad-request",
+                                  "message": "bad Content-Length"})
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, {"code": "bad-request",
+                                  "message": "body too large"})
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, {"code": "bad-request",
+                              "message": "chunked requests unsupported"})
+
+    # Strip any query string: the API routes on the path alone.
+    path = target.split("?", 1)[0]
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def _head(status: int, content_type: str,
+          length: Optional[int]) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             "Connection: close"]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_json(writer: asyncio.StreamWriter, status: int,
+                    payload: Dict) -> None:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    writer.write(_head(status, "application/json", len(body)))
+    writer.write(body)
+    await writer.drain()
+
+
+async def start_ndjson(writer: asyncio.StreamWriter,
+                       status: int = 200) -> None:
+    """Open a close-delimited ``application/x-ndjson`` stream; follow
+    with :func:`send_ndjson_line` per event, then close the writer."""
+    writer.write(_head(status, "application/x-ndjson", None))
+    await writer.drain()
+
+
+async def send_ndjson_line(writer: asyncio.StreamWriter,
+                           payload: Dict) -> None:
+    writer.write((json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"))
+    await writer.drain()

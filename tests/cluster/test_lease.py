@@ -8,6 +8,8 @@ from repro.cluster.lease import LeasePolicy, LeaseTable, ShardExhausted
 
 
 def _table(indices=(0, 1, 2, 3), **overrides):
+    # Jitter off by default: these tests assert exact backoff instants.
+    overrides.setdefault("backoff_jitter", 0.0)
     policy = LeasePolicy(lease_timeout=10.0, backoff=1.0,
                          backoff_factor=2.0, max_attempts=3, **overrides)
     return LeaseTable(list(indices), policy)
@@ -78,6 +80,69 @@ class TestHeartbeatAndExpiry:
         assert table.next_wakeup(now=0.0) == 10.0
         table.expire(now=10.0)
         assert table.next_wakeup(now=10.0) == 11.0
+
+
+class TestBackoffJitter:
+    def _requeue_delay(self, rng_seed):
+        import random
+
+        policy = LeasePolicy(lease_timeout=10.0, backoff=1.0,
+                             backoff_factor=2.0, backoff_jitter=0.25)
+        table = LeaseTable([0], policy, rng=random.Random(rng_seed))
+        table.grant("a", now=0.0)
+        table.expire(now=10.0)
+        # Probe the not_before instant: grantable exactly when the
+        # jittered delay elapses.
+        lo, hi = 10.0, 10.0 + 1.0 * 1.25 + 1e-9
+        for _ in range(60):
+            mid = (lo + hi) / 2
+            probe = LeaseTable([0], policy, rng=random.Random(rng_seed))
+            probe.grant("a", now=0.0)
+            probe.expire(now=10.0)
+            if probe.grant("b", now=mid) is None:
+                lo = mid
+            else:
+                hi = mid
+        return hi - 10.0
+
+    def test_jitter_is_bounded(self):
+        # delay must land in [backoff, backoff * (1 + jitter)].
+        for seed in range(5):
+            delay = self._requeue_delay(seed)
+            assert 1.0 <= delay <= 1.25 + 1e-6
+
+    def test_jitter_varies_across_tables(self):
+        # Two tables expiring at the same instant must not requeue at
+        # the same instant (the thundering-herd fix).
+        delays = {round(self._requeue_delay(seed), 6) for seed in range(5)}
+        assert len(delays) > 1
+
+    def test_zero_jitter_is_deterministic(self):
+        table = _table(indices=[0])
+        table.grant("a", now=0.0)
+        table.expire(now=10.0)
+        assert table.grant("b", now=10.999) is None
+        assert table.grant("b", now=11.0) is not None
+
+
+class TestHasGrantable:
+    def test_tracks_queue_state(self):
+        table = _table(indices=[0])
+        assert table.has_grantable(now=0.0)
+        table.grant("a", now=0.0)
+        assert not table.has_grantable(now=0.0)   # held
+        table.expire(now=10.0)
+        assert not table.has_grantable(now=10.5)  # backing off
+        assert table.has_grantable(now=11.0)
+        table.grant("b", now=11.0)
+        table.commit(0, "b")
+        assert not table.has_grantable(now=11.0)  # committed
+
+    def test_cancelled_shards_are_not_grantable(self):
+        table = _table(indices=[0, 1])
+        table.grant("a", now=0.0)
+        table.cancel_pending()
+        assert not table.has_grantable(now=0.0)
 
 
 class TestExhaustion:

@@ -63,3 +63,28 @@ class TestJsonlSink:
             sink(LabEvent(kind="run", ts=1.0, mono=1.0))
             sink.close()
         assert len(_lines(path)) == 2
+
+    def test_fsync_flag_syncs_every_line(self, tmp_path, monkeypatch):
+        import repro.lab.events as events_mod
+
+        synced = []
+        monkeypatch.setattr(events_mod.os, "fsync",
+                            lambda fd: synced.append(fd))
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlSink(path, fsync=True)
+        sink(LabEvent(kind="a", ts=1.0, mono=1.0))
+        sink(LabEvent(kind="b", ts=2.0, mono=2.0))
+        assert len(synced) == 2
+        assert synced[0] == sink._fh.fileno()
+        sink.close()
+
+    def test_fsync_off_by_default(self, tmp_path, monkeypatch):
+        import repro.lab.events as events_mod
+
+        synced = []
+        monkeypatch.setattr(events_mod.os, "fsync",
+                            lambda fd: synced.append(fd))
+        sink = JsonlSink(str(tmp_path / "events.jsonl"))
+        sink(LabEvent(kind="a", ts=1.0, mono=1.0))
+        assert synced == []
+        sink.close()

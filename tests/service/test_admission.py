@@ -1,0 +1,77 @@
+"""Admission-controller unit tests: the three quota axes, charge and
+release accounting, and per-tenant overrides."""
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionController,
+    QuotaExceeded,
+    TenantQuotas,
+)
+
+
+def _controller(**kwargs):
+    return AdmissionController(TenantQuotas(**kwargs))
+
+
+class TestQuotas:
+    def test_per_campaign_budget_cap(self):
+        controller = _controller(max_injections=100)
+        with pytest.raises(QuotaExceeded) as exc:
+            controller.admit("alice", 101)
+        assert exc.value.quota == "max_injections"
+        assert exc.value.as_dict()["code"] == "quota-exceeded"
+        # Nothing was charged by the rejection.
+        controller.admit("alice", 100)
+
+    def test_concurrency_cap(self):
+        controller = _controller(max_concurrent=2)
+        controller.admit("alice", 10)
+        controller.admit("alice", 10)
+        with pytest.raises(QuotaExceeded) as exc:
+            controller.admit("alice", 10)
+        assert exc.value.quota == "max_concurrent"
+        assert exc.value.current == 2
+
+    def test_active_injection_sum_cap(self):
+        # Many small campaigns must not add up to one giant one.
+        controller = _controller(max_concurrent=100,
+                                 max_injections=1000,
+                                 max_active_injections=1500)
+        controller.admit("alice", 1000)
+        with pytest.raises(QuotaExceeded) as exc:
+            controller.admit("alice", 600)
+        assert exc.value.quota == "max_active_injections"
+
+    def test_release_frees_quota(self):
+        controller = _controller(max_concurrent=1)
+        controller.admit("alice", 10)
+        with pytest.raises(QuotaExceeded):
+            controller.admit("alice", 10)
+        controller.release("alice", 10)
+        controller.admit("alice", 10)
+
+    def test_tenants_are_isolated(self):
+        controller = _controller(max_concurrent=1)
+        controller.admit("alice", 10)
+        controller.admit("bob", 10)  # alice's usage is not bob's
+
+    def test_overrides_replace_defaults(self):
+        controller = AdmissionController(
+            TenantQuotas(max_concurrent=1),
+            overrides={"vip": TenantQuotas(max_concurrent=3)},
+        )
+        controller.admit("vip", 10)
+        controller.admit("vip", 10)
+        controller.admit("alice", 10)
+        with pytest.raises(QuotaExceeded):
+            controller.admit("alice", 10)
+
+    def test_snapshot_reports_active_usage_only(self):
+        controller = _controller()
+        controller.admit("alice", 10)
+        controller.admit("bob", 20)
+        controller.release("bob", 20)
+        assert controller.snapshot() == {
+            "alice": {"campaigns": 1, "injections": 10},
+        }

@@ -1,0 +1,100 @@
+"""Black-box smoke of the service CLI: a real ``python -m repro
+serve`` subprocess, ``python -m repro submit`` clients from two
+tenants (one duplicate spec), an event stream, and a SIGTERM drain
+that must exit clean and leave a manifest. This is the test the CI
+service job runs."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+_REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _submit(url, tenant, *extra, timeout=600):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "submit", "--url", url,
+         "--tenant", tenant, "--workload", "histogram",
+         "--version", "elzar", "--scale", "test", *extra],
+        env=_env(), capture_output=True, text=True, timeout=timeout)
+
+
+@pytest.fixture()
+def served(tmp_path):
+    store = str(tmp_path / "store.sqlite")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store", store, "--max-running", "2"],
+        env=_env(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    url = None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            url = line.split("listening on")[1].split()[0]
+            break
+        if proc.poll() is not None:
+            break
+    if url is None:
+        proc.kill()
+        pytest.fail("service never reported its listen address")
+    try:
+        yield proc, url, store
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+class TestServeSmoke:
+    def test_two_tenants_duplicate_spec_stream_and_sigterm(self, served):
+        proc, url, store = served
+
+        first = _submit(url, "alice", "--wait")
+        assert first.returncode == 0, first.stdout + first.stderr
+        assert "succeeded" in first.stdout
+
+        # Tenant bob submits the identical spec: served entirely from
+        # the store — zero new injections.
+        duplicate = _submit(url, "bob", "--wait")
+        assert duplicate.returncode == 0, duplicate.stdout
+        assert "0 executed, 40 from store" in duplicate.stdout
+
+        # Stream a third campaign's events end to end.
+        streamed = _submit(url, "alice", "--seed", "5", "--stream")
+        assert streamed.returncode == 0, streamed.stdout
+        kinds = [json.loads(line)["kind"]
+                 for line in streamed.stdout.splitlines()
+                 if line.startswith("{")]
+        assert "campaign-started" in kinds
+        assert kinds[-1] == "campaign-settled"
+
+        # Graceful drain: SIGTERM -> finish -> manifest -> exit 0.
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+        assert "draining" in proc.stdout.read()
+        with open(f"{store}.manifest.json") as fh:
+            manifest = json.load(fh)
+        assert manifest["reason"] == "drain"
+        assert len(manifest["campaigns"]) == 3
+        assert all(c["status"] == "succeeded"
+                   for c in manifest["campaigns"])
+
+    def test_submit_against_dead_service_fails_cleanly(self):
+        result = _submit("127.0.0.1:1", "alice", timeout=60)
+        assert result.returncode == 1
+        assert "cannot reach" in result.stderr

@@ -1,0 +1,101 @@
+"""Acceptance E2E: the service over the cluster fabric. Three
+concurrent campaigns from two tenants, multiplexed fair-share over one
+worker pool, must land counts bit-identical to `python -m repro
+campaign` forked mode — and an identical resubmission must execute
+nothing."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.service import ReproService, ServiceClient
+
+_CELLS = [
+    ("alice", {"workload": "histogram", "version": "native",
+               "scale": "test"}),
+    ("alice", {"workload": "histogram", "version": "elzar",
+               "scale": "test"}),
+    ("bob", {"workload": "blackscholes", "version": "native",
+             "scale": "test"}),
+]
+
+
+@pytest.fixture(scope="module")
+def forked_reference(tmp_path_factory):
+    """Every cell's counts from the forked CLI, in its own store."""
+    tmp = tmp_path_factory.mktemp("ref")
+    report = str(tmp / "ref.json")
+    assert main(["campaign", "--scale", "test", "--quiet",
+                 "--benchmarks", "histogram,blackscholes",
+                 "--versions", "native,elzar",
+                 "--workers", "2", "--store", str(tmp / "ref.sqlite"),
+                 "--json", report]) == 0
+    with open(report) as fh:
+        cells = json.load(fh)["cells"]
+    return {(c["workload"], c["version"]): c["counts"] for c in cells}
+
+
+@pytest.fixture(scope="module")
+def cluster_service(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("svc")
+    service = ReproService(str(tmp / "store.sqlite"), port=0,
+                           cluster_workers=2, max_running=3,
+                           lease_timeout=15.0)
+    host, port = service.start()
+    try:
+        yield service, host, port
+    finally:
+        service.stop()
+
+
+class TestClusterService:
+    def test_three_concurrent_campaigns_bit_identical(
+            self, cluster_service, forked_reference, capsys):
+        service, host, port = cluster_service
+        submitted = []
+        for tenant, spec in _CELLS:
+            client = ServiceClient(host, port, tenant=tenant)
+            submitted.append((client, spec,
+                              client.submit(spec)["id"]))
+        for client, spec, campaign_id in submitted:
+            record = client.wait(campaign_id, timeout=600.0)
+            assert record["status"] == "succeeded", record.get("error")
+            expected = forked_reference[(spec["workload"],
+                                         spec["version"])]
+            assert record["result"]["counts"] == expected
+            assert record["result"]["injections_used"] == 40
+        capsys.readouterr()
+
+    def test_resubmitted_spec_executes_nothing(self, cluster_service,
+                                               forked_reference):
+        service, host, port = cluster_service
+        tenant, spec = _CELLS[1]
+        client = ServiceClient(host, port, tenant=tenant)
+        record = client.wait(client.submit(spec)["id"], timeout=600.0)
+        assert record["status"] == "succeeded"
+        assert record["result"]["counts"] == \
+            forked_reference[(spec["workload"], spec["version"])]
+        assert record["result"]["injections_executed"] == 0
+        assert record["result"]["injections_from_store"] == 40
+
+    def test_cluster_events_reach_campaign_feed(self, cluster_service):
+        # Coordinator-side telemetry (lease grants, shard commits) is
+        # demultiplexed into the submitting campaign's event stream.
+        service, host, port = cluster_service
+        client = ServiceClient(host, port, tenant="carol")
+        spec = {"workload": "histogram", "version": "native",
+                "scale": "test", "seed": 77}
+        campaign_id = client.submit(spec)["id"]
+        events = list(client.stream_events(campaign_id))
+        kinds = {e["kind"] for e in events}
+        assert "campaign-started" in kinds
+        assert "lease-granted" in kinds
+        assert "shard-completed" in kinds
+        assert "campaign-settled" in kinds
+        assert all(e.get("campaign") == campaign_id for e in events)
+
+    def test_status_reports_cluster_pool(self, cluster_service):
+        service, host, port = cluster_service
+        status = ServiceClient(host, port).status()
+        assert status["cluster"]["workers"] == 2
