@@ -8,6 +8,7 @@ Usage::
     python -m repro all [--scale test|perf] [--injections N]
     python -m repro bench [--scale test|perf] [--json PATH]
     python -m repro campaign [--resume] [--workers N] [--ci-target F]
+    python -m repro chaos run --scenario S --seed N
     python -m repro cluster coordinator|worker ...
     python -m repro serve [--port P] [--cluster N]
     python -m repro submit --workload W --version V [--wait]
@@ -82,6 +83,13 @@ def main(argv=None) -> int:
         from .service.cli import submit_main
 
         return submit_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # Deterministic infrastructure-chaos campaigns against the
+        # injector's own recovery machinery; see repro.chaos and
+        # docs/CHAOS.md.
+        from .chaos.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
     if argv and argv[0] == "variants":
         # The toolchain variant registry + per-cell IR digests; see
         # repro.toolchain.cli.
@@ -115,6 +123,7 @@ def main(argv=None) -> int:
         print("scorecard")
         print("bench")
         print("campaign")
+        print("chaos")
         print("cluster")
         print("serve")
         print("submit")

@@ -1,0 +1,30 @@
+"""repro.chaos — deterministic infrastructure chaos for the campaign
+stack.
+
+The light core (:mod:`.hooks`, :mod:`.policy`) is imported by product
+code and must stay dependency-free; the orchestration layers
+(:mod:`.scenarios`, :mod:`.runner`, :mod:`.verify`, :mod:`.cli`) pull
+in the whole lab/cluster stack and are imported lazily by the CLI.
+See docs/CHAOS.md.
+"""
+
+from .hooks import (  # noqa: F401
+    CHAOS_ENV,
+    ChaosController,
+    ChaosCrash,
+    ChaosRule,
+    ChaosSpec,
+    activate,
+    activate_from_env,
+    active,
+    chaos_active,
+    chaos_point,
+    deactivate,
+    perform,
+)
+from .policy import (  # noqa: F401
+    RESULT_RESEND,
+    SERVICE_POLL,
+    WORKER_CONNECT,
+    RetryPolicy,
+)

@@ -1,0 +1,174 @@
+"""``python -m repro chaos`` — run the injector's own fault drills.
+
+Examples::
+
+    python -m repro chaos list
+    python -m repro chaos run --scenario agent-crash --seed 1
+    python -m repro chaos matrix --seeds 1,2 --json chaos.json
+
+``run`` executes one (scenario, seed) chaos campaign plus its clean
+twin and prints the verifier's verdict; ``matrix`` sweeps scenarios x
+seeds sharing one clean reference (the campaign spec is fixed, only
+the injected faults move), and additionally proves determinism by
+compiling every spec twice and requiring identical rule schedules.
+Exit status is 0 only when every verdict passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from typing import Dict, List, Optional
+
+from .runner import SHARD_COUNT, run_chaotic, run_reference
+from .scenarios import SCENARIOS, get_scenario
+from .verify import verify
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Deterministic infrastructure-chaos campaigns "
+                    "against the fault injector's recovery machinery.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list scenarios")
+
+    run = sub.add_parser("run", help="one scenario under one seed")
+    run.add_argument("--scenario", required=True, choices=sorted(SCENARIOS))
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--store", default=None,
+                     help="directory for the run's stores "
+                          "(default: a temp dir, removed afterwards)")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="write {report, reference, verdict} as JSON")
+    run.add_argument("--trace", action="store_true",
+                     help="print the chaotic run's event log")
+
+    matrix = sub.add_parser("matrix", help="scenarios x seeds sweep")
+    matrix.add_argument("--scenarios", default=None,
+                        help="comma-separated subset (default: all)")
+    matrix.add_argument("--seeds", default="1,2",
+                        help="comma-separated seeds (default: 1,2)")
+    matrix.add_argument("--json", metavar="PATH", default=None,
+                        help="write every verdict (and rule schedule) "
+                             "as JSON")
+    return parser
+
+
+def _print_verdict(verdict) -> None:
+    mark = "ok" if verdict.ok else "FAIL"
+    print(f"-- {verdict.scenario} seed={verdict.seed}: {mark}")
+    for name, passed in verdict.checks.items():
+        print(f"   [{'x' if passed else ' '}] {name}")
+    for problem in verdict.problems:
+        print(f"   !! {problem}")
+
+
+def _run_one(name: str, seed: int, workdir: str,
+             reference: Optional[Dict] = None):
+    scenario = get_scenario(name)
+    if reference is None:
+        reference = run_reference(f"{workdir}/reference.sqlite")
+    report = run_chaotic(scenario, seed,
+                         f"{workdir}/{name}-s{seed}.sqlite")
+    return report, reference, verify(scenario, report, reference)
+
+
+def _list_main() -> int:
+    width = max(len(n) for n in SCENARIOS)
+    for name in sorted(SCENARIOS):
+        s = SCENARIOS[name]
+        print(f"{name:<{width}}  [{s.fabric:>7}]  {s.description}")
+    return 0
+
+
+def _run_main(args: argparse.Namespace) -> int:
+    workdir = args.store or tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        report, reference, verdict = _run_one(args.scenario, args.seed,
+                                              workdir)
+        if args.trace:
+            for event in report["events"]:
+                print(json.dumps(event, sort_keys=True, default=str))
+        print(f"-- fired {len(report['trace'])} driver-side rule(s), "
+              f"{report['phases']} phase(s)")
+        _print_verdict(verdict)
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump({"report": report, "reference": reference,
+                           "verdict": verdict.as_dict()},
+                          fh, indent=2, sort_keys=True, default=str)
+                fh.write("\n")
+            print(f"-- wrote {args.json}")
+        return 0 if verdict.ok else 1
+    finally:
+        if args.store is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _matrix_main(args: argparse.Namespace) -> int:
+    names = (sorted(SCENARIOS) if args.scenarios is None
+             else [n.strip() for n in args.scenarios.split(",") if n.strip()])
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    for name in names:
+        get_scenario(name)  # fail fast on typos
+
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    rows: List[Dict] = []
+    failed = 0
+    try:
+        reference = run_reference(f"{workdir}/reference.sqlite")
+        for name in names:
+            scenario = get_scenario(name)
+            for seed in seeds:
+                # Determinism gate: compiling the spec twice must give
+                # the same rule schedule, or "same seed, same faults"
+                # is a lie and every verdict below is unrepeatable.
+                once = scenario.spec(seed, SHARD_COUNT).to_wire()
+                again = scenario.spec(seed, SHARD_COUNT).to_wire()
+                if once != again:
+                    print(f"-- {name} seed={seed}: FAIL "
+                          f"(non-deterministic rule schedule)")
+                    failed += 1
+                    rows.append({"scenario": name, "seed": seed,
+                                 "fabric": scenario.fabric, "ok": False,
+                                 "problems": ["non-deterministic spec"]})
+                    continue
+                report, _, verdict = _run_one(name, seed, workdir,
+                                              reference=reference)
+                _print_verdict(verdict)
+                failed += 0 if verdict.ok else 1
+                rows.append({**verdict.as_dict(), "rules": once["rules"],
+                             "fabric": scenario.fabric,
+                             "phases": report["phases"]})
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    total = len(names) * len(seeds)
+    print(f"-- chaos matrix: {total - failed}/{total} passed")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"passed": total - failed, "total": total,
+                       "verdicts": rows}, fh, indent=2, sort_keys=True,
+                      default=str)
+            fh.write("\n")
+        print(f"-- wrote {args.json}")
+    return 0 if failed == 0 else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "list":
+        return _list_main()
+    if args.command == "run":
+        return _run_main(args)
+    return _matrix_main(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

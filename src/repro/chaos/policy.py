@@ -1,0 +1,79 @@
+"""One retry/timeout/backoff vocabulary for the whole stack.
+
+Before this module, every layer hand-rolled the same three constants:
+the lease table computed ``backoff * factor ** attempt`` inline, the
+shard scheduler computed it again with different field names, the
+worker agent had a single hard-coded connect timeout and no retries at
+all, and the service drain loop polled on a bare ``0.05``. Chaos
+campaigns (:mod:`repro.chaos`) exercise all of those paths at once, so
+they get one shape: a frozen :class:`RetryPolicy` that owns the delay
+schedule, and named instances for each consumer.
+
+The delay schedule is exactly the one the lease table has always used
+(tests pin its instants): attempt ``k`` (0-based) waits
+``backoff * backoff_factor ** k``, multiplied by a bounded jitter
+factor uniform in ``[1, 1 + jitter]`` when a jitter RNG is supplied.
+Jitter exists to break thundering herds (many leases expired by one
+stalled worker must not all requeue at the same instant); it never
+affects outcome counts, only timing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded, exponentially backed-off retry schedule.
+
+    ``max_attempts`` counts total tries, not re-tries: a policy with
+    ``max_attempts=3`` runs the operation at most 3 times. ``timeout``
+    is the per-attempt operation bound (socket timeout, lease
+    deadline), carried here so callers stop scattering their own
+    constants; ``None`` means unbounded.
+    """
+
+    max_attempts: int = 5
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    #: Upper bound on the multiplicative jitter: the delayed instant is
+    #: uniform in ``[d, d * (1 + jitter)]``. 0 disables (tests that
+    #: assert exact backoff instants rely on that).
+    jitter: float = 0.25
+    timeout: Optional[float] = None
+
+    def delay(self, attempt: int,
+              rng: Optional[random.Random] = None) -> float:
+        """Seconds to wait before (0-based) retry ``attempt``."""
+        d = self.backoff * (self.backoff_factor ** attempt)
+        if self.jitter > 0 and rng is not None:
+            d *= 1.0 + rng.random() * self.jitter
+        return d
+
+    def attempts(self) -> Iterator[int]:
+        """0-based attempt numbers, ``max_attempts`` of them."""
+        return iter(range(max(1, self.max_attempts)))
+
+
+#: Worker agent -> coordinator TCP connect: a dead address must fail
+#: the agent in ~a second, not hang it for the kernel's connect
+#: timeout; a coordinator that is merely restarting is retried with
+#: jittered backoff so a worker fleet does not reconnect in lockstep.
+WORKER_CONNECT = RetryPolicy(max_attempts=3, backoff=0.2,
+                             backoff_factor=2.0, jitter=0.25, timeout=10.0)
+
+#: Worker agent resending a finished shard's result after the
+#: coordinator connection dropped mid-commit (the idempotent-commit
+#: retry path; commits are at-most-once on the coordinator side, so
+#: resending is always safe).
+RESULT_RESEND = RetryPolicy(max_attempts=3, backoff=0.2,
+                            backoff_factor=2.0, jitter=0.25, timeout=10.0)
+
+#: Service drain/settle polling cadence (``backoff`` is the poll
+#: interval; the loop is unbounded — draining takes as long as the
+#: in-flight shards take).
+SERVICE_POLL = RetryPolicy(max_attempts=1, backoff=0.05,
+                           backoff_factor=1.0, jitter=0.0)

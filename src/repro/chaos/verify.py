@@ -1,0 +1,99 @@
+"""The chaos verifier: judge a chaotic run against its clean twin.
+
+The verdict applies the paper's own standard to the infrastructure:
+under any injected fault, recovery must be *exact* — not "roughly the
+same counts", bit-identical counts — or the failure must be loud.
+Concretely, a chaotic report passes iff:
+
+1. **Completion** — the campaign finished within the phase budget.
+2. **Bit-identity** — final outcome counts equal the clean run's, and
+   every store row (per-shard n + counts) is byte-for-byte the row the
+   clean run wrote. Infrastructure faults may cost re-execution time,
+   never results.
+3. **At-most-once** — within each run phase no shard index commits
+   twice (``shard-completed`` is emitted post-persist, so a double
+   event is a double count).
+4. **No orphans** — every cluster phase ends with zero active
+   coordinator sessions (a leaked session is a leaked lease table).
+5. **Evidence** — the injected fault demonstrably fired: a listed
+   evidence event appeared, or (driver-crash scenarios) the run took
+   more than one phase. A chaos scenario that cannot prove its fault
+   happened proves nothing about recovery.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .scenarios import Scenario
+
+
+@dataclass
+class Verdict:
+    scenario: str
+    seed: int
+    ok: bool
+    problems: List[str] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {"scenario": self.scenario, "seed": self.seed,
+                "ok": self.ok, "problems": list(self.problems),
+                "checks": dict(self.checks)}
+
+
+def verify(scenario: Scenario, report: Dict, reference: Dict) -> Verdict:
+    problems: List[str] = []
+    checks: Dict[str, bool] = {}
+
+    def check(name: str, passed: bool, problem: str) -> None:
+        checks[name] = bool(passed)
+        if not passed:
+            problems.append(problem)
+
+    check("completed", report.get("completed", False),
+          f"campaign did not complete within {report.get('phases')} phases")
+
+    if report.get("completed"):
+        check("counts-bit-identical",
+              report.get("counts") == reference["counts"],
+              f"final counts diverged: chaotic {report.get('counts')} "
+              f"vs clean {reference['counts']}")
+        check("store-rows-bit-identical",
+              report.get("rows") == reference["rows"],
+              "per-shard store rows diverged from the clean run's")
+        check("spec-key-stable",
+              report.get("spec_key") == reference["spec_key"],
+              f"spec key drifted: {report.get('spec_key')!r} "
+              f"vs {reference['spec_key']!r}")
+
+    events = report.get("events", [])
+    commits = Counter(
+        (e["phase"], e.get("index"))
+        for e in events if e["kind"] == "shard-completed"
+    )
+    doubled = sorted(key for key, n in commits.items() if n > 1)
+    check("at-most-once-commits", not doubled,
+          f"shard committed more than once within a phase: {doubled}")
+
+    leaks = [e.get("sessions") for e in events
+             if e["kind"] == "chaos-sessions-after" and e.get("sessions")]
+    check("no-orphaned-sessions", not leaks,
+          f"coordinator ended phases with live sessions: {leaks}")
+
+    kinds = {e["kind"] for e in events}
+    fired = bool(kinds & set(scenario.evidence)) if scenario.evidence \
+        else report.get("phases", 1) > 1
+    if scenario.needs_rerun:
+        fired = fired and report.get("phases", 1) > 1
+    check("fault-evidence", fired,
+          f"no evidence the fault fired (wanted "
+          f"{'event ' + '|'.join(scenario.evidence) if scenario.evidence else ''}"
+          f"{' and ' if scenario.evidence and scenario.needs_rerun else ''}"
+          f"{'phases > 1' if scenario.needs_rerun else ''}; "
+          f"saw phases={report.get('phases')}, kinds={sorted(kinds)})")
+
+    return Verdict(scenario=scenario.name, seed=int(report.get("seed", 0)),
+                   ok=not problems, problems=problems, checks=checks)

@@ -58,6 +58,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..chaos.hooks import chaos_point
 from ..faults.campaign import (
     CampaignConfig,
     draw_model_plans,
@@ -527,9 +528,22 @@ class ClusterCoordinator:
         runs on the one loop thread, so all of them funnel through the
         coordinator's single SQLite connection without locking."""
         job = session.job
+        committed = 0
         while True:
             index, wire_counts, n, seconds, worker_id = \
                 await session.commits.get()
+            # The coordinator-restart seam: "interrupt" kills this
+            # session exactly as SIGTERM/power-loss would, with this
+            # commit still in the queue. Recovery = a fresh coordinator
+            # against the same store resumes from the banked prefix.
+            rule = chaos_point("cluster.coordinator.commit",
+                               index=index, nth=committed)
+            if rule is not None and rule.action == "interrupt":
+                from ..lab.events import CampaignInterrupted
+                session.fail(CampaignInterrupted(
+                    "chaos: coordinator restart mid-commit"))
+                return
+            committed += 1
             counts = counts_from_wire(wire_counts)
             session.executed[index] = counts
             session.seconds[index] = seconds
@@ -665,7 +679,16 @@ class ClusterCoordinator:
             return
         session = self._sessions.get(str(message.get("cell")))
         if session is None:
-            return  # stale frame from a finished/failed cell
+            # Stale frame from a finished/failed cell. A stale *result*
+            # is the tail of the at-most-once story — a duplicate (or
+            # post-failure) commit whose session already resolved — so
+            # its discard is narrated like any other late commit.
+            if kind == "result" and "index" in message:
+                self.events.emit("late-commit-discarded",
+                                 index=int(message["index"]),
+                                 worker=worker.worker_id,
+                                 reason="session-finished")
+            return
         if kind == "prepared":
             if worker.preparing == session.job.cell_id:
                 worker.preparing = None
@@ -829,6 +852,7 @@ def run_distributed_campaign(
         "campaign-started", workload=workload, version=version,
         shards=len(shards), injections=len(plans), from_store=len(loaded),
         cluster=True,
+        spec_key=spec.spec_key if durable else None,
     )
     for index in sorted(loaded):
         events.emit("shard-store-hit", index=index,

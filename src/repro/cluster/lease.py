@@ -32,6 +32,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..chaos.policy import RetryPolicy
+
 
 @dataclass
 class LeasePolicy:
@@ -56,6 +58,17 @@ class LeasePolicy:
     #: Bound on commits awaiting the store writer (backpressure: the
     #: coordinator stops reading a worker's socket while full).
     commit_backlog: int = 64
+
+    @property
+    def retry(self) -> RetryPolicy:
+        """This policy's requeue schedule in the stack-wide
+        :class:`~repro.chaos.policy.RetryPolicy` shape (one backoff
+        vocabulary for leases, shard retries, and worker connects)."""
+        return RetryPolicy(max_attempts=self.max_attempts,
+                           backoff=self.backoff,
+                           backoff_factor=self.backoff_factor,
+                           jitter=self.backoff_jitter,
+                           timeout=self.lease_timeout)
 
 
 @dataclass
@@ -181,11 +194,7 @@ class LeaseTable:
 
     def _requeue(self, s: _ShardState, now: float) -> None:
         # s.attempt already counts the execution that just failed.
-        delay = self.policy.backoff * (
-            self.policy.backoff_factor ** (s.attempt - 1)
-        )
-        if self.policy.backoff_jitter > 0:
-            delay *= 1.0 + self._rng.random() * self.policy.backoff_jitter
+        delay = self.policy.retry.delay(s.attempt - 1, self._rng)
         s.holder = None
         s.deadline = None
         s.not_before = now + delay

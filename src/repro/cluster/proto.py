@@ -29,6 +29,7 @@ from collections import Counter
 from dataclasses import asdict
 from typing import Dict, Optional
 
+from ..chaos.hooks import chaos_point
 from ..cpu.interpreter import FaultPlan
 from ..faults.outcomes import Outcome
 from ..lab.checkpoint import ShardPlan
@@ -78,6 +79,40 @@ def _parse_header(header: bytes) -> int:
 # Blocking-socket codec (worker side) -----------------------------------------
 
 def send_message(sock: socket.socket, message: Dict) -> None:
+    """Send one frame. The chaos seam models a lossy/degraded network
+    on the worker side of the wire: ``drop`` discards the frame (the
+    lease expires and the shard is re-executed elsewhere),
+    ``duplicate`` sends it twice (the coordinator's at-most-once
+    commit must discard the copy), and a generic ``stall`` delays it
+    past the lease timeout (a late commit racing a re-lease)."""
+    kind = str(message.get("kind"))
+    index = int(message.get("index", -1))
+    rule = chaos_point("cluster.proto.send", kind=kind, index=index)
+    if rule is not None:
+        # Announce the firing on the wire *before* performing it: the
+        # announcement precedes the (possibly mangled) frame in the TCP
+        # stream, so the coordinator logs it before the frame's commit
+        # can complete the campaign — deterministic evidence even when
+        # the fault rides the campaign's very last frame and teardown
+        # races the victim connection's reader.
+        try:
+            sock.sendall(encode_frame({
+                "kind": "event", "name": "chaos-fired",
+                "data": {"point": "cluster.proto.send",
+                         "action": rule.action, "frame": kind,
+                         "index": index},
+            }))
+        except OSError:
+            pass
+        if rule.action == "drop":
+            return
+        if rule.action == "duplicate":
+            frame = encode_frame(message)
+            sock.sendall(frame)
+            sock.sendall(frame)
+            return
+        # Generic actions (a stall's sleep) were already performed
+        # inside chaos_point; the frame then goes out late, below.
     sock.sendall(encode_frame(message))
 
 

@@ -17,22 +17,30 @@ worker checks a monotonic clock and sends a ``heartbeat`` frame every
 worker that dies mid-shard simply stops heartbeating (or drops the
 connection) and the coordinator re-leases the shard elsewhere.
 
-``$REPRO_CLUSTER_SABOTAGE`` is a test-only hook (mirroring the lab
-scheduler's ``_sabotage``): ``exit:INDEX`` hard-kills the process when
-it starts executing shard INDEX on attempt 0; ``stall:INDEX:SECONDS``
-stops heartbeating for that long instead. Both exist so the failure
-tests can kill a worker *deterministically* mid-shard.
+Failure injection goes through :mod:`repro.chaos`: the worker arms a
+chaos controller from ``$REPRO_CHAOS`` on startup, and the legacy
+``$REPRO_CLUSTER_SABOTAGE`` hook (``exit:INDEX`` hard-kills on lease
+of shard INDEX at attempt 0, ``stall:INDEX:SECONDS`` goes silent past
+the lease timeout) is kept as a shorthand that compiles to the same
+chaos rules. Hook points: ``cluster.worker.lease`` (start of shard
+execution), ``cluster.worker.pre-commit`` (between execute and result
+send — the agent-crash-before-commit seam), and every outgoing frame
+via :func:`repro.cluster.proto.send_message`.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import socket
 import time
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from ..chaos import hooks as chaos
+from ..chaos.hooks import ChaosRule
+from ..chaos.policy import RESULT_RESEND, WORKER_CONNECT, RetryPolicy
 from ..faults.campaign import golden_profile, run_plans
 from ..faults.models import get_model
 from ..lab.checkpoint import golden_digest, module_digest
@@ -48,16 +56,25 @@ from .proto import (
     send_message,
 )
 
+#: Exit status of a sabotage-killed worker (distinct from a chaos
+#: ``crash``'s 23, so traces tell the two hooks apart).
+SABOTAGE_STATUS = 17
 
-def _parse_sabotage(text: Optional[str]):
-    """``exit:IDX`` or ``stall:IDX:SECONDS`` -> (mode, index, seconds)."""
+
+def _parse_sabotage(text: Optional[str]) -> List[ChaosRule]:
+    """Compile the legacy ``exit:IDX`` / ``stall:IDX:SECONDS`` hook
+    into chaos rules on the ``cluster.worker.lease`` point (attempt 0
+    only, fire once — the historical semantics)."""
     if not text:
-        return None
+        return []
     parts = text.split(":")
     if parts[0] == "exit" and len(parts) == 2:
-        return ("exit", int(parts[1]), 0.0)
+        return [ChaosRule(point="cluster.worker.lease", action="sabotage-exit",
+                          match={"index": int(parts[1]), "attempt": 0})]
     if parts[0] == "stall" and len(parts) == 3:
-        return ("stall", int(parts[1]), float(parts[2]))
+        return [ChaosRule(point="cluster.worker.lease", action="stall",
+                          match={"index": int(parts[1]), "attempt": 0},
+                          seconds=float(parts[2]))]
     raise ValueError(f"bad REPRO_CLUSTER_SABOTAGE: {text!r}")
 
 
@@ -90,26 +107,62 @@ class ClusterWorker:
     """
 
     def __init__(self, host: str, port: int, worker_id: Optional[str] = None,
-                 idle_timeout: float = 3600.0, quiet: bool = False):
+                 idle_timeout: float = 3600.0, quiet: bool = False,
+                 connect_policy: Optional[RetryPolicy] = None):
         self.host = host
         self.port = port
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.idle_timeout = idle_timeout
         self.quiet = quiet
+        self.connect_policy = connect_policy or WORKER_CONNECT
         self._cells = CellCache()
         self._runtimes: Dict[str, _CellRuntime] = {}
         self._sock: Optional[socket.socket] = None
-        self._sabotage = _parse_sabotage(
-            os.environ.get("REPRO_CLUSTER_SABOTAGE"))
+        #: Jitter source for connect/resend backoff (timing only —
+        #: never outcome-affecting).
+        self._rng = random.Random()
+        self._arm_chaos()
+
+    def _arm_chaos(self) -> None:
+        """Arm a chaos controller from ``$REPRO_CHAOS`` and fold the
+        legacy sabotage hook's rules into it."""
+        sabotage = _parse_sabotage(os.environ.get("REPRO_CLUSTER_SABOTAGE"))
+        controller = chaos.activate_from_env()
+        if not sabotage:
+            return
+        if controller is None:
+            controller = chaos.activate(chaos.ChaosController(
+                chaos.ChaosSpec(scenario="sabotage", seed=0)))
+            # Controllers size their bookkeeping at construction, so
+            # append rules by rebuilding rather than mutating.
+        spec = controller.spec
+        spec.rules = list(spec.rules) + sabotage
+        chaos.activate(chaos.ChaosController(spec))
 
     def _say(self, text: str) -> None:
         if not self.quiet:
             print(f"[worker {self.worker_id}] {text}", flush=True)
 
+    def _connect(self) -> socket.socket:
+        """Bounded, jitter-backed-off connect. A dead coordinator
+        address fails the agent in about a second instead of hanging
+        it on the kernel's connect timeout; a restarting one is
+        retried without the whole fleet reconnecting in lockstep."""
+        policy = self.connect_policy
+        last: Optional[OSError] = None
+        for attempt in policy.attempts():
+            if attempt:
+                time.sleep(policy.delay(attempt - 1, self._rng))
+            try:
+                return socket.create_connection((self.host, self.port),
+                                                timeout=policy.timeout)
+            except OSError as exc:
+                last = exc
+        raise last if last is not None else OSError("connect failed")
+
     def run(self) -> int:
         try:
-            self._sock = socket.create_connection((self.host, self.port),
-                                                  timeout=30.0)
+            self._sock = self._connect()
         except OSError as exc:
             self._say(f"cannot reach coordinator at "
                       f"{self.host}:{self.port}: {exc}")
@@ -117,13 +170,18 @@ class ClusterWorker:
         self._sock.settimeout(self.idle_timeout)
         try:
             return self._serve()
+        except OSError as exc:
+            self._say(f"lost coordinator connection: {exc}")
+            return 1
         finally:
             try:
                 self._sock.close()
             except OSError:
                 pass
 
-    def _serve(self) -> int:
+    def _handshake(self) -> bool:
+        """hello/welcome over the current socket; updates worker_id
+        (the coordinator may uniquify duplicate names)."""
         send_message(self._sock, {
             "kind": "hello", "proto": PROTO_VERSION, "schema": LAB_SCHEMA,
             "toolchain": toolchain_digest(),
@@ -134,9 +192,13 @@ class ClusterWorker:
         if welcome is None or welcome.get("kind") == "reject":
             reason = (welcome or {}).get("reason", "connection closed")
             self._say(f"rejected: {reason}")
-            return 1
-        # The coordinator may have uniquified our id (duplicate names).
+            return False
         self.worker_id = str(welcome.get("worker", self.worker_id))
+        return True
+
+    def _serve(self) -> int:
+        if not self._handshake():
+            return 1
         self._say(f"connected to {self.host}:{self.port}")
         while True:
             try:
@@ -210,18 +272,30 @@ class ClusterWorker:
 
     # Shard execution ---------------------------------------------------------
 
-    def _maybe_sabotage(self, index: int, attempt: int) -> None:
-        if self._sabotage is None or attempt != 0:
+    def _chaos(self, point: str, **ctx) -> None:
+        """Consult the armed chaos controller at ``point``. A firing is
+        announced to the coordinator as a ``chaos-fired`` event frame
+        *before* it is performed, so even a crash firing leaves a trace
+        in the driver's event log. ``sabotage-exit`` hard-kills with
+        :data:`SABOTAGE_STATUS`; ``stall`` goes silent past the lease
+        timeout (expiry, re-lease, and the late-commit discard);
+        ``crash`` dies like a power loss (exit 23)."""
+        controller = chaos.active()
+        if controller is None:
             return
-        mode, target, seconds = self._sabotage
-        if index != target:
+        rule = controller.consult(point, ctx)
+        if rule is None:
             return
-        if mode == "exit":
-            os._exit(17)
-        # "stall": go silent past the lease timeout, then resume —
-        # exercising expiry, re-lease, AND the late-commit discard.
-        time.sleep(seconds)
-        self._sabotage = None
+        try:
+            send_message(self._sock, {
+                "kind": "event", "name": "chaos-fired",
+                "data": {"point": point, "action": rule.action, **ctx},
+            })
+        except OSError:
+            pass
+        if rule.action == "sabotage-exit":
+            os._exit(SABOTAGE_STATUS)
+        chaos.perform(rule)
 
     def _execute(self, lease: Dict) -> None:
         cell_id = str(lease["cell"])
@@ -236,7 +310,7 @@ class ClusterWorker:
             return
         interval = float(lease.get("heartbeat_interval", 1.0))
         plans = [plan_from_wire(p) for p in lease["plans"]]
-        self._maybe_sabotage(index, attempt)
+        self._chaos("cluster.worker.lease", index=index, attempt=attempt)
         started = time.perf_counter()
         last_beat = time.monotonic()
 
@@ -264,7 +338,11 @@ class ClusterWorker:
                 "error": repr(exc),
             })
             return
-        send_message(self._sock, {
+        # The agent-crash-before-commit seam: work done, result not yet
+        # reported. A crash here must cost one re-execution (lease
+        # expiry) and nothing else — never a double count.
+        self._chaos("cluster.worker.pre-commit", index=index, attempt=attempt)
+        self._send_result({
             "kind": "result",
             "cell": cell_id,
             "index": index,
@@ -272,3 +350,39 @@ class ClusterWorker:
             "counts": counts_to_wire(counts),
             "seconds": time.perf_counter() - started,
         })
+
+    def _send_result(self, frame: Dict) -> None:
+        """Deliver a finished shard's result, reconnecting if the
+        connection died while we were executing. Safe to retry: the
+        coordinator's commit is at-most-once (first result per shard
+        wins, duplicates are discarded), so resending can only turn
+        wasted work into a commit — never into a double count."""
+        try:
+            send_message(self._sock, frame)
+            return
+        except OSError as exc:
+            self._say(f"connection lost with shard {frame['index']} "
+                      f"finished: {exc}")
+        for attempt in RESULT_RESEND.attempts():
+            time.sleep(RESULT_RESEND.delay(attempt, self._rng))
+            try:
+                sock = self._connect()
+            except OSError:
+                continue
+            old, self._sock = self._sock, sock
+            self._sock.settimeout(self.idle_timeout)
+            try:
+                old.close()
+            except OSError:
+                pass
+            try:
+                if not self._handshake():
+                    return
+                send_message(self._sock, frame)
+            except OSError:
+                continue
+            self._say(f"resent result for shard {frame['index']} "
+                      "after reconnect")
+            return
+        self._say(f"giving up on shard {frame['index']}: coordinator "
+                  "unreachable (lease expiry will re-execute it)")

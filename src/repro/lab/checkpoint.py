@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Counter as CounterT
 from typing import Dict, List, Optional, Sequence
 
+from ..chaos.hooks import chaos_point
 from ..cpu.interpreter import FaultPlan
 from ..faults.campaign import CampaignConfig, _args_key, _eligibility_key
 from ..faults.models import get_model
@@ -33,7 +34,7 @@ from ..ir.module import Module
 # artifact cache share it); re-exported here for existing importers.
 from ..toolchain.build import module_digest, toolchain_digest  # noqa: F401
 from .events import EventBus
-from .store import LAB_SCHEMA, ResultStore, _canonical, digest_of
+from .store import LAB_SCHEMA, GoldenRecord, ResultStore, _canonical, digest_of
 
 #: Injections per shard. Fixed (not derived from the worker count) so
 #: the same store rows serve every ``--workers`` setting.
@@ -148,6 +149,15 @@ def ensure_golden(store: ResultStore, spec: CampaignSpec, digest: str,
     semantics drifted — purge the cell's stored shards so nothing stale
     is replayed. Returns True when the stored golden matched."""
     record = store.get_golden(spec.cell_key)
+    rule = chaos_point("lab.checkpoint.golden", cell=spec.cell_key[:12])
+    if rule is not None and rule.action == "corrupt" and record is not None:
+        # A torn golden row read back from disk: the digest no longer
+        # matches, which must route through the purge path below (the
+        # cell's shards are dropped and re-executed) — never silently
+        # replay shards recorded under a golden we cannot verify.
+        record = GoldenRecord(digest="chaos-torn-golden",
+                              eligible=record.eligible,
+                              executed=record.executed)
     if record is None:
         store.put_golden(spec.cell_key, digest, eligible, executed)
         return True

@@ -161,6 +161,10 @@ def run_durable_campaign(
     events.emit(
         "campaign-started", workload=workload, version=version,
         shards=len(shards), injections=len(plans), from_store=len(loaded),
+        # The store address of this campaign's rows; the service stashes
+        # it in restart manifests so a cold start can probe how much of
+        # an interrupted campaign is already banked.
+        spec_key=spec.spec_key if durable else None,
     )
     for index in sorted(loaded):
         events.emit("shard-store-hit", index=index,

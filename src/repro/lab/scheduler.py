@@ -29,6 +29,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..chaos.hooks import chaos_point
+from ..chaos.policy import RetryPolicy
 from ..faults.campaign import resolve_workers
 from ..faults.outcomes import Outcome
 from .checkpoint import ShardPlan
@@ -61,6 +63,17 @@ class SchedulerPolicy:
     #: this interval is no longer used as a sleep period.
     poll_interval: float = 0.01
 
+    @property
+    def retry(self) -> RetryPolicy:
+        """The shard retry schedule in the stack-wide
+        :class:`~repro.chaos.policy.RetryPolicy` shape. No jitter:
+        shard retries are per-campaign, not fleet-wide, so there is no
+        herd to spread."""
+        return RetryPolicy(max_attempts=self.max_retries + 1,
+                           backoff=self.backoff,
+                           backoff_factor=self.backoff_factor,
+                           jitter=0.0, timeout=self.timeout)
+
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
@@ -72,6 +85,10 @@ def _shard_child(conn, runner: ShardRunner, shard: ShardPlan,
     try:
         if sabotage is not None:
             sabotage(shard.index, attempt)
+        # Fork inherits the driver's armed chaos controller, so seeded
+        # worker kills/stalls/errors fire here, inside the child —
+        # degradation to the supervisor stays chaos-free.
+        chaos_point("lab.worker.shard", index=shard.index, attempt=attempt)
         start = time.perf_counter()
         counts = runner(shard)
         payload = {o.value: int(n) for o, n in counts.items()}
@@ -168,9 +185,7 @@ class ShardScheduler:
                         on_result: ResultSink) -> None:
         attempt = flight.attempt + 1
         if attempt <= self.policy.max_retries:
-            delay = self.policy.backoff * (
-                self.policy.backoff_factor ** flight.attempt
-            )
+            delay = self.policy.retry.delay(flight.attempt)
             self.events.emit("shard-retry", index=flight.shard.index,
                              attempt=attempt, reason=reason)
             queue.append(_Queued(shard=flight.shard, attempt=attempt,

@@ -36,6 +36,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..chaos.hooks import ChaosCrash, chaos_point
 from ..faults.outcomes import Outcome
 # Canonicalization/digesting moved to repro.toolchain.digest (the
 # toolchain is below the lab in the import graph); re-exported here
@@ -181,12 +182,25 @@ class ResultStore:
 
     def put_shard(self, spec_key: str, cell_key: str, index: int, n: int,
                   counts: Counter, seconds: float) -> None:
+        # The write-durability seam: "lose-write" is the machine dying
+        # with the row still in the page cache (the shard's work is
+        # gone and must be re-executed on resume); "crash-after-write"
+        # dies with the row fsync'd (resume must treat the row as a
+        # hit, not a stale duplicate). Both rely on put_shard being an
+        # idempotent upsert of deterministic data.
+        rule = chaos_point("lab.store.put-shard", index=index)
+        if rule is not None and rule.action == "lose-write":
+            raise ChaosCrash(f"chaos: shard {index} write lost "
+                             "(simulated crash before commit)")
         self._conn.execute(
             "INSERT OR REPLACE INTO shards VALUES (?, ?, ?, ?, ?, ?, ?)",
             (spec_key, index, cell_key, n, _encode_counts(counts), seconds,
              time.time()),
         )
         self._conn.commit()
+        if rule is not None and rule.action == "crash-after-write":
+            raise ChaosCrash(f"chaos: simulated crash after shard {index} "
+                             "committed")
 
     def purge_cell(self, cell_key: str) -> int:
         """Drop every shard of a cell (stale goldens); returns the

@@ -38,10 +38,13 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..chaos.hooks import chaos_point
+from ..chaos.policy import SERVICE_POLL
 from ..lab.events import CampaignInterrupted, EventBus
 from .admission import AdmissionController, QuotaExceeded, TenantQuotas
 from .http import (
@@ -63,11 +66,16 @@ from .state import (
     TERMINAL,
     Campaign,
     CampaignFeed,
+    load_manifest,
     result_summary,
     write_manifest,
 )
 
 _CAMPAIGN_SEQ = itertools.count(1)
+
+#: Exit status of a chaos-"kill"ed service process (SIGKILL stand-in:
+#: no drain, no manifest write beyond what already landed).
+KILL_STATUS = 9
 
 
 class ReproService:
@@ -93,9 +101,15 @@ class ReproService:
         lease_timeout: float = 30.0,
         max_running: int = 2,
         manifest_path: Optional[str] = None,
+        resume_manifest: bool = True,
     ):
         self.store_path = store_path
         self.manifest_path = manifest_path or f"{store_path}.manifest.json"
+        #: Cold-start recovery: resubmit the manifest's interrupted and
+        #: queued campaigns on start (each resumes from its banked
+        #: store shards). ``False`` restores the old explicit-resubmit
+        #: behaviour.
+        self.resume_manifest = resume_manifest
         self.admission = AdmissionController(quotas, quota_overrides)
         self.max_running = max(1, max_running)
         self.cluster_workers = cluster_workers
@@ -194,6 +208,9 @@ class ReproService:
         if failure:
             self._teardown_fabric()
             raise failure[0]
+        if self.resume_manifest:
+            self._loop.call_soon_threadsafe(
+                lambda: self._loop.create_task(self._recover_from_manifest()))
         return self.host, self.port
 
     def initiate_drain(self) -> None:
@@ -310,6 +327,53 @@ class ReproService:
             self._running[best] = campaign
             self._loop.create_task(self._run_one(campaign))
 
+    async def _recover_from_manifest(self) -> None:
+        """Cold-start recovery (loop thread): resubmit every campaign
+        the previous incarnation cut short. The manifest supplies the
+        specs; the content-addressed store supplies the work already
+        done — each resubmission replays its banked shard prefix for
+        free and executes only the remainder. A missing or torn
+        manifest (checksum mismatch) recovers nothing, loudly doing
+        nothing rather than quietly doing the wrong thing."""
+        payload = load_manifest(self.manifest_path)
+        if payload is None:
+            return
+        for row in payload.get("campaigns", []):
+            if row.get("status") not in (INTERRUPTED, QUEUED):
+                continue
+            try:
+                request = parse_request(row.get("spec") or {})
+                campaign = self._submit(
+                    str(row.get("tenant") or "anonymous"), request)
+            except (SpecError, QuotaExceeded, HttpError):
+                continue  # stale/over-quota rows never block startup
+            campaign.resumed_from = str(row.get("id"))
+            banked_shards = banked_injections = None
+            spec_key = (row.get("progress") or {}).get("spec_key")
+            if spec_key:
+                banked_shards, banked_injections = self._probe_banked(
+                    str(spec_key))
+            campaign.feed.publish({
+                "kind": "campaign-resumed", "ts": time.time(),
+                "campaign": campaign.id,
+                "resumed_from": campaign.resumed_from,
+                "banked_shards": banked_shards,
+                "banked_injections": banked_injections,
+            })
+
+    def _probe_banked(self, spec_key: str) -> Tuple[int, int]:
+        """(shards, injections) of the contiguous completed prefix the
+        store already holds for ``spec_key`` — the part of a recovered
+        campaign that costs nothing to 're'-execute."""
+        from ..lab.store import ResultStore
+
+        store = ResultStore(self.store_path)
+        try:
+            shards, injections, _ = store.spec_progress(spec_key)
+        finally:
+            store.close()
+        return shards, injections
+
     async def _run_one(self, campaign: Campaign) -> None:
         try:
             outcome = await self._loop.run_in_executor(
@@ -393,12 +457,28 @@ class ReproService:
             if event.kind == "campaign-started":
                 progress["shards_total"] = event.data.get("shards", 0)
                 progress["injections_total"] = event.data.get("injections", 0)
+                # Stashed so a restart manifest can tell the next
+                # incarnation where this campaign's rows live.
+                if event.data.get("spec_key"):
+                    progress["spec_key"] = event.data["spec_key"]
             elif event.kind in ("shard-completed", "shard-store-hit"):
                 progress["shards_done"] = progress.get("shards_done", 0) + 1
                 progress["injections_done"] = (
                     progress.get("injections_done", 0)
                     + int(event.data.get("n", 0)))
             feed.publish(data)
+            # The service-restart seam, pinned to event kinds so a
+            # scenario can die at an exact point in a campaign's life:
+            # "kill" is SIGKILL (no drain, no manifest); "drain" is
+            # SIGTERM (graceful: manifest written, then the interrupt
+            # guard below fires at this very shard boundary).
+            rule = chaos_point("service.event", kind=event.kind,
+                               campaign=campaign.id)
+            if rule is not None:
+                if rule.action == "kill":
+                    os._exit(KILL_STATUS)
+                elif rule.action == "drain":
+                    self.initiate_drain()
             # Local fabric: honour a drain at the next shard boundary
             # (the event fires after the shard is persisted, so nothing
             # is lost). Cluster cells drain inside the coordinator.
@@ -438,7 +518,7 @@ class ReproService:
         if self._coordinator is not None:
             self._coordinator.request_drain()
         while self._running:
-            await asyncio.sleep(0.05)
+            await asyncio.sleep(SERVICE_POLL.backoff)
         write_manifest(self.manifest_path,
                        [self._campaigns[cid] for cid in self._order],
                        reason="drain")

@@ -60,6 +60,9 @@ def _serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--manifest", default=None,
                         help="restart manifest path "
                              "(default: <store>.manifest.json)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="do not resubmit the manifest's interrupted "
+                             "campaigns on startup")
     return parser
 
 
@@ -77,6 +80,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         lease_timeout=args.lease_timeout,
         max_running=args.max_running,
         manifest_path=args.manifest,
+        resume_manifest=not args.no_resume,
     )
     return service.serve_forever()
 

@@ -127,6 +127,9 @@ class Campaign:
     #: Live partial counters (shards/injections done vs total),
     #: updated by the campaign's event subscriber as shards land.
     progress: Dict = field(default_factory=dict)
+    #: Manifest campaign id this record was recovered from, when the
+    #: service resubmitted it on cold start after a drain/crash.
+    resumed_from: Optional[str] = None
 
     def as_dict(self) -> Dict:
         out = {
@@ -143,6 +146,8 @@ class Campaign:
             out["progress"] = dict(self.progress)
         if self.coalesced_with:
             out["coalesced_with"] = self.coalesced_with
+        if self.resumed_from:
+            out["resumed_from"] = self.resumed_from
         if self.error is not None:
             out["error"] = self.error
         if self.result is not None:
@@ -176,13 +181,23 @@ def result_summary(outcome) -> Dict:
 # Restart manifest -----------------------------------------------------------
 #
 # Written on graceful drain (and after every terminal transition while
-# draining): enough to tell a restarted service — and its operators —
-# what was finished and what was cut short. Interrupted/queued
-# campaigns are *not* auto-resubmitted on restart; their specs are in
-# the manifest and the store already holds their completed shards, so
-# resubmission is cheap and explicit.
+# draining): enough for a restarted service to resubmit whatever was
+# cut short (interrupted/queued rows — see
+# ``ReproService._recover_from_manifest``) and for operators to audit
+# what finished. Durability discipline: the payload is checksummed,
+# written to a temp file, fsync'd, and renamed into place — a torn or
+# tampered manifest fails its checksum on load and degrades to "no
+# manifest" (a fresh start), never to resubmitting garbage.
 
 MANIFEST_VERSION = 1
+
+
+def _manifest_checksum(payload: Dict) -> str:
+    import hashlib
+
+    body = json.dumps({k: v for k, v in payload.items() if k != "checksum"},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
 def write_manifest(path: str, campaigns: List[Campaign],
@@ -193,21 +208,28 @@ def write_manifest(path: str, campaigns: List[Campaign],
         "reason": reason,
         "campaigns": [c.as_dict() for c in campaigns],
     }
+    payload["checksum"] = _manifest_checksum(payload)
     tmp = f"{path}.tmp"
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
 
 
 def load_manifest(path: str) -> Optional[Dict]:
+    """The manifest at ``path``, or None when it is absent, torn
+    (checksum mismatch), or from a different schema version."""
     try:
         with open(path, encoding="utf-8") as fh:
             payload = json.load(fh)
     except (OSError, ValueError):
         return None
     if payload.get("version") != MANIFEST_VERSION:
+        return None
+    if payload.get("checksum") != _manifest_checksum(payload):
         return None
     return payload

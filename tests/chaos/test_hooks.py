@@ -1,0 +1,129 @@
+"""Hook-point semantics: rule matching, firing budgets, env transport,
+and the generic actions — the contract every instrumented call site
+relies on."""
+
+import pytest
+
+from repro.chaos.hooks import (
+    CHAOS_ENV,
+    ChaosController,
+    ChaosRule,
+    ChaosSpec,
+    activate_from_env,
+    active,
+    chaos_active,
+    chaos_point,
+    deactivate,
+)
+
+
+def _spec(*rules):
+    return ChaosSpec(scenario="test", seed=0, rules=list(rules))
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    deactivate()
+
+
+class TestConsult:
+    def test_inactive_point_is_none(self):
+        deactivate()
+        assert chaos_point("anywhere", index=1) is None
+
+    def test_match_requires_every_key(self):
+        c = ChaosController(_spec(
+            ChaosRule(point="p", action="x", match={"index": 2, "attempt": 0})
+        ))
+        assert c.consult("p", {"index": 2, "attempt": 1}) is None
+        assert c.consult("p", {"index": 1, "attempt": 0}) is None
+        assert c.consult("p", {"index": 2, "attempt": 0}) is not None
+
+    def test_missing_ctx_key_never_matches(self):
+        c = ChaosController(_spec(ChaosRule(point="p", action="x",
+                                            match={"index": 2})))
+        assert c.consult("p", {}) is None
+
+    def test_point_name_must_match(self):
+        c = ChaosController(_spec(ChaosRule(point="p", action="x")))
+        assert c.consult("q", {}) is None
+        assert c.consult("p", {}) is not None
+
+    def test_count_bounds_firings(self):
+        c = ChaosController(_spec(ChaosRule(point="p", action="x", count=2)))
+        assert c.consult("p", {}) is not None
+        assert c.consult("p", {}) is not None
+        assert c.consult("p", {}) is None
+        assert c.fired() == 2
+
+    def test_after_skips_matching_occurrences(self):
+        c = ChaosController(_spec(ChaosRule(point="p", action="x", after=2)))
+        assert c.consult("p", {}) is None
+        assert c.consult("p", {}) is None
+        assert c.consult("p", {}) is not None
+
+    def test_after_only_counts_matches(self):
+        c = ChaosController(_spec(
+            ChaosRule(point="p", action="x", match={"k": 1}, after=1)
+        ))
+        assert c.consult("p", {"k": 2}) is None  # non-match: no skip spent
+        assert c.consult("p", {"k": 1}) is None  # the one skip
+        assert c.consult("p", {"k": 1}) is not None
+
+    def test_trace_records_scalar_ctx(self):
+        c = ChaosController(_spec(ChaosRule(point="p", action="x")))
+        c.consult("p", {"index": 3, "blob": object()})
+        assert c.trace == [{"point": "p", "action": "x", "index": 3}]
+
+
+class TestTransport:
+    def test_rule_wire_round_trip(self):
+        rule = ChaosRule(point="p", action="stall", match={"index": 1},
+                         count=3, after=2, seconds=1.5)
+        assert ChaosRule.from_wire(rule.to_wire()) == rule
+
+    def test_spec_env_round_trip(self):
+        spec = _spec(ChaosRule(point="p", action="drop",
+                               match={"kind": "result", "index": 2}))
+        back = ChaosSpec.from_env(spec.to_env())
+        assert back == spec
+
+    def test_activate_from_env(self):
+        spec = _spec(ChaosRule(point="p", action="x"))
+        c = activate_from_env({CHAOS_ENV: spec.to_env()})
+        assert c is not None and c.spec == spec
+        assert active() is c
+
+    def test_activate_from_env_unset_or_garbage_is_safe(self):
+        assert activate_from_env({}) is None
+        assert activate_from_env({CHAOS_ENV: "not json"}) is None
+        assert activate_from_env({CHAOS_ENV: '{"rules": "wat"}'}) is None
+
+
+class TestActions:
+    def test_chaos_active_arms_and_disarms(self):
+        spec = _spec(ChaosRule(point="p", action="x"))
+        with chaos_active(spec) as controller:
+            assert active() is controller
+            assert chaos_point("p") is not None
+        assert active() is None
+
+    def test_error_action_raises(self):
+        with chaos_active(_spec(ChaosRule(point="p", action="error"))):
+            with pytest.raises(RuntimeError, match="chaos"):
+                chaos_point("p")
+
+    def test_stall_action_sleeps_then_returns(self):
+        import time
+
+        rule = ChaosRule(point="p", action="stall", seconds=0.05)
+        with chaos_active(_spec(rule)):
+            start = time.monotonic()
+            assert chaos_point("p") is rule
+            assert time.monotonic() - start >= 0.05
+
+    def test_site_specific_action_returned_unperformed(self):
+        rule = ChaosRule(point="p", action="lose-write")
+        with chaos_active(_spec(rule)):
+            assert chaos_point("p") is rule

@@ -182,6 +182,23 @@ class TestCommit:
         assert table.commit(0, "a") == "ok"
         assert table.commit(0, "b") == "duplicate"
 
+    def test_expired_lease_late_commit_after_regrant_is_discarded(self):
+        # The mirror race: the re-leased copy commits first, then the
+        # stalled original's commit limps in. At-most-once, no double
+        # count — and the shard stays committed (a duplicate must not
+        # perturb the table's terminal state).
+        table = _table(indices=[0, 1])
+        table.grant("a", now=0.0)
+        table.expire(now=10.0)            # a stalled past its lease
+        table.grant("b", now=11.0)
+        assert table.commit(0, "b") == "ok"
+        assert table.commit(0, "a") == "duplicate"
+        assert table.committed == [0]
+        # The discarded copy frees nothing and grants nothing: the
+        # only grantable shard is still the untouched one.
+        assert table.grant("a", now=11.0).index == 1
+        assert table.grant("c", now=11.0) is None
+
     def test_done_after_all_commits(self):
         table = _table(indices=[0, 1])
         table.grant("a", now=0.0)
