@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Checkpointed fault injection (``repro.snap``) vs from-scratch.
+
+Not a paper figure — this measures the simulator itself: per-injection
+throughput with mid-run checkpoint resumption against the sequential
+from-scratch session loop, over the Figure-13 benchmark grid, with
+every fault site drawn from the last quartile of the eligible stream
+(the late-site regime checkpointing exists for). Outcome lists are
+asserted bit-identical to the from-scratch baseline for every cell;
+the numbers land in ``BENCH_snap.json``. The warm geomean target
+is >= 3x.
+
+Run:  PYTHONPATH=src python benchmarks/bench_checkpoint_injection.py
+Env:  REPRO_SCALE ("perf" default -> fi-scale inputs, "test" for smoke)
+      REPRO_SNAP_INJECTIONS (injections per cell, default 64)
+"""
+
+import os
+import sys
+
+from repro.bench_snap import (DEFAULT_INJECTIONS, bench_checkpoint_injection,
+                              write_report)
+
+
+def main() -> int:
+    scale = "fi" if os.environ.get("REPRO_SCALE", "perf") == "perf" else "test"
+    injections = int(os.environ.get("REPRO_SNAP_INJECTIONS",
+                                    str(DEFAULT_INJECTIONS)))
+    rows = bench_checkpoint_injection(scale=scale, injections=injections)
+    out = os.path.normpath(os.path.join(os.path.dirname(__file__), os.pardir,
+                                        "BENCH_snap.json"))
+    write_report(rows, out)
+    print(f"-- wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

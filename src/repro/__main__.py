@@ -11,8 +11,9 @@ Usage::
     python -m repro chaos run --scenario S --seed N
     python -m repro cluster coordinator|worker ...
     python -m repro serve [--port P] [--cluster N]
+    python -m repro snap build|ls|stats
     python -m repro submit --workload W --version V [--wait]
-    python -m repro variants [--workloads W1,W2|all] [--scale S]
+    python -m repro variants [--workloads W1,W2|all] [--scale S] [--gc]
 """
 
 from __future__ import annotations
@@ -96,6 +97,12 @@ def main(argv=None) -> int:
         from .toolchain.cli import main as variants_main
 
         return variants_main(argv[1:])
+    if argv and argv[0] == "snap":
+        # Mid-run checkpoint sets for O(tail) fault injection; see
+        # repro.snap and docs/CHECKPOINT.md.
+        from .snap.cli import main as snap_main
+
+        return snap_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -126,6 +133,7 @@ def main(argv=None) -> int:
         print("chaos")
         print("cluster")
         print("serve")
+        print("snap")
         print("submit")
         print("variants")
         return 0

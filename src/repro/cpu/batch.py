@@ -60,6 +60,7 @@ from ..workloads.common import outputs_match
 from .errors import Trap
 from .interpreter import FaultPlan, Machine, MachineSnapshot
 from .memory import HEAP_BASE, STACK_BASE
+from .resumable import rebuild_frames, restore_payload, run_stack
 
 #: Outcome <-> wire code for the lane report pipe (enum member order).
 _OUTCOMES: Tuple[Outcome, ...] = tuple(Outcome)
@@ -264,7 +265,8 @@ def run_batch(machine: Machine, snapshot: MachineSnapshot, entry: str,
               args, plans: List[Tuple[int, FaultPlan]], reference,
               budget: int, rtol: float, trace: LockstepTrace,
               converge: bool = True,
-              stats: Optional[Dict[str, int]] = None) -> Dict[int, Outcome]:
+              stats: Optional[Dict[str, int]] = None,
+              resume_from=None) -> Dict[int, Outcome]:
     """Execute one batch of fault plans as forked lanes off a single
     golden run.
 
@@ -283,6 +285,14 @@ def run_batch(machine: Machine, snapshot: MachineSnapshot, entry: str,
     forked) and ``"converged"`` (lanes truncated by reconvergence) so
     callers can stop paying for the comparator in cells where state
     drift makes reconvergence impossible.
+
+    ``resume_from`` (a :class:`repro.cpu.resumable.ResumeState` whose
+    checkpoint covers *every* plan in the batch) starts the shared
+    golden run at that checkpoint instead of from ``snapshot`` and
+    executes only the tail on the resumable trampoline. Lanes fork,
+    converge, and classify exactly as before — the restored state is
+    bit-identical to the golden run at that point, so outcomes are
+    unchanged (the differential tests pin this).
     """
     from ..faults.campaign import trap_outcome
 
@@ -433,7 +443,10 @@ def run_batch(machine: Machine, snapshot: MachineSnapshot, entry: str,
         if entries is not None:
             at_site(entries, inst, "branch")
 
-    M.restore(snapshot)
+    if resume_from is None:
+        M.restore(snapshot)
+    else:
+        restore_payload(M, resume_from)
     M.trace_eligible = reg_watch if pend_reg else None
     if pend_reg:
         M._trace_skip_until = reg_sites[0]
@@ -442,9 +455,17 @@ def run_batch(machine: Machine, snapshot: MachineSnapshot, entry: str,
         mem=mem_watch if pend_mem else None,
         branch=branch_watch if pend_branch else None,
     )
+    # Frames rebuild *after* the watch installs: their inject flags
+    # capture the machine's fault mode, which the watches just turned
+    # on.
+    resume_stack = (rebuild_frames(M, resume_from)
+                    if resume_from is not None else None)
     try:
         try:
-            M.run(entry, args)
+            if resume_stack is not None:
+                run_stack(M, resume_stack, resume_from.executed)
+            else:
+                M.run(entry, args)
             if st.child is not None:
                 # Lane ran its whole tail: classify exactly like
                 # inject_once's no-trap path.

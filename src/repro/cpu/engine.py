@@ -112,6 +112,7 @@ class DecodedBlock:
         "term",            # kind-specific payload tuple
         "phi_moves",       # {pred DecodedBlock: ((dst, slot, const), ...)} | None
         "phi_meta",        # ((type, phi inst), ...) for inject bookkeeping
+        "call_meta",       # parallel to body: defined-call metadata or None
     )
 
     def __init__(self, name: str):
@@ -1315,6 +1316,11 @@ def _make_call_defined(rv, inst, costs, static, dst, dfn):
                 times[dst] = done
         return M._executed
 
+    # Everything the resumable trampoline (repro.cpu.resumable) needs to
+    # emulate this handler without Python recursion: it pushes an
+    # explicit frame where ``h`` would recurse, and completes the
+    # post-return bookkeeping (dst write, call timing) itself.
+    h._call_meta = (arg_rs, dst, dfn, lat, uops, isv, port, id(inst))
     return h
 
 
@@ -1570,6 +1576,9 @@ def _fill_block(dmod, dblock, bb, bmap, rv, slot_map):
     dblock.body = tuple(handlers)
     dblock.n = n
     dblock.inject = tuple(injects)
+    dblock.call_meta = tuple(
+        getattr(h, "_call_meta", None) for h in handlers
+    )
     dblock.cum_pairs = tuple(cum_pairs)
     dblock.partial_pairs = tuple(
         [tuple(p.items()) for p in partials] + [tuple(term_partial.items())]

@@ -75,6 +75,15 @@ class CampaignConfig:
     #: batches its own shards. Requires the decoded engine and
     #: ``os.fork``; anything else falls back to sequential injection.
     batch: int = 1
+    #: Mid-run checkpointing (see :mod:`repro.snap`): resolve each
+    #: plan's fault site to the nearest checkpoint at or before it and
+    #: execute only the tail. Per-plan outcomes are bit-identical with
+    #: and without it (the differential tests and CI pin that), so —
+    #: like ``engine``, ``workers`` and ``batch`` — a pure execution
+    #: knob, excluded from durable store keys. Decoded engine only;
+    #: cells with unkeyable eligibility predicates or golden runs
+    #: shorter than :data:`repro.snap.MIN_ELIGIBLE` skip it silently.
+    snap: bool = True
 
 
 def resolve_workers(workers: int) -> int:
@@ -233,18 +242,18 @@ _draw_plans = draw_plans
 
 
 # Fork-inherited campaign context: (module, entry, args, reference,
-# budget, rtol, fault_eligible, engine, batch, fault_model). Set in the
-# parent right before the pool forks; never pickled, so modules and
-# predicates need not be picklable.
+# budget, rtol, fault_eligible, engine, batch, fault_model, snap). Set
+# in the parent right before the pool forks; never pickled, so modules
+# and predicates need not be picklable.
 _FORK_CONTEXT = None
 
 
 def _run_shard(plans: List[FaultPlan]) -> List[Outcome]:
     (module, entry, args, reference, budget, rtol, fault_eligible,
-     engine, batch, fault_model) = _FORK_CONTEXT
+     engine, batch, fault_model, snap) = _FORK_CONTEXT
     return run_plans(module, entry, args, plans, reference, budget, rtol,
                      fault_eligible, engine=engine, batch=batch,
-                     fault_model=fault_model)
+                     fault_model=fault_model, snap=snap)
 
 
 def _fork_available() -> bool:
@@ -283,10 +292,15 @@ def run_campaign(
 
     workers = max(1, min(workers, len(plans) or 1))
     if workers > 1 and _fork_available():
+        # Warm the cell's checkpoint set in the parent so every forked
+        # worker inherits it through the module cache (copy-on-write)
+        # instead of each re-loading or re-capturing it.
+        _cell_checkpoints(module, entry, args, budget, config.fault_eligible,
+                          config.fault_model, config.engine, config.snap)
         shards = [plans[i::workers] for i in range(workers)]
         _FORK_CONTEXT = (module, entry, args, reference, budget,
                          config.rtol, config.fault_eligible, config.engine,
-                         config.batch, config.fault_model)
+                         config.batch, config.fault_model, config.snap)
         try:
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(processes=workers) as pool:
@@ -300,7 +314,8 @@ def run_campaign(
     for outcome in run_plans(module, entry, args, plans, reference, budget,
                              config.rtol, config.fault_eligible,
                              engine=config.engine, batch=config.batch,
-                             fault_model=config.fault_model):
+                             fault_model=config.fault_model,
+                             snap=config.snap):
         result.counts[outcome] += 1
     return result
 
@@ -385,14 +400,34 @@ class InjectionSession:
             ).function(module.get_function(entry))
         self.snapshot = self.machine.snapshot()
         self._trace = None  # lockstep trace, built on first batched use
+        self._checkpoints = None  # CheckpointSet, attached per run_plans
+
+    def attach_checkpoints(self, cset) -> None:
+        """Resume injections from ``cset``'s mid-run checkpoints (a
+        :class:`repro.snap.CheckpointSet`); None reverts to whole-run
+        restore. Attached per :func:`run_plans` call because the set is
+        per fault model while the session is shared across models."""
+        self._checkpoints = cset
 
     def inject(self, plan: FaultPlan) -> Outcome:
-        """One injection on the reused machine, classified per Table I."""
+        """One injection on the reused machine, classified per Table I.
+
+        With checkpoints attached, restores the latest checkpoint at or
+        before the plan's fault site and executes only the tail; plans
+        whose site precedes every checkpoint run from scratch. Either
+        way the outcome is bit-identical (tests/snap pins it)."""
         machine = self.machine
-        machine.restore(self.snapshot)
-        machine.arm_fault(plan)
+        state = (self._checkpoints.nearest(plan)
+                 if self._checkpoints is not None else None)
         try:
-            result = machine.run(self.entry, self.args)
+            if state is not None:
+                from ..cpu.resumable import resume_run
+
+                result = resume_run(machine, state, (plan,))
+            else:
+                machine.restore(self.snapshot)
+                machine.arm_fault(plan)
+                result = machine.run(self.entry, self.args)
         except Trap as exc:
             return trap_outcome(exc)
         if not outputs_match(result.output, list(self.reference), self.rtol):
@@ -473,6 +508,25 @@ def _lockstep_trace(module: Module, session: InjectionSession,
     return trace
 
 
+def _cell_checkpoints(module: Module, entry: str, args: Sequence,
+                      budget: int, fault_eligible: Optional[Callable],
+                      fault_model: str, engine: str, snap: bool):
+    """The cell's :class:`repro.snap.CheckpointSet`, or None when
+    checkpointing is off (disabled, reference engine, unkeyable
+    predicate, or a golden run too short to profit). Cached through
+    the module's golden cache, so shards and forked workers share one
+    set per (cell, model)."""
+    if not snap or engine != "decoded":
+        return None
+    from ..snap.build import build_checkpoints
+
+    _, profile = golden_profile(module, entry, args, fault_eligible,
+                                engine=engine)
+    return build_checkpoints(module, entry, args, budget=budget,
+                             fault_eligible=fault_eligible,
+                             model=fault_model, eligible=profile.eligible)
+
+
 def run_plans(
     module: Module,
     entry: str,
@@ -486,6 +540,9 @@ def run_plans(
     batch: int = 1,
     fault_model: str = DEFAULT_MODEL,
     tick: Optional[Callable] = None,
+    snap: bool = True,
+    events=None,
+    stats: Optional[dict] = None,
 ) -> List[Outcome]:
     """Classify a list of fault plans; the shard-level entry point every
     fabric (inline, forked, durable, distributed) runs.
@@ -499,10 +556,26 @@ def run_plans(
     Everything else (reference engine, no fork, ``batch=1``) runs the
     sequential loop on a reused :class:`InjectionSession`. ``tick``,
     when given, is called after every injection or batch (cluster
-    workers heartbeat there)."""
+    workers heartbeat there).
+
+    ``snap`` resumes each injection (or batch group) from the nearest
+    mid-run checkpoint at or before its fault site (:mod:`repro.snap`)
+    — a pure execution-speed knob, bit-identical outcomes either way.
+    ``events`` (an :class:`repro.lab.events.EventBus`) receives a
+    ``batch-lane-degraded`` event for every batched lane that died
+    unreported and had to be reclassified sequentially; ``stats``, when
+    given, accumulates ``lanes_degraded`` / ``forked`` / ``converged``
+    counters for campaign manifests. Both only see lanes run by *this*
+    process: a forked lab worker's degradations stay in the worker
+    (the shard pipe carries outcome counts only)."""
     session = _get_session(module, entry, args, reference, budget, rtol,
                            fault_eligible, engine)
     plans = list(plans)
+    cset = None
+    if plans:
+        cset = _cell_checkpoints(module, entry, args, budget,
+                                 fault_eligible, fault_model, engine, snap)
+    session.attach_checkpoints(cset)
     batched = (batch > 1 and len(plans) > 1 and engine == "decoded"
                and hasattr(os, "fork"))
     if not batched:
@@ -525,24 +598,41 @@ def run_plans(
     # whole lane-worth of plans and not one reconverges — typical of
     # float workloads whose faulted state drifts within rtol forever —
     # stop installing the comparator for the rest of the cell.
-    stats = {"forked": 0, "converged": 0}
+    bstats = {"forked": 0, "converged": 0}
+    degraded = 0
     for start in range(0, len(order), batch):
         group = [(i, plans[i]) for i in order[start:start + batch]]
         if len(group) == 1:
             index, plan = group[0]
             outcomes[index] = session.inject(plan)
         else:
-            converge = stats["converged"] > 0 or stats["forked"] < batch
+            converge = bstats["converged"] > 0 or bstats["forked"] < batch
+            resume = (cset.nearest_for_all([p for _, p in group])
+                      if cset is not None else None)
             got = run_batch(session.machine, session.snapshot, entry,
                             session.args, group, session.reference,
                             budget, rtol, trace, converge=converge,
-                            stats=stats)
+                            stats=bstats, resume_from=resume)
             for index, plan in group:
                 outcome = got.get(index)
                 if outcome is None:
-                    # Lane died unreported: classify sequentially.
+                    # Lane died unreported: classify sequentially — and
+                    # say so, because each such lane costs a full extra
+                    # run (previously this fallback was silent).
+                    degraded += 1
+                    if events is not None:
+                        events.emit(
+                            "batch-lane-degraded", index=index,
+                            plan_kind=getattr(plan, "kind", "reg"),
+                            target=getattr(plan, "target_index", None),
+                        )
                     outcome = session.inject(plan)
                 outcomes[index] = outcome
         if tick is not None:
             tick()
+    if stats is not None:
+        stats["lanes_degraded"] = stats.get("lanes_degraded", 0) + degraded
+        stats["forked"] = stats.get("forked", 0) + bstats["forked"]
+        stats["converged"] = (stats.get("converged", 0)
+                              + bstats["converged"])
     return outcomes

@@ -166,7 +166,8 @@ def _run_cells(spec: Dict, store: ResultStore, events: EventBus,
     rows: List[tuple] = []
     cells: List[Dict] = []
     totals = {"shards_total": 0, "shards_from_store": 0,
-              "injections_executed": 0, "injections_from_store": 0}
+              "injections_executed": 0, "injections_from_store": 0,
+              "batch_lanes_degraded": 0}
     toolchain = default_toolchain()
     for name in spec["benchmarks"]:
         for version in spec["versions"]:
@@ -213,11 +214,13 @@ def _run_cells(spec: Dict, store: ResultStore, events: EventBus,
                 "shards_from_store": info.shards_from_store,
                 "injections_executed": info.injections_executed,
                 "injections_from_store": info.injections_from_store,
+                "batch_lanes_degraded": info.batch_lanes_degraded,
             })
             totals["shards_total"] += info.shards_total
             totals["shards_from_store"] += info.shards_from_store
             totals["injections_executed"] += info.injections_executed
             totals["injections_from_store"] += info.injections_from_store
+            totals["batch_lanes_degraded"] += info.batch_lanes_degraded
     return rows, cells, totals
 
 

@@ -22,6 +22,13 @@ Event kinds emitted today:
 ``shard-completed``    index, n, seconds, counts (by outcome value)
 ``shard-retry``        index, attempt, reason
 ``shard-degraded``     index, reason (runs in-process from here on)
+``batch-lane-degraded`` index, plan_kind, target (a batched lane died
+                       unreported; its plan was reclassified
+                       sequentially). Emitted by the process running
+                       the batch, so forked shard workers' events stay
+                       in the worker — in-process runs (the default
+                       service/cluster shard path, ``--workers 1``)
+                       see every one.
 ``store-stale``        purged (stale shard rows dropped for this cell)
 ``store-disabled``     reason (unkeyable eligibility predicate)
 ``adaptive-stop``      injections, halfwidth, target
@@ -206,6 +213,12 @@ class ConsoleReporter:
             self._say(
                 f"[lab]   shard {data.get('index')} degraded to in-process "
                 f"run: {data.get('reason')}"
+            )
+        elif event.kind == "batch-lane-degraded":
+            self._say(
+                f"[lab]   batched lane for plan {data.get('index')} "
+                f"({data.get('plan_kind')} @{data.get('target')}) died "
+                "unreported; reclassified sequentially"
             )
         elif event.kind == "store-stale":
             self._say(

@@ -1,0 +1,169 @@
+"""``python -m repro snap`` — build and inspect mid-run checkpoints.
+
+::
+
+    python -m repro snap build                 # default FI cells
+    python -m repro snap build --workloads histogram --variants elzar
+    python -m repro snap ls                    # stored sets + meta
+    python -m repro snap stats                 # store totals
+
+``build`` warms the content-addressed store with one checkpoint set
+per (workload, variant, fault model) cell — exactly what a campaign
+would build lazily on first injection — so lab shards, cluster workers
+and the service all start warm. A second ``build`` is a pure cache
+pass (100% hits, zero capture runs); CI asserts that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from ..faults.campaign import CampaignConfig, golden_profile
+from ..toolchain import default_toolchain
+from ..workloads.registry import FI_BENCHMARKS
+from .build import build_checkpoints
+from .placement import PlacementConfig
+from .store import SnapStore
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro snap",
+        description="Build and inspect mid-run injection checkpoints.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build (or warm-load) checkpoint "
+                                         "sets for campaign cells")
+    build.add_argument("--workloads", default=None, metavar="W1,W2|all",
+                       help="workloads to build (default: the FI benchmark "
+                            "set)")
+    build.add_argument("--variants", default="native,elzar",
+                       metavar="V1,V2", help="variants per workload "
+                                             "(default: native,elzar)")
+    build.add_argument("--scale", default="test",
+                       choices=("test", "fi", "perf"))
+    build.add_argument("--model", default=None, metavar="NAME",
+                       help="fault model for placement density (default: "
+                            "the registry default model)")
+    build.add_argument("--budget", type=int, default=24,
+                       help="checkpoints per run (default: 24)")
+    build.add_argument("--json", metavar="PATH", default=None)
+
+    ls = sub.add_parser("ls", help="list stored checkpoint sets")
+    ls.add_argument("--json", metavar="PATH", default=None)
+
+    stats = sub.add_parser("stats", help="store totals")
+    stats.add_argument("--json", metavar="PATH", default=None)
+    return parser
+
+
+def _cmd_build(args) -> int:
+    from ..faults.models import DEFAULT_MODEL
+
+    if args.workloads is None:
+        names = [w.name for w in FI_BENCHMARKS]
+    elif args.workloads.strip() == "all":
+        from ..workloads.registry import ALL
+        names = sorted(ALL)
+    else:
+        names = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    variants = [v.strip() for v in args.variants.split(",") if v.strip()]
+    model = args.model or DEFAULT_MODEL
+    placement = PlacementConfig(budget=args.budget)
+    toolchain = default_toolchain()
+    store = SnapStore()
+    config = CampaignConfig()
+    rows = []
+    for name in names:
+        for variant in variants:
+            built = toolchain.build(name, args.scale, variant)
+            _, profile = golden_profile(built.module, built.entry,
+                                        built.args)
+            budget = int(profile.executed * config.hang_factor) + 10_000
+            cset = build_checkpoints(
+                built.module, built.entry, built.args, budget=budget,
+                model=model, eligible=profile.eligible,
+                placement=placement, store=store,
+            )
+            if cset is None:
+                rows.append({"workload": name, "variant": variant,
+                             "skipped": True,
+                             "eligible": profile.eligible})
+                print(f"  {name:<18} {variant:<12} skipped "
+                      f"(eligible={profile.eligible})")
+                continue
+            rows.append({
+                "workload": name, "variant": variant, "model": model,
+                "key": cset.key, "states": len(cset.states),
+                "marks": cset.marks, "from_cache": cset.from_cache,
+                "eligible": profile.eligible,
+            })
+            source = "cache" if cset.from_cache else "built"
+            print(f"  {name:<18} {variant:<12} {len(cset.states):>3} "
+                  f"checkpoints  {source}  key {cset.key[:12]}")
+    s = store.stats
+    print(f"  snap store: {s.hits} hits, {s.misses} misses, "
+          f"{s.stores} stores")
+    report = {"model": model, "scale": args.scale, "cells": rows,
+              "store": s.as_dict()}
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"-- wrote {args.json}")
+    return 0
+
+
+def _cmd_ls(args) -> int:
+    store = SnapStore()
+    entries = store.entries()
+    if not entries:
+        print("no checkpoint sets stored"
+              + ("" if store.enabled else " (store disabled)"))
+    for row in entries:
+        if row.get("invalid"):
+            print(f"  {row['key'][:16]}  INVALID  {row['bytes']} bytes")
+            continue
+        marks = row.get("marks", [])
+        span = f"{marks[0]}..{marks[-1]}" if marks else "-"
+        print(f"  {row['key'][:16]}  {row.get('module', '?'):<24} "
+              f"@{row.get('entry', '?'):<16} {row.get('model', '?'):<18} "
+              f"{row.get('states', 0):>3} states  eligible {span}  "
+              f"{row['bytes'] / 1e3:.0f} kB")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"sets": entries}, fh, indent=2)
+            fh.write("\n")
+        print(f"-- wrote {args.json}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    store = SnapStore()
+    entries = store.entries()
+    total_bytes = sum(r["bytes"] for r in entries)
+    total_states = sum(r.get("states", 0) for r in entries)
+    invalid = sum(1 for r in entries if r.get("invalid"))
+    print(f"checkpoint store: {store.root or '(disabled)'}")
+    print(f"  {len(entries)} sets, {total_states} states, "
+          f"{total_bytes / 1e6:.1f} MB, {invalid} invalid")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"root": store.root, "sets": len(entries),
+                       "states": total_states, "bytes": total_bytes,
+                       "invalid": invalid}, fh, indent=2)
+            fh.write("\n")
+        print(f"-- wrote {args.json}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "build":
+        return _cmd_build(args)
+    if args.command == "ls":
+        return _cmd_ls(args)
+    return _cmd_stats(args)

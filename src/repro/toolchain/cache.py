@@ -65,6 +65,33 @@ class CacheStats:
 
 
 @dataclass
+class GCStats:
+    """One :meth:`ArtifactCache.gc` sweep."""
+
+    scanned_files: int = 0
+    scanned_bytes: int = 0
+    evicted_files: int = 0
+    evicted_bytes: int = 0
+
+    @property
+    def kept_bytes(self) -> int:
+        return self.scanned_bytes - self.evicted_bytes
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"scanned_files": self.scanned_files,
+                "scanned_bytes": self.scanned_bytes,
+                "evicted_files": self.evicted_files,
+                "evicted_bytes": self.evicted_bytes,
+                "kept_bytes": self.kept_bytes}
+
+    def render(self) -> str:
+        return (f"cache gc: scanned {self.scanned_files} files "
+                f"({self.scanned_bytes / 1e6:.1f} MB), evicted "
+                f"{self.evicted_files} ({self.evicted_bytes / 1e6:.1f} MB), "
+                f"kept {self.kept_bytes / 1e6:.1f} MB")
+
+
+@dataclass
 class Artifact:
     """One rehydrated cache entry."""
 
@@ -139,6 +166,7 @@ class ArtifactCache:
             _quietly_remove(path)
             return None
         self.stats.hits += 1
+        _touch(path)
         return Artifact(module=module, meta=meta)
 
     # Store -------------------------------------------------------------------
@@ -167,6 +195,58 @@ class ArtifactCache:
             return False
         self.stats.stores += 1
         return True
+
+    # Garbage collection ------------------------------------------------------
+
+    def gc(self, max_bytes: int) -> GCStats:
+        """Evict least-recently-used entries until the cache fits in
+        ``max_bytes``. Covers every regular file under the root —
+        build artifacts *and* the checkpoint blobs :mod:`repro.snap`
+        keys beside them — using mtime as the LRU clock (:meth:`load`
+        and ``SnapStore.load`` touch on hit). Safe to run concurrently
+        with readers: eviction is plain unlink, and a reader that
+        loses the race just sees a miss and rebuilds."""
+        stats = GCStats()
+        if not self.enabled or not os.path.isdir(self._root):
+            return stats
+        entries = []
+        for dirpath, _dirnames, filenames in os.walk(self._root):
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, st.st_size, path))
+        stats.scanned_files = len(entries)
+        stats.scanned_bytes = sum(size for _, size, _ in entries)
+        excess = stats.scanned_bytes - max(0, max_bytes)
+        if excess <= 0:
+            return stats
+        entries.sort()  # oldest mtime first
+        for _mtime, size, path in entries:
+            if stats.evicted_bytes >= excess:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            stats.evicted_files += 1
+            stats.evicted_bytes += size
+            parent = os.path.dirname(path)
+            try:  # drop empty fanout dirs, best-effort
+                os.rmdir(parent)
+            except OSError:
+                pass
+        return stats
+
+
+def _touch(path: str) -> None:
+    """Best-effort mtime bump — the LRU clock for :meth:`gc`."""
+    try:
+        os.utime(path, None)
+    except OSError:
+        pass
 
 
 def _quietly_remove(path: str) -> None:

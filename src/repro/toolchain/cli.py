@@ -55,6 +55,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: test)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the report as JSON")
+    parser.add_argument("--gc", action="store_true",
+                        help="LRU-evict the on-disk artifact cache (build "
+                             "artifacts and checkpoint sets) down to "
+                             "--gc-max-mb")
+    parser.add_argument("--gc-max-mb", type=int, default=512,
+                        metavar="MB",
+                        help="cache size budget for --gc (default: 512)")
     return parser
 
 
@@ -134,6 +141,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             "misses": stats.misses,
             "stores": stats.stores,
         }
+
+    if args.gc:
+        from .cache import ArtifactCache
+
+        cache = ArtifactCache()
+        if not cache.enabled:
+            print("cache gc: artifact cache disabled, nothing to collect")
+            report["gc"] = None
+        else:
+            gc_stats = cache.gc(args.gc_max_mb * 1024 * 1024)
+            print()
+            print(gc_stats.render())
+            report["gc"] = gc_stats.as_dict()
 
     if args.json:
         with open(args.json, "w") as fh:

@@ -1,0 +1,84 @@
+"""Placement-policy properties: determinism (the store's sharing
+precondition), interval bounds, and density adaptation to the fault
+model's exposed-site analysis.
+"""
+
+import pytest
+
+from repro.faults.models import model_names
+from repro.snap.placement import (
+    PlacementConfig,
+    function_intervals,
+    make_policy,
+)
+from repro.toolchain import default_toolchain
+
+
+def _module():
+    return default_toolchain().build("histogram", "test", "elzar").module
+
+
+class TestFunctionIntervals:
+    @pytest.mark.parametrize("model", model_names())
+    def test_deterministic_per_model(self, model):
+        module = _module()
+        a = function_intervals(module, 20_000, model)
+        b = function_intervals(module, 20_000, model)
+        assert a == b
+
+    @pytest.mark.parametrize("model", model_names())
+    def test_min_interval_is_a_floor(self, model):
+        config = PlacementConfig(budget=1000, min_interval=300)
+        intervals = function_intervals(_module(), 20_000, model, config)
+        assert all(v >= 300 for v in intervals.values())
+
+    def test_base_tracks_budget(self):
+        module = _module()
+        sparse = function_intervals(module, 100_000, "register-bitflip",
+                                    PlacementConfig(budget=10))
+        dense = function_intervals(module, 100_000, "register-bitflip",
+                                   PlacementConfig(budget=50))
+        assert sparse[""] > dense[""]
+
+    def test_density_boost_shrinks_exposed_functions(self):
+        # With boost, at least one function must be denser than the
+        # base (elzar builds still expose sync/checker sites), and no
+        # function may be *sparser* than the base.
+        module = _module()
+        intervals = function_intervals(
+            module, 100_000, "instruction-skip",
+            PlacementConfig(budget=10, density_boost=8.0, min_interval=16),
+        )
+        base = intervals[""]
+        named = {k: v for k, v in intervals.items() if k}
+        assert named
+        assert all(v <= base for v in named.values())
+        assert any(v < base for v in named.values())
+
+    def test_boost_one_is_uniform(self):
+        intervals = function_intervals(
+            _module(), 100_000, "register-bitflip",
+            PlacementConfig(budget=10, density_boost=1.0, min_interval=16),
+        )
+        assert len(set(intervals.values())) == 1
+
+
+class TestCapturePolicy:
+    def test_respects_max_checkpoints(self):
+        policy = make_policy(_module(), 1_000_000, "register-bitflip",
+                             PlacementConfig(max_checkpoints=3))
+        assert policy.limit == 3
+
+    def test_first_capture_skips_index_zero(self):
+        policy = make_policy(_module(), 20_000, "register-bitflip")
+        assert policy.next_index > 0
+
+    def test_config_cache_key_distinguishes_configs(self):
+        keys = {
+            PlacementConfig().cache_key(),
+            PlacementConfig(budget=7).cache_key(),
+            PlacementConfig(min_interval=512).cache_key(),
+            PlacementConfig(density_boost=2.0).cache_key(),
+            PlacementConfig(max_checkpoints=8).cache_key(),
+        }
+        assert len(keys) == 5
