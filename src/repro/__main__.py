@@ -6,7 +6,7 @@ Usage::
     python -m repro fig11 [--scale test|perf]
     python -m repro fig13 [--injections N] [--workers N]
     python -m repro all [--scale test|perf] [--injections N]
-    python -m repro bench [--scale test|perf] [--json PATH]
+    python -m repro bench [--suite engine|batch|snap|all] [--json PATH]
     python -m repro campaign [--resume] [--workers N] [--ci-target F]
     python -m repro chaos run --scenario S --seed N
     python -m repro cluster coordinator|worker ...
@@ -122,6 +122,11 @@ def main(argv=None) -> int:
                         help="also write each experiment as DIR/<id>.csv")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="for 'bench': also write results as JSON")
+    parser.add_argument("--suite", default="engine",
+                        choices=("engine", "batch", "snap", "all"),
+                        help="for 'bench': which benchmark suite(s) to "
+                             "run (engine throughput, batched injection, "
+                             "checkpointed injection, or all three)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -139,17 +144,15 @@ def main(argv=None) -> int:
         return 0
 
     if args.experiment == "bench":
-        from .bench import bench_engine_throughput, write_report
+        from .bench import run_suites
 
         # Same scale convention as fig13: full measurement runs at the
         # fault-injection scale, --scale test is the fast smoke pass.
-        rows = bench_engine_throughput(
-            scale="fi" if args.scale == "perf" else "test"
+        return run_suites(
+            args.suite,
+            scale="fi" if args.scale == "perf" else "test",
+            json_path=args.json,
         )
-        if args.json:
-            write_report(rows, args.json)
-            print(f"-- wrote {args.json}")
-        return 0
 
     if args.experiment == "scorecard":
         session = Session(args.scale)

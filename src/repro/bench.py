@@ -1,16 +1,21 @@
-"""Engine throughput benchmark: decoded vs reference interpreter.
+"""Engine throughput benchmark: compiled vs decoded vs reference.
 
 Measures simulated instructions per wall-clock second for every kernel
-under both execution engines (``MachineConfig.engine``), both with and
-without the timing model, and reports the speedup of the pre-decoded
-engine. ``python -m repro bench`` and
-``benchmarks/bench_engine_throughput.py`` both drive this module; the
-latter persists the numbers to ``BENCH_engine.json``.
+under all three execution engines (``MachineConfig.engine``), both with
+and without the timing model, and reports the speedup of each
+accelerated tier over the reference interpreter. ``python -m repro
+bench --suite engine`` and ``benchmarks/bench_engine_throughput.py``
+both drive this module; the numbers land in ``BENCH_engine.json``.
 
-The decoded engine must be a pure performance change: outputs,
-counters, and cycles are asserted equal between the two engines for
+The accelerated engines must be pure performance changes: outputs,
+counters, and cycles are asserted equal across all three engines for
 every workload measured (any drift fails the benchmark rather than
 silently reporting a speedup for a different simulation).
+
+:func:`run_suites` is the ``--suite engine|batch|snap|all`` entry point
+that also fans out to :mod:`repro.bench_batch` (batched lane-parallel
+injection, ``BENCH_batch.json``) and :mod:`repro.bench_snap`
+(checkpoint-resumed injection, ``BENCH_snap.json``).
 """
 
 from __future__ import annotations
@@ -27,6 +32,15 @@ DEFAULT_WORKLOADS = (
     "blackscholes", "streamcluster", "swaptions",
 )
 
+#: Measurement order: the reference tier is the denominator of every
+#: speedup; "decoded" is the trampoline over decoded records and
+#: "compiled" adds closure-compiled block segments on the same
+#: trampoline.
+ENGINES = ("reference", "decoded", "compiled")
+
+#: Benchmark suites ``run_suites`` knows how to drive.
+SUITES = ("engine", "batch", "snap")
+
 
 def _run(module, entry, args, engine: str, collect_timing: bool):
     machine = Machine(
@@ -40,42 +54,53 @@ def _run(module, entry, args, engine: str, collect_timing: bool):
 
 def bench_workload(name: str, scale: str = "fi", repeats: int = 3,
                    collect_timing: bool = True) -> Dict:
-    """Best-of-``repeats`` throughput for one kernel on both engines."""
+    """Best-of-``repeats`` throughput for one kernel on all engines."""
     built = ALL[name].build_at(scale)
     module, entry, args = built.module, built.entry, built.args
 
-    # Warm the decode cache so the one-time decode cost is not billed to
-    # the first timed repeat (it is amortised across campaign runs).
-    _run(module, entry, args, "decoded", collect_timing)
+    # Warm the decode and segment-compile caches so the one-time
+    # translation cost is not billed to the first timed repeat (it is
+    # amortised across campaign runs either way).
+    _run(module, entry, args, "compiled", collect_timing)
 
-    times = {"decoded": [], "reference": []}
+    times: Dict[str, List[float]] = {engine: [] for engine in ENGINES}
     results = {}
     for _ in range(repeats):
-        for engine in ("decoded", "reference"):
+        for engine in ENGINES:
             result, elapsed = _run(module, entry, args, engine, collect_timing)
             times[engine].append(elapsed)
             results[engine] = result
 
-    dec, ref = results["decoded"], results["reference"]
-    if dec.output != ref.output:
-        raise AssertionError(f"{name}: engine outputs differ")
-    if dec.counters.as_dict() != ref.counters.as_dict():
-        raise AssertionError(f"{name}: engine counters differ")
-    if collect_timing and dec.cycles != ref.cycles:
-        raise AssertionError(f"{name}: engine cycle counts differ")
+    ref = results["reference"]
+    for engine in ("decoded", "compiled"):
+        res = results[engine]
+        if res.output != ref.output:
+            raise AssertionError(f"{name}: {engine} engine outputs differ")
+        if res.counters.as_dict() != ref.counters.as_dict():
+            raise AssertionError(f"{name}: {engine} engine counters differ")
+        if collect_timing and res.cycles != ref.cycles:
+            raise AssertionError(f"{name}: {engine} engine cycles differ")
 
-    instructions = dec.counters.instructions
+    instructions = ref.counters.instructions
     best = {engine: min(ts) for engine, ts in times.items()}
-    return {
-        "workload": name,
-        "scale": scale,
-        "instructions": instructions,
-        "decoded_seconds": best["decoded"],
-        "reference_seconds": best["reference"],
-        "decoded_ips": instructions / best["decoded"],
-        "reference_ips": instructions / best["reference"],
-        "speedup": best["reference"] / best["decoded"],
-    }
+    row = {"workload": name, "scale": scale, "instructions": instructions}
+    for engine in ENGINES:
+        row[f"{engine}_seconds"] = best[engine]
+        row[f"{engine}_ips"] = instructions / best[engine]
+    row["decoded_speedup"] = best["reference"] / best["decoded"]
+    row["compiled_speedup"] = best["reference"] / best["compiled"]
+    # Headline number: the fastest tier over the reference interpreter.
+    row["speedup"] = row["compiled_speedup"]
+    return row
+
+
+def _geomean(rows: List[Dict], key: str) -> Optional[float]:
+    if not rows:
+        return None
+    product = 1.0
+    for row in rows:
+        product *= row[key]
+    return product ** (1.0 / len(rows))
 
 
 def bench_engine_throughput(scale: str = "fi", repeats: int = 3,
@@ -90,29 +115,65 @@ def bench_engine_throughput(scale: str = "fi", repeats: int = 3,
         if verbose:
             print(
                 f"{name:<18} {row['instructions']:>10} instrs  "
-                f"decoded {row['decoded_ips'] / 1e3:>7.0f}k ips  "
-                f"reference {row['reference_ips'] / 1e3:>7.0f}k ips  "
-                f"speedup {row['speedup']:.2f}x"
+                f"decoded {row['decoded_speedup']:>5.2f}x  "
+                f"compiled {row['compiled_speedup']:>5.2f}x  "
+                f"({row['compiled_ips'] / 1e3:.0f}k ips)"
             )
     if verbose and rows:
-        geomean = 1.0
-        for row in rows:
-            geomean *= row["speedup"]
-        geomean **= 1.0 / len(rows)
-        print(f"{'geomean speedup':<18} {geomean:.2f}x")
+        print(f"{'geomean speedup':<18} "
+              f"decoded {_geomean(rows, 'decoded_speedup'):>16.2f}x  "
+              f"compiled {_geomean(rows, 'compiled_speedup'):>5.2f}x")
     return rows
 
 
 def write_report(rows: List[Dict], path: str = "BENCH_engine.json") -> None:
-    geomean = 1.0
-    for row in rows:
-        geomean *= row["speedup"]
     report = {
         "benchmark": "engine_throughput",
         "unit": "simulated instructions per second",
-        "geomean_speedup": geomean ** (1.0 / len(rows)) if rows else None,
+        "engines": list(ENGINES),
+        "geomean_speedup": _geomean(rows, "compiled_speedup"),
+        "geomean_decoded_speedup": _geomean(rows, "decoded_speedup"),
+        "geomean_compiled_speedup": _geomean(rows, "compiled_speedup"),
         "rows": rows,
     }
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
+
+
+def run_suites(suite: str = "engine", scale: str = "fi",
+               json_path: Optional[str] = None) -> int:
+    """``python -m repro bench --suite ...``: run one benchmark suite
+    (or ``all``) and persist its ``BENCH_*.json`` report.
+
+    ``json_path`` overrides the output path when a single suite runs;
+    with ``all`` each suite writes its default file name.
+    """
+    suites = list(SUITES) if suite == "all" else [suite]
+    if json_path is not None and len(suites) > 1:
+        raise ValueError("--json applies to a single --suite only")
+    for name in suites:
+        if name not in SUITES:
+            raise ValueError(f"unknown bench suite {name!r}")
+        if len(suites) > 1:
+            print(f"== suite: {name}")
+        if name == "engine":
+            rows = bench_engine_throughput(scale=scale)
+            out = json_path or "BENCH_engine.json"
+            write_report(rows, out)
+        elif name == "batch":
+            from .bench_batch import bench_batch_injection
+            from .bench_batch import write_report as write_batch
+
+            rows = bench_batch_injection(scale=scale)
+            out = json_path or "BENCH_batch.json"
+            write_batch(rows, out)
+        else:
+            from .bench_snap import bench_checkpoint_injection
+            from .bench_snap import write_report as write_snap
+
+            rows = bench_checkpoint_injection(scale=scale)
+            out = json_path or "BENCH_snap.json"
+            write_snap(rows, out)
+        print(f"-- wrote {out}")
+    return 0

@@ -32,7 +32,8 @@ Two further cuts make the asymptotic win real on one core:
 
 Classification parity: a forked lane inherits exactly the machine state
 a sequential ``inject_once`` run would have at the fault site (the
-parent runs the same ``_run_inject`` bookkeeping path), fires the same
+parent's golden run walks the same record-path bookkeeping an armed
+frame uses), fires the same
 plan at the same dynamic event, and classifies by the same rules —
 trap class, output-vs-reference match, corrections count. The
 differential test matrix pins per-plan outcome identity against

@@ -15,6 +15,16 @@ from ..avx.costs import MEM_LATENCY
 
 LINE_SIZE = 64
 
+# Latency per hit level, precomputed as floats so the hot access path
+# does no dict lookup or conversion. Index 0 is unused padding.
+_LATENCY = (
+    0.0,
+    float(MEM_LATENCY[1]),
+    float(MEM_LATENCY[2]),
+    float(MEM_LATENCY[3]),
+    float(MEM_LATENCY[4]),
+)
+
 
 class Cache:
     """One level: set-associative with LRU replacement.
@@ -34,18 +44,19 @@ class Cache:
 
     def access(self, line_addr: int) -> bool:
         """Touch a line; returns True on hit. Fills on miss."""
-        idx = line_addr % self.num_sets
-        cset = self._sets[idx]
-        try:
+        cset = self._sets[line_addr % self.num_sets]
+        # Membership test first: a raised ValueError from list.index is
+        # far more expensive than a second C-level scan of a <=16-entry
+        # list, and misses are not rare.
+        if line_addr in cset:
             pos = cset.index(line_addr)
-        except ValueError:
-            if len(cset) >= self.assoc:
-                cset.pop()
-            cset.insert(0, line_addr)
-            return False
-        if pos:
-            cset.insert(0, cset.pop(pos))
-        return True
+            if pos:
+                cset.insert(0, cset.pop(pos))
+            return True
+        if len(cset) >= self.assoc:
+            cset.pop()
+        cset.insert(0, line_addr)
+        return False
 
     def reset(self) -> None:
         for cset in self._sets:
@@ -70,22 +81,27 @@ class StreamPrefetcher:
         """Record an access; returns lines to prefetch (empty if the
         access continues no known stream)."""
         self._clock += 1
-        for i, expected in enumerate(self._streams):
-            if line == expected or line == expected + 1:
-                self._streams[i] = line + 1
-                self._last_used[i] = self._clock
-                return [line + k for k in range(1, self.depth + 1)]
+        # A stream at index i continues when line == expected or
+        # line == expected + 1, i.e. when streams[i] is line or line-1;
+        # the first matching index wins. Two C-level list scans beat a
+        # Python loop over the slots.
+        streams = self._streams
+        match = streams.index(line) if line in streams else -1
+        prev = line - 1
+        if prev in streams:
+            j = streams.index(prev)
+            if match < 0 or j < match:
+                match = j
+        if match >= 0:
+            streams[match] = line + 1
+            self._last_used[match] = self._clock
+            return [line + k for k in range(1, self.depth + 1)]
         # Allocate the least-recently-used stream slot (first minimum,
-        # matching min-with-key semantics, without the lambda overhead).
+        # matching min-with-key semantics).
         last_used = self._last_used
-        victim = 0
-        best = last_used[0]
-        for i in range(1, len(last_used)):
-            if last_used[i] < best:
-                best = last_used[i]
-                victim = i
-        self._streams[victim] = line + 1
-        self._last_used[victim] = self._clock
+        victim = last_used.index(min(last_used))
+        streams[victim] = line + 1
+        last_used[victim] = self._clock
         return []
 
 
@@ -116,15 +132,74 @@ class CacheHierarchy:
         line = addr // LINE_SIZE
         # A straddling access touches the second line too (rare; charge
         # the first line's level).
-        straddle = (addr + max(size, 1) - 1) // LINE_SIZE
-        level = self._access_line(line)
+        straddle = (addr + (size - 1 if size > 1 else 0)) // LINE_SIZE
+        # Inline L1 probe: the overwhelmingly common case is an L1 hit
+        # at the MRU position, which this path resolves with no method
+        # calls. State evolution is identical to _access_line.
+        l1 = self.l1
+        l1_sets = l1._sets
+        l1_nsets = l1.num_sets
+        cset = l1_sets[line % l1_nsets]
+        if cset and cset[0] == line:
+            level = 1
+        elif line in cset:
+            cset.insert(0, cset.pop(cset.index(line)))
+            level = 1
+        else:
+            if len(cset) >= l1.assoc:
+                cset.pop()
+            cset.insert(0, line)
+            if self.l2.access(line):
+                level = 2
+            elif self.l3.access(line):
+                level = 3
+            else:
+                level = 4
         if straddle != line:
             self._access_line(straddle)
-        if self.prefetcher is not None:
-            for ahead in self.prefetcher.advance(line):
-                self.prefetches += 1
-                self._access_line(ahead)
-        return level, float(MEM_LATENCY[level])
+        pf = self.prefetcher
+        if pf is not None:
+            # Inline StreamPrefetcher.advance (same state evolution;
+            # see the comments there) plus the prefetch fills.
+            pf._clock += 1
+            streams = pf._streams
+            match = streams.index(line) if line in streams else -1
+            prev = line - 1
+            if prev in streams:
+                j = streams.index(prev)
+                if match < 0 or j < match:
+                    match = j
+            if match >= 0:
+                streams[match] = line + 1
+                pf._last_used[match] = pf._clock
+                depth = pf.depth
+                self.prefetches += depth
+                # Inline the fills' L1 probe: on a steady stream the
+                # prefetched lines were filled by the previous access,
+                # so they hit L1 at or near MRU — resolve that without
+                # the _access_line/Cache.access call pair. State
+                # evolution is identical to _access_line (fills ignore
+                # the hit level).
+                l1_assoc = l1.assoc
+                for k in range(1, depth + 1):
+                    fl = line + k
+                    fset = l1_sets[fl % l1_nsets]
+                    if fset and fset[0] == fl:
+                        continue
+                    if fl in fset:
+                        fset.insert(0, fset.pop(fset.index(fl)))
+                        continue
+                    if len(fset) >= l1_assoc:
+                        fset.pop()
+                    fset.insert(0, fl)
+                    if not self.l2.access(fl):
+                        self.l3.access(fl)
+            else:
+                last_used = pf._last_used
+                victim = last_used.index(min(last_used))
+                streams[victim] = line + 1
+                last_used[victim] = pf._clock
+        return level, _LATENCY[level]
 
     def _access_line(self, line: int) -> int:
         if self.l1.access(line):

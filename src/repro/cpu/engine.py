@@ -1,10 +1,13 @@
-"""Pre-decoded execution engine: the simulator's fast path.
+"""Decode layer of the execution core: IR -> decoded records.
 
 The reference interpreter (:mod:`repro.cpu.interpreter`) dispatches each
 dynamic instruction through a chain of ~22 ``isinstance`` checks and
 resolves every operand with per-step dict lookups keyed by ``Value``.
 This module removes that per-step work with a one-time *decode* of each
-function:
+function (execution itself lives in :mod:`repro.cpu.compiled`: the
+explicit-frame trampoline runs these records directly for the
+``decoded`` engine, and compiles them further into threaded-code
+segments for the ``compiled`` engine):
 
 - every basic block is lowered to a flat tuple of per-instruction
   **handler closures** (a dispatch table built once, indexed never);
@@ -113,12 +116,14 @@ class DecodedBlock:
         "phi_moves",       # {pred DecodedBlock: ((dst, slot, const), ...)} | None
         "phi_meta",        # ((type, phi inst), ...) for inject bookkeeping
         "call_meta",       # parallel to body: defined-call metadata or None
+        "compiled",        # [timing segmap, plain segmap] | None (cpu.compiled)
     )
 
     def __init__(self, name: str):
         self.name = name
         self.phi_moves = None
         self.phi_meta = ()
+        self.compiled = None
 
 
 class DecodedFunction:
@@ -135,353 +140,10 @@ class DecodedFunction:
 # --- Execution ---------------------------------------------------------------
 
 
-def exec_decoded_function(M, dfn: DecodedFunction, args: List,
-                          arg_times: List[float]):
-    """Execute one decoded function frame on machine ``M``.
-
-    Mirrors ``Machine._exec_function``: depth check, frame setup, stack
-    mark/release, and ``_current_fn`` maintenance.
-    """
-    depth = M._depth + 1
-    if depth > M.config.max_call_depth:
-        raise HangError(f"call depth exceeded in @{dfn.fn.name}")
-    M._depth = depth
-    regs = [None] * dfn.nslots
-    times = [0.0] * dfn.nslots
-    nargs = dfn.nargs
-    if nargs:
-        regs[:nargs] = args
-        times[:nargs] = arg_times
-    mark = M.memory.stack_mark()
-    caller = M._current_fn
-    M._current_fn = dfn.fn
-    frames = M._frames
-    frames.append((dfn, regs))
-    prev_mem = M._mem_stream_live
-    prev_branch = M._branch_stream_live
-    try:
-        if M._fault_active and M._fault_eligible_fn(dfn.fn):
-            M._mem_stream_live = M._mem_stream_needed
-            M._branch_stream_live = M._branch_stream_needed
-            return _run_inject(M, dfn, regs, times)
-        M._mem_stream_live = False
-        M._branch_stream_live = False
-        return _run_fast(M, dfn, regs, times)
-    finally:
-        frames.pop()
-        M._current_fn = caller
-        M._mem_stream_live = prev_mem
-        M._branch_stream_live = prev_branch
-        M.memory.stack_release(mark)
-        M._depth = depth - 1
-
-
-def _run_fast(M, dfn, regs, times):
-    """Block loop without fault/trace bookkeeping (no plans armed)."""
-    counters = M.counters
-    cd = counters.__dict__
-    byop = counters.collect_by_opcode
-    timing = M.timing
-    maxi = M.config.max_instructions
-    executed = M._executed
-    block = dfn.entry
-    prev = None
-    try:
-        while True:
-            # Phis: parallel moves against the incoming edge. Nothing is
-            # counted yet, so exceptions here escape without any flush.
-            if prev is not None:
-                pm = block.phi_moves
-                if pm is not None:
-                    moves = pm.get(prev)
-                    if moves is None:
-                        raise KeyError(
-                            f"phi in %{block.name} has no incoming from "
-                            f"%{prev.name}"
-                        )
-                    staged = [
-                        (dst,
-                         regs[s] if s >= 0 else c,
-                         times[s] if s >= 0 else 0.0)
-                        for dst, s, c in moves
-                    ]
-                    for dst, v, t in staged:
-                        regs[dst] = v
-                        times[dst] = t
-
-            body = block.body
-            n = block.n
-            i = 0
-            budget_exc = None
-            try:
-                while i < n:
-                    executed += 1
-                    if executed > maxi:
-                        budget_exc = HangError(
-                            f"instruction budget exceeded ({maxi})"
-                        )
-                        raise budget_exc
-                    executed = body[i](M, regs, times, executed, timing)
-                    i += 1
-
-                # Terminator ----------------------------------------------
-                kind = block.term_kind
-                if kind == _T_FALLOFF:
-                    raise MemoryFault(0, 0)
-                executed += 1
-                if executed > maxi:
-                    budget_exc = HangError(
-                        f"instruction budget exceeded ({maxi})"
-                    )
-                    raise budget_exc
-                if kind == _T_UNREACHABLE:
-                    raise MemoryFault(0, 0)
-
-                for k, v in block.full_pairs:
-                    cd[k] += v
-                if byop:
-                    bo = counters.by_opcode
-                    for op, cnt in block.opcode_items:
-                        bo[op] = bo.get(op, 0) + cnt
-
-                term = block.term
-                if kind == _T_BR:
-                    if timing is not None:
-                        timing.issue("br", term[1], (), 0.0, 1, False, None)
-                    prev = block
-                    block = term[0]
-                    continue
-                if kind == _T_CONDBR:
-                    s, c, tb, eb, inst, lat = term
-                    cond = regs[s] if s >= 0 else c
-                    taken = bool(cond)
-                    pcs = M._branch_pcs
-                    key = id(inst)
-                    pc = pcs.get(key)
-                    if pc is None:
-                        pc = M._next_pc
-                        M._next_pc = pc + 1
-                        pcs[key] = pc
-                    correct = M.predictor.predict_and_update(pc, taken)
-                    if timing is not None:
-                        resolve = timing.issue(
-                            "br", lat,
-                            (times[s] if s >= 0 else 0.0,),
-                            0.0, 1, False, None,
-                        )
-                        if not correct:
-                            cd["branch_misses"] += 1
-                            timing.branch_mispredict(resolve)
-                    elif not correct:
-                        cd["branch_misses"] += 1
-                    prev = block
-                    block = tb if taken else eb
-                    continue
-                if kind == _T_RET:
-                    s, c, lat, uops = term
-                    if timing is not None:
-                        timing.issue(
-                            "ret", lat,
-                            (times[s] if s >= 0 else 0.0,),
-                            0.0, uops, False, None,
-                        )
-                    return regs[s] if s >= 0 else c
-                # _T_RET_VOID
-                lat, uops = block.term
-                if timing is not None:
-                    timing.issue("ret", lat, (), 0.0, uops, False, None)
-                return None
-            except BaseException as exc:
-                # Exact partial flush: records 0..i-1 completed; record i
-                # counted up to the point the reference interpreter would
-                # have reached when the exception fired. A budget hang is
-                # raised *before* record i is counted.
-                for k, v in block.cum_pairs[i]:
-                    cd[k] += v
-                if exc is not budget_exc:
-                    for k, v in block.partial_pairs[i]:
-                        cd[k] += v
-                if byop:
-                    bo = counters.by_opcode
-                    end = i if exc is budget_exc else i + 1
-                    for op in block.opcodes[:end]:
-                        bo[op] = bo.get(op, 0) + 1
-                raise
-    finally:
-        if executed > M._executed:
-            M._executed = executed
-
-
-def _run_inject(M, dfn, regs, times):
-    """Block loop with fault-injection / eligibility / trace bookkeeping.
-
-    Identical control flow to :func:`_run_fast` plus the reference
-    interpreter's ``_maybe_inject`` logic after every value-producing
-    record (and phi move) — applied to the already-written register so
-    the handlers stay shared between modes.
-    """
-    counters = M.counters
-    cd = counters.__dict__
-    byop = counters.collect_by_opcode
-    timing = M.timing
-    maxi = M.config.max_instructions
-    executed = M._executed
-    block = dfn.entry
-    prev = None
-    try:
-        while True:
-            if prev is not None:
-                pm = block.phi_moves
-                if pm is not None:
-                    moves = pm.get(prev)
-                    if moves is None:
-                        raise KeyError(
-                            f"phi in %{block.name} has no incoming from "
-                            f"%{prev.name}"
-                        )
-                    staged = [
-                        (dst,
-                         regs[s] if s >= 0 else c,
-                         times[s] if s >= 0 else 0.0)
-                        for dst, s, c in moves
-                    ]
-                    for (dst, v, t), (ty, phi) in zip(staged, block.phi_meta):
-                        index = M.eligible_executed
-                        M.eligible_executed = index + 1
-                        if (M._trace_eligible is not None
-                                and index >= M._trace_skip_until):
-                            # Publish the exact dynamic-instruction count
-                            # (it is otherwise synced only at call
-                            # boundaries): the batch engine's recorder
-                            # and lane comparators read it per event.
-                            M._executed = executed
-                            M._trace_eligible(phi, M._current_fn)
-                        if M._checker_needed:
-                            v = M._checker_step(v, phi)
-                        plans = M.fault_plans
-                        cursor = M._next_plan
-                        if (cursor < len(plans)
-                                and index == plans[cursor].target_index):
-                            v = M._apply_reg_plans(v, phi, index)
-                        regs[dst] = v
-                        times[dst] = t
-
-            body = block.body
-            inj = block.inject
-            n = block.n
-            i = 0
-            budget_exc = None
-            try:
-                while i < n:
-                    executed += 1
-                    if executed > maxi:
-                        budget_exc = HangError(
-                            f"instruction budget exceeded ({maxi})"
-                        )
-                        raise budget_exc
-                    executed = body[i](M, regs, times, executed, timing)
-                    meta = inj[i]
-                    if meta is not None:
-                        dst, ty, inst = meta
-                        index = M.eligible_executed
-                        M.eligible_executed = index + 1
-                        if (M._trace_eligible is not None
-                                and index >= M._trace_skip_until):
-                            M._executed = executed
-                            M._trace_eligible(inst, M._current_fn)
-                        if M._checker_needed:
-                            regs[dst] = M._checker_step(regs[dst], inst)
-                        plans = M.fault_plans
-                        cursor = M._next_plan
-                        if (cursor < len(plans)
-                                and index == plans[cursor].target_index):
-                            regs[dst] = M._apply_reg_plans(
-                                regs[dst], inst, index
-                            )
-                    i += 1
-
-                kind = block.term_kind
-                if kind == _T_FALLOFF:
-                    raise MemoryFault(0, 0)
-                executed += 1
-                if executed > maxi:
-                    budget_exc = HangError(
-                        f"instruction budget exceeded ({maxi})"
-                    )
-                    raise budget_exc
-                if kind == _T_UNREACHABLE:
-                    raise MemoryFault(0, 0)
-
-                for k, v in block.full_pairs:
-                    cd[k] += v
-                if byop:
-                    bo = counters.by_opcode
-                    for op, cnt in block.opcode_items:
-                        bo[op] = bo.get(op, 0) + cnt
-
-                term = block.term
-                if kind == _T_BR:
-                    if timing is not None:
-                        timing.issue("br", term[1], (), 0.0, 1, False, None)
-                    prev = block
-                    block = term[0]
-                    continue
-                if kind == _T_CONDBR:
-                    s, c, tb, eb, inst, lat = term
-                    cond = regs[s] if s >= 0 else c
-                    taken = bool(cond)
-                    if M._branch_stream_live:
-                        taken = M._branch_step(taken, inst)
-                    pcs = M._branch_pcs
-                    key = id(inst)
-                    pc = pcs.get(key)
-                    if pc is None:
-                        pc = M._next_pc
-                        M._next_pc = pc + 1
-                        pcs[key] = pc
-                    correct = M.predictor.predict_and_update(pc, taken)
-                    if timing is not None:
-                        resolve = timing.issue(
-                            "br", lat,
-                            (times[s] if s >= 0 else 0.0,),
-                            0.0, 1, False, None,
-                        )
-                        if not correct:
-                            cd["branch_misses"] += 1
-                            timing.branch_mispredict(resolve)
-                    elif not correct:
-                        cd["branch_misses"] += 1
-                    prev = block
-                    block = tb if taken else eb
-                    continue
-                if kind == _T_RET:
-                    s, c, lat, uops = term
-                    if timing is not None:
-                        timing.issue(
-                            "ret", lat,
-                            (times[s] if s >= 0 else 0.0,),
-                            0.0, uops, False, None,
-                        )
-                    return regs[s] if s >= 0 else c
-                lat, uops = block.term
-                if timing is not None:
-                    timing.issue("ret", lat, (), 0.0, uops, False, None)
-                return None
-            except BaseException as exc:
-                for k, v in block.cum_pairs[i]:
-                    cd[k] += v
-                if exc is not budget_exc:
-                    for k, v in block.partial_pairs[i]:
-                        cd[k] += v
-                if byop:
-                    bo = counters.by_opcode
-                    end = i if exc is budget_exc else i + 1
-                    for op in block.opcodes[:end]:
-                        bo[op] = bo.get(op, 0) + 1
-                raise
-    finally:
-        if executed > M._executed:
-            M._executed = executed
+# Execution lives in repro.cpu.compiled: one explicit-frame
+# trampoline (run_stack) executes decoded records for the
+# "decoded" engine and compiled segments for the "compiled"
+# engine. This module is the decode layer only.
 
 
 # --- Decode: static counter deltas -------------------------------------------
@@ -1292,34 +954,18 @@ def _make_call_defined(rv, inst, costs, static, dst, dfn):
     port = costs.ports.get("call")
     uops, isv = static[2], static[1]
 
-    def h(M, regs, times, executed, timing,
-          arg_rs=arg_rs, dst=dst, dfn=dfn, lat=lat, uops=uops, isv=isv,
-          port=port, site=id(inst)):
-        args = [regs[s] if s >= 0 else c for s, c in arg_rs]
-        ats = [times[s] if s >= 0 else 0.0 for s, c in arg_rs]
-        # Publish the exact dynamic-instruction count (this call record
-        # included) so the callee continues the global budget, then pick
-        # up whatever it consumed. The call-site registry identifies
-        # where this frame resumes, for the batch engine's state
-        # digests; no try/finally — Trap unwinding abandons the run and
-        # Machine.run clears the registry on entry.
-        M._executed = executed
-        cs = M._call_sites
-        cs.append(site)
-        value = exec_decoded_function(M, dfn, args, ats)
-        cs.pop()
-        if dst >= 0:
-            regs[dst] = value
-        if timing is not None:
-            done = timing.issue("call", lat, ats, 0.0, uops, isv, port)
-            if dst >= 0:
-                times[dst] = done
-        return M._executed
+    def h(M, regs, times, executed, timing, name=inst.callee.name):
+        # Unreachable: the trampoline (repro.cpu.compiled.run_stack)
+        # intercepts every record whose call_meta is set and pushes an
+        # explicit frame instead of invoking the handler.
+        raise RuntimeError(
+            f"defined call @{name} must run on the frame trampoline"
+        )
 
-    # Everything the resumable trampoline (repro.cpu.resumable) needs to
-    # emulate this handler without Python recursion: it pushes an
-    # explicit frame where ``h`` would recurse, and completes the
-    # post-return bookkeeping (dst write, call timing) itself.
+    # Everything the trampoline needs to execute this record without
+    # Python recursion: it pushes an explicit frame where the recursive
+    # engine recursed, and completes the post-return bookkeeping
+    # (dst write, call timing) itself.
     h._call_meta = (arg_rs, dst, dfn, lat, uops, isv, port, id(inst))
     return h
 
@@ -1591,13 +1237,12 @@ def _fill_block(dmod, dblock, bb, bmap, rv, slot_map):
     dblock.opcode_items = tuple(items.items())
 
 
-def _fill_function(dmod, dfn):
-    fn = dfn.fn
-    costs = dmod.costs
-    globals_addr = dmod.globals_addr
-
-    # Register-file layout: args first, then every value-producing
-    # instruction (phis included) in block order.
+def slot_layout(fn):
+    """Register-file layout of ``fn``: args first, then every
+    value-producing instruction (phis included) in block order.
+    Returns ``(slot_map, nslots)`` with ``slot_map`` keyed by
+    ``id(value)``. Deterministic per function — the decode pass and the
+    segment compiler (repro.cpu.compiled) must agree on it."""
     slot_map = {}
     slot = 0
     for arg in fn.args:
@@ -1608,11 +1253,16 @@ def _fill_function(dmod, dfn):
             if not inst.type.is_void:
                 slot_map[id(inst)] = slot
                 slot += 1
-    dfn.nslots = slot
+    return slot_map, slot
+
+
+def operand_resolver(slot_map, globals_addr):
+    """Build the operand resolver over a slot layout: op ->
+    ``(slot, constant)``; slot < 0 means use the constant. Mirrors
+    Machine._eval's resolution rules; raises :class:`_Undecodable` for
+    malformed operands (the reference Traps on those at runtime)."""
 
     def rv(op):
-        """Resolve an operand to (slot, constant); slot < 0 means use
-        the constant. Mirrors Machine._eval's resolution rules."""
         if isinstance(op, Constant):
             return (-1, op.value)
         s = slot_map.get(id(op))
@@ -1629,6 +1279,14 @@ def _fill_function(dmod, dfn):
         if isinstance(op, (Instruction, Argument)):
             raise _Undecodable(f"use of undefined value {op.ref()}")
         raise _Undecodable(f"cannot evaluate operand {op!r}")
+
+    return rv
+
+
+def _fill_function(dmod, dfn):
+    fn = dfn.fn
+    slot_map, dfn.nslots = slot_layout(fn)
+    rv = operand_resolver(slot_map, dmod.globals_addr)
 
     bmap = {}
     for bb in fn.blocks:

@@ -21,7 +21,7 @@ import math
 import struct
 import sys
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..avx import costs as C
 from ..avx import ops as avxops
@@ -77,6 +77,40 @@ _RUN_RECURSION_LIMIT = 8000
 _NON_ALU_OPS = frozenset({"load", "store", "br", "ret", "call", "phi", "alloca"})
 
 
+# --- Engine registry ---------------------------------------------------------
+#
+# Maps MachineConfig.engine names to runners. "reference" is special
+# (the tree-walking interpreter below, dispatched inline by
+# Machine.run); every other engine resolves lazily to
+# ``module_path.attr``, a callable ``runner(machine, fn, arg_values) ->
+# value`` (lazy so importing this module never pulls the decode or
+# compile layers).
+_ENGINE_SPECS: Dict[str, Optional[Tuple[str, str]]] = {
+    "reference": None,
+    "decoded": ("repro.cpu.compiled", "run_decoded"),
+    "compiled": ("repro.cpu.compiled", "run_compiled"),
+}
+
+
+def register_engine(name: str, spec: Optional[Tuple[str, str]]) -> None:
+    """Register (or override) an execution engine. ``spec`` is a
+    ``(module_path, attr)`` pair naming a runner, or None for engines
+    dispatched specially by Machine.run."""
+    _ENGINE_SPECS[name] = spec
+
+
+def registered_engines() -> Tuple[str, ...]:
+    return tuple(sorted(_ENGINE_SPECS))
+
+
+def _engine_runner(name: str):
+    import importlib
+
+    spec = _ENGINE_SPECS[name]
+    module_path, attr = spec
+    return getattr(importlib.import_module(module_path), attr)
+
+
 @dataclass
 class MachineConfig:
     cost_model: C.CostModel = C.HASWELL
@@ -100,10 +134,19 @@ class MachineConfig:
     #: Which functions fault injection may target (None = every defined
     #: non-intrinsic function in the module).
     fault_eligible: Optional[Callable[[Function], bool]] = None
-    #: Execution engine: "decoded" runs the pre-decoded fast path
-    #: (repro.cpu.engine, bit-identical results); "reference" runs the
-    #: original tree-walking interpreter.
-    engine: str = "decoded"
+    #: Execution engine: "decoded" runs decoded records on the frame
+    #: trampoline, "compiled" (the default) additionally runs
+    #: closure-compiled block segments (both in repro.cpu.compiled,
+    #: bit-identical results); "reference" runs the original
+    #: tree-walking interpreter.
+    engine: str = "compiled"
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINE_SPECS:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; registered engines: "
+                + ", ".join(registered_engines())
+            )
 
 
 @dataclass
@@ -733,19 +776,18 @@ class Machine:
         if saved_limit < _RUN_RECURSION_LIMIT:
             sys.setrecursionlimit(_RUN_RECURSION_LIMIT)
         try:
-            if self.config.engine == "decoded":
-                from .engine import decoded_module, exec_decoded_function
-
-                dfn = decoded_module(
-                    self.module, self.config.cost_model, self.globals_addr
-                ).function(fn)
-                value = exec_decoded_function(
-                    self, dfn, arg_values, [0.0] * len(arg_values)
-                )
-            else:
+            engine = self.config.engine
+            if _ENGINE_SPECS.get(engine, None) is None:
+                if engine not in _ENGINE_SPECS:
+                    raise ValueError(
+                        f"unknown engine {engine!r}; registered engines: "
+                        + ", ".join(registered_engines())
+                    )
                 value = self._exec_function(
                     fn, arg_values, [0.0] * len(arg_values), 0
                 )
+            else:
+                value = _engine_runner(engine)(self, fn, arg_values)
         finally:
             if saved_limit < _RUN_RECURSION_LIMIT:
                 sys.setrecursionlimit(saved_limit)

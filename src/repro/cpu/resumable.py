@@ -1,720 +1,48 @@
-"""Explicit-frame (trampoline) execution of decoded functions, with
-mid-run capture and resume.
+"""Compatibility shim: the explicit-frame (trampoline) executor now
+lives in :mod:`repro.cpu.compiled`.
 
-The decoded engine (:mod:`repro.cpu.engine`) executes call trees by
-Python recursion — ``_make_call_defined`` handlers call
-``exec_decoded_function`` — which makes the live interpreter state
-uncapturable: it lives on the host Python stack. This module runs the
-*same* decoded representation on an explicit frame stack instead, so at
-any eligible-instruction boundary the complete run state — the frame
-stack with per-frame resume cursors, register/time files and stack
-marks, plus everything :meth:`Machine.snapshot` captures between runs —
-is a plain data structure (:class:`ResumeState`) that can be copied,
-serialized (:mod:`repro.snap.format`) and resumed in another process.
-
-Bit-identity contract: a trampoline run is indistinguishable from a
-recursive ``Machine.run`` — return value, output, every counter
-(including the exact partial flushes of trap-abandoned blocks), cycles,
-branch-predictor/cache state, fault behaviour, and exception type. The
-loop below mirrors ``_run_fast``/``_run_inject`` statement for
-statement; the only divergence is that defined calls push a frame where
-the handler would recurse, using the ``call_meta`` record the decoder
-attaches to every defined-call handler. The property tests in
-``tests/snap/`` pin the contract across workloads, fault models and
-machine configurations.
-
-Resuming from a checkpoint arms plans *without* resetting the stream
-counters (contrast ``Machine.arm_faults``): the counters are restored
-to their checkpoint values and the plan fires when its stream counter
-reaches ``target_index`` — the same dynamic event a from-scratch run
-hits. A checkpoint captured during a ``count_only`` golden run is a
-superset state, valid for every plan whose per-stream mark has not yet
-passed (:func:`covers`).
+Historically this module held a hand-maintained mirror of the decoded
+engine's recursive executors, rewritten over an explicit frame stack so
+mid-run state could be captured and resumed. The compiled execution
+core made that mirror the *only* executor — the same trampoline runs
+plain decoded records (``engine="decoded"``) and closure-compiled block
+segments (``engine="compiled"``) — so the implementation moved to
+:mod:`repro.cpu.compiled` and this module simply re-exports the public
+surface. The frame/cursor format is unchanged: checkpoints written by
+:mod:`repro.snap.format` before the move still load and resume
+bit-identically, and existing imports keep working.
 """
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
-
-from .engine import (
-    _T_BR,
-    _T_CONDBR,
-    _T_FALLOFF,
-    _T_RET,
-    _T_RET_VOID,
-    _T_UNREACHABLE,
-    DecodedFunction,
-    decoded_module,
+from .compiled import (  # noqa: F401
+    Frame,
+    FrameState,
+    ResumeState,
+    arm_resume,
+    capture_state,
+    covers,
+    push_frame,
+    rebuild_frames,
+    restore_payload,
+    resume_run,
+    run_resumable,
+    run_stack,
+    stream_mark,
 )
-from .errors import HangError, MemoryFault
-from .interpreter import RunResult
-from .memory import HEAP_BASE, STACK_BASE
 
-
-class Frame:
-    """One live decoded-function activation on the explicit stack."""
-
-    __slots__ = (
-        "dfn",          # DecodedFunction
-        "regs",         # register file (shared with M._frames entry)
-        "times",        # ready-time file
-        "mark",         # stack mark at entry (memory.stack_release target)
-        "depth",        # call depth (root = 0)
-        "inject",       # frame runs the inject (bookkeeping) path
-        "prev_mem",     # _mem_stream_live to restore on pop
-        "prev_branch",  # _branch_stream_live to restore on pop
-        "caller_fn",    # _current_fn to restore on pop
-        "block",        # current DecodedBlock
-        "prev",         # predecessor block (phi edge), valid if phis_pending
-        "i",            # resume cursor into block.body
-        "phis_pending",  # phi stage of `block` not yet run
-        "in_body",      # inside the counted region (exception flush applies)
-        "budget_exc",   # the HangError this frame raised for budget, if any
-    )
-
-
-def push_frame(M, stack: List[Frame], dfn: DecodedFunction, args: List,
-               arg_times: List[float]) -> Frame:
-    """Mirror of ``exec_decoded_function``'s prologue: depth check,
-    register-file setup, stack mark, ``_frames``/``_current_fn``/
-    stream-flag maintenance — as an explicit frame push."""
-    depth = M._depth + 1
-    if depth > M.config.max_call_depth:
-        raise HangError(f"call depth exceeded in @{dfn.fn.name}")
-    M._depth = depth
-    regs = [None] * dfn.nslots
-    times = [0.0] * dfn.nslots
-    nargs = dfn.nargs
-    if nargs:
-        regs[:nargs] = args
-        times[:nargs] = arg_times
-    f = Frame()
-    f.dfn = dfn
-    f.regs = regs
-    f.times = times
-    f.mark = M.memory.stack_mark()
-    f.caller_fn = M._current_fn
-    M._current_fn = dfn.fn
-    M._frames.append((dfn, regs))
-    f.prev_mem = M._mem_stream_live
-    f.prev_branch = M._branch_stream_live
-    f.depth = depth
-    if M._fault_active and M._fault_eligible_fn(dfn.fn):
-        M._mem_stream_live = M._mem_stream_needed
-        M._branch_stream_live = M._branch_stream_needed
-        f.inject = True
-    else:
-        M._mem_stream_live = False
-        M._branch_stream_live = False
-        f.inject = False
-    f.block = dfn.entry
-    f.prev = None
-    f.i = 0
-    f.phis_pending = False
-    f.in_body = False
-    f.budget_exc = None
-    stack.append(f)
-    return f
-
-
-def run_stack(M, stack: List[Frame], executed: int, capture=None):
-    """Run the frame stack to completion; returns the root frame's
-    return value. ``executed`` continues the global dynamic-instruction
-    count (``M._executed`` at entry, or a checkpoint's).
-
-    ``capture``, when given, is a placement policy with an integer
-    ``next_index`` attribute and a ``take(M, stack, executed)`` method;
-    the loop invokes ``take`` at the first body-record boundary at or
-    after each threshold. ``take`` must only *copy* state (see
-    :func:`capture_state`) and advance ``next_index``.
-    """
-    counters = M.counters
-    cd = counters.__dict__
-    byop = counters.collect_by_opcode
-    timing = M.timing
-    maxi = M.config.max_instructions
-    value = None
-    returning = False
-    try:
-        while stack:
-            f = stack[-1]
-            regs = f.regs
-            times = f.times
-
-            if returning:
-                # Complete the suspended defined call at f.i: the
-                # epilogue of _make_call_defined's handler, followed by
-                # the caller loop's inject bookkeeping on the result.
-                returning = False
-                block = f.block
-                (arg_rs, dst, _cdfn, lat, uops, isv, port,
-                 _site) = block.call_meta[f.i]
-                M._call_sites.pop()
-                if dst >= 0:
-                    regs[dst] = value
-                if timing is not None:
-                    ats = [times[s] if s >= 0 else 0.0 for s, c in arg_rs]
-                    done = timing.issue("call", lat, ats, 0.0, uops, isv,
-                                        port)
-                    if dst >= 0:
-                        times[dst] = done
-                executed = M._executed
-                if f.inject:
-                    meta = block.inject[f.i]
-                    if meta is not None:
-                        rdst, _ty, inst = meta
-                        index = M.eligible_executed
-                        M.eligible_executed = index + 1
-                        if (M._trace_eligible is not None
-                                and index >= M._trace_skip_until):
-                            M._executed = executed
-                            M._trace_eligible(inst, M._current_fn)
-                        if M._checker_needed:
-                            regs[rdst] = M._checker_step(regs[rdst], inst)
-                        plans = M.fault_plans
-                        cursor = M._next_plan
-                        if (cursor < len(plans)
-                                and index == plans[cursor].target_index):
-                            regs[rdst] = M._apply_reg_plans(
-                                regs[rdst], inst, index
-                            )
-                f.i += 1
-
-            inject = f.inject
-            pushed = False
-            while True:  # block chain within this frame
-                block = f.block
-                if f.phis_pending:
-                    # Phis: parallel moves against the incoming edge.
-                    # Nothing is counted yet (in_body is False), so
-                    # exceptions here escape without any flush — exactly
-                    # like the recursive engine.
-                    f.phis_pending = False
-                    pm = block.phi_moves
-                    if pm is not None:
-                        moves = pm.get(f.prev)
-                        if moves is None:
-                            raise KeyError(
-                                f"phi in %{block.name} has no incoming "
-                                f"from %{f.prev.name}"
-                            )
-                        staged = [
-                            (dst,
-                             regs[s] if s >= 0 else c,
-                             times[s] if s >= 0 else 0.0)
-                            for dst, s, c in moves
-                        ]
-                        if inject:
-                            for (dst, v, t), (ty, phi) in zip(
-                                    staged, block.phi_meta):
-                                index = M.eligible_executed
-                                M.eligible_executed = index + 1
-                                if (M._trace_eligible is not None
-                                        and index >= M._trace_skip_until):
-                                    M._executed = executed
-                                    M._trace_eligible(phi, M._current_fn)
-                                if M._checker_needed:
-                                    v = M._checker_step(v, phi)
-                                plans = M.fault_plans
-                                cursor = M._next_plan
-                                if (cursor < len(plans)
-                                        and index ==
-                                        plans[cursor].target_index):
-                                    v = M._apply_reg_plans(v, phi, index)
-                                regs[dst] = v
-                                times[dst] = t
-                        else:
-                            for dst, v, t in staged:
-                                regs[dst] = v
-                                times[dst] = t
-
-                f.in_body = True
-                body = block.body
-                inj = block.inject
-                call_meta = block.call_meta
-                n = block.n
-                i = f.i
-                try:
-                    while i < n:
-                        if (capture is not None
-                                and M.eligible_executed >=
-                                capture.next_index):
-                            f.i = i
-                            capture.take(M, stack, executed)
-                        executed += 1
-                        if executed > maxi:
-                            f.budget_exc = HangError(
-                                f"instruction budget exceeded ({maxi})"
-                            )
-                            raise f.budget_exc
-                        cm = call_meta[i]
-                        if cm is not None:
-                            # Defined call: the handler's prologue, then
-                            # a frame push where it would recurse.
-                            arg_rs, dst, cdfn, lat, uops, isv, port, \
-                                site = cm
-                            cargs = [regs[s] if s >= 0 else c
-                                     for s, c in arg_rs]
-                            cats = [times[s] if s >= 0 else 0.0
-                                    for s, c in arg_rs]
-                            M._executed = executed
-                            M._call_sites.append(site)
-                            f.i = i
-                            push_frame(M, stack, cdfn, cargs, cats)
-                            pushed = True
-                            break
-                        executed = body[i](M, regs, times, executed, timing)
-                        if inject:
-                            meta = inj[i]
-                            if meta is not None:
-                                rdst, _ty, inst = meta
-                                index = M.eligible_executed
-                                M.eligible_executed = index + 1
-                                if (M._trace_eligible is not None
-                                        and index >= M._trace_skip_until):
-                                    M._executed = executed
-                                    M._trace_eligible(inst, M._current_fn)
-                                if M._checker_needed:
-                                    regs[rdst] = M._checker_step(
-                                        regs[rdst], inst
-                                    )
-                                plans = M.fault_plans
-                                cursor = M._next_plan
-                                if (cursor < len(plans)
-                                        and index ==
-                                        plans[cursor].target_index):
-                                    regs[rdst] = M._apply_reg_plans(
-                                        regs[rdst], inst, index
-                                    )
-                        i += 1
-                    if pushed:
-                        break
-                    f.i = i
-
-                    # Terminator --------------------------------------
-                    kind = block.term_kind
-                    if kind == _T_FALLOFF:
-                        raise MemoryFault(0, 0)
-                    executed += 1
-                    if executed > maxi:
-                        f.budget_exc = HangError(
-                            f"instruction budget exceeded ({maxi})"
-                        )
-                        raise f.budget_exc
-                    if kind == _T_UNREACHABLE:
-                        raise MemoryFault(0, 0)
-
-                    for k, v in block.full_pairs:
-                        cd[k] += v
-                    if byop:
-                        bo = counters.by_opcode
-                        for op, cnt in block.opcode_items:
-                            bo[op] = bo.get(op, 0) + cnt
-
-                    term = block.term
-                    if kind == _T_BR:
-                        if timing is not None:
-                            timing.issue("br", term[1], (), 0.0, 1,
-                                         False, None)
-                        f.prev = block
-                        f.block = term[0]
-                        f.phis_pending = True
-                        f.in_body = False
-                        f.i = 0
-                        continue
-                    if kind == _T_CONDBR:
-                        s, c, tb, eb, inst, lat = term
-                        taken = bool(regs[s] if s >= 0 else c)
-                        if M._branch_stream_live:
-                            taken = M._branch_step(taken, inst)
-                        pcs = M._branch_pcs
-                        key = id(inst)
-                        pc = pcs.get(key)
-                        if pc is None:
-                            pc = M._next_pc
-                            M._next_pc = pc + 1
-                            pcs[key] = pc
-                        correct = M.predictor.predict_and_update(pc, taken)
-                        if timing is not None:
-                            resolve = timing.issue(
-                                "br", lat,
-                                (times[s] if s >= 0 else 0.0,),
-                                0.0, 1, False, None,
-                            )
-                            if not correct:
-                                cd["branch_misses"] += 1
-                                timing.branch_mispredict(resolve)
-                        elif not correct:
-                            cd["branch_misses"] += 1
-                        f.prev = block
-                        f.block = tb if taken else eb
-                        f.phis_pending = True
-                        f.in_body = False
-                        f.i = 0
-                        continue
-                    if kind == _T_RET:
-                        s, c, lat, uops = term
-                        if timing is not None:
-                            timing.issue(
-                                "ret", lat,
-                                (times[s] if s >= 0 else 0.0,),
-                                0.0, uops, False, None,
-                            )
-                        value = regs[s] if s >= 0 else c
-                    else:  # _T_RET_VOID
-                        lat, uops = block.term
-                        if timing is not None:
-                            timing.issue("ret", lat, (), 0.0, uops,
-                                         False, None)
-                        value = None
-                except BaseException:
-                    f.i = i
-                    raise
-
-                # Frame return: the epilogues of _run_* (publish the
-                # instruction count) and exec_decoded_function (pop,
-                # restore caller context, release stack).
-                if executed > M._executed:
-                    M._executed = executed
-                stack.pop()
-                M._frames.pop()
-                M._current_fn = f.caller_fn
-                M._mem_stream_live = f.prev_mem
-                M._branch_stream_live = f.prev_branch
-                M.memory.stack_release(f.mark)
-                M._depth = f.depth - 1
-                returning = True
-                break
-        return value
-    except BaseException as exc:
-        # Unwind: per-frame exact partial counter flush (the recursive
-        # engine's `except` clause) plus the frame epilogue, innermost
-        # first. A frame suspended at a defined call flushes its call
-        # record partially — exactly what its recursive `except` would
-        # do when the callee's exception propagated through the handler.
-        while stack:
-            f = stack.pop()
-            M._frames.pop()
-            if f.in_body:
-                block = f.block
-                i = f.i
-                for k, v in block.cum_pairs[i]:
-                    cd[k] += v
-                if exc is not f.budget_exc:
-                    for k, v in block.partial_pairs[i]:
-                        cd[k] += v
-                if byop:
-                    bo = counters.by_opcode
-                    end = i if exc is f.budget_exc else i + 1
-                    for op in block.opcodes[:end]:
-                        bo[op] = bo.get(op, 0) + 1
-            M._current_fn = f.caller_fn
-            M._mem_stream_live = f.prev_mem
-            M._branch_stream_live = f.prev_branch
-            M.memory.stack_release(f.mark)
-            M._depth = f.depth - 1
-        raise
-    finally:
-        if executed > M._executed:
-            M._executed = executed
-
-
-def run_resumable(M, fn_name: str, args: Sequence = (),
-                  capture=None) -> RunResult:
-    """``Machine.run`` on the trampoline (decoded engine only) —
-    bit-identical results, no recursion-limit dance, and optional
-    mid-run capture via ``capture``."""
-    fn = M.module.get_function(fn_name)
-    if fn.is_declaration:
-        raise ValueError(f"cannot run declaration @{fn_name}")
-    arg_values = list(args)
-    if len(arg_values) != len(fn.args):
-        raise TypeError(
-            f"@{fn_name} expects {len(fn.args)} args, got {len(arg_values)}"
-        )
-    if M._frames:
-        M._frames.clear()
-    if M._call_sites:
-        M._call_sites.clear()
-    dfn = decoded_module(
-        M.module, M.config.cost_model, M.globals_addr
-    ).function(fn)
-    stack: List[Frame] = []
-    push_frame(M, stack, dfn, arg_values, [0.0] * len(arg_values))
-    value = run_stack(M, stack, M._executed, capture)
-    cycles = M.timing.cycles if M.timing is not None else 0.0
-    ilp = M.timing.ilp if M.timing is not None else 0.0
-    return RunResult(
-        value=value,
-        output=M.output,
-        counters=M.counters,
-        cycles=cycles,
-        ilp=ilp,
-        fault_injected=M.fault_injected,
-    )
-
-
-# --- Mid-run state capture / restore -----------------------------------------
-
-
-@dataclass(frozen=True)
-class FrameState:
-    """One suspended frame, in process-independent coordinates: the
-    function name plus indices into its (deterministic) decoded form."""
-
-    fn: str
-    block: int    # index into dfn.blocks
-    i: int        # resume cursor into block.body
-    regs: tuple
-    times: tuple
-    mark: int     # memory stack mark at frame entry
-
-
-@dataclass
-class ResumeState:
-    """Complete mid-run machine state at a body-record boundary.
-
-    Everything :class:`MachineSnapshot` captures between runs, plus the
-    frame stack, the live dynamic-instruction count, and the four
-    stream counters — precisely what a golden-prefix checkpoint needs.
-    Fault plumbing (plans, watches, hooks) is deliberately absent:
-    checkpoints are captured during ``count_only`` golden runs where
-    all of it is empty, and :func:`resume_run` arms the injected plan
-    itself.
-    """
-
-    heap: bytes
-    stack_mem: bytes
-    heap_top: int
-    stack_top: int
-    output: tuple
-    counters: object
-    cache: object
-    predictor: object
-    timing: object
-    branch_pcs: Dict[int, int]   # id(inst) -> pc (process-local keys)
-    next_pc: int
-    executed: int
-    eligible: int
-    checker_sites: int
-    mem_accesses: int
-    cond_branches: int
-    frames: Tuple[FrameState, ...]
-
-
-def capture_state(M, stack: List[Frame], executed: int) -> ResumeState:
-    """Copy the complete mid-run state (non-destructively — the run
-    continues unperturbed)."""
-    mem = M.memory
-    frames = []
-    for f in stack:
-        dfn = f.dfn
-        frames.append(FrameState(
-            fn=dfn.fn.name,
-            block=dfn.blocks.index(f.block),
-            i=f.i,
-            regs=tuple(f.regs),
-            times=tuple(f.times),
-            mark=f.mark,
-        ))
-    return ResumeState(
-        heap=bytes(memoryview(mem._heap)[:mem.heap_top - HEAP_BASE]),
-        stack_mem=bytes(memoryview(mem._stack)[:mem.stack_top - STACK_BASE]),
-        heap_top=mem.heap_top,
-        stack_top=mem.stack_top,
-        output=tuple(M.output),
-        counters=copy.deepcopy(M.counters),
-        cache=copy.deepcopy(M.cache),
-        predictor=copy.deepcopy(M.predictor),
-        timing=copy.deepcopy(M.timing),
-        branch_pcs=dict(M._branch_pcs),
-        next_pc=M._next_pc,
-        executed=executed,
-        eligible=M.eligible_executed,
-        checker_sites=M.checker_sites_executed,
-        mem_accesses=M.mem_accesses_eligible,
-        cond_branches=M.cond_branches_eligible,
-        frames=tuple(frames),
-    )
-
-
-def restore_payload(M, state: ResumeState) -> None:
-    """Put the machine's architectural state back to the checkpoint.
-    Non-destructive on ``state`` (deep copies), so one deserialized
-    checkpoint serves any number of resumes. Leaves the machine with no
-    plans armed, no hooks, ``count_only`` off — callers arm what they
-    need (:func:`arm_resume`) before :func:`rebuild_frames`."""
-    mem = M.memory
-    heap_used = state.heap_top - HEAP_BASE
-    cur_heap = mem.heap_top - HEAP_BASE
-    mem._heap[:heap_used] = state.heap
-    if cur_heap > heap_used:
-        mem._heap[heap_used:cur_heap] = bytes(cur_heap - heap_used)
-    stack_used = state.stack_top - STACK_BASE
-    cur_stack = mem.stack_top - STACK_BASE
-    mem._stack[:stack_used] = state.stack_mem
-    if cur_stack > stack_used:
-        mem._stack[stack_used:cur_stack] = bytes(cur_stack - stack_used)
-    mem.heap_top = state.heap_top
-    mem.stack_top = state.stack_top
-    M.output = list(state.output)
-    M.counters = copy.deepcopy(state.counters)
-    M.cache = copy.deepcopy(state.cache)
-    M.predictor = copy.deepcopy(state.predictor)
-    M.timing = copy.deepcopy(state.timing)
-    M._branch_pcs = dict(state.branch_pcs)
-    M._next_pc = state.next_pc
-    M._executed = state.executed
-    M.eligible_executed = state.eligible
-    M.checker_sites_executed = state.checker_sites
-    M.mem_accesses_eligible = state.mem_accesses
-    M.cond_branches_eligible = state.cond_branches
-    M.fault_plans = []
-    M._next_plan = 0
-    M._checker_plans = []
-    M._next_checker_plan = 0
-    M._mem_plans = []
-    M._next_mem_plan = 0
-    M._branch_plans = []
-    M._next_branch_plan = 0
-    M.fault_injected = False
-    M.fault_target = None
-    M._count_only = False
-    M._trace_eligible = None
-    M._trace_skip_until = -1
-    M._watch_checker = M._watch_mem = M._watch_branch = None
-    M._frames.clear()
-    M._call_sites.clear()
-    M._current_fn = None
-    M._depth = -1
-    M._mem_stream_live = False
-    M._branch_stream_live = False
-    M._refresh_fault_mode()
-
-
-def arm_resume(M, plans: Sequence) -> None:
-    """Arm plans mid-run, *preserving* the restored stream counters
-    (``Machine.arm_faults`` would zero them). Plans whose eligible-
-    stream target already passed are skipped, mirroring the cursor
-    position a from-scratch run would have at this point."""
-    reg: list = []
-    checker: list = []
-    mem: list = []
-    branch: list = []
-    for plan in plans:
-        kind = getattr(plan, "kind", "reg")
-        if kind == "checker":
-            checker.append(plan)
-        elif kind == "addr":
-            mem.append(plan)
-        elif kind == "branch":
-            branch.append(plan)
-        else:
-            reg.append(plan)
-    by_index = lambda p: p.target_index  # noqa: E731
-    M.fault_plans = sorted(reg, key=by_index)
-    M._next_plan = 0
-    while (M._next_plan < len(M.fault_plans)
-           and M.fault_plans[M._next_plan].target_index
-           < M.eligible_executed):
-        M._next_plan += 1
-    M._checker_plans = sorted(checker, key=by_index)
-    M._next_checker_plan = 0
-    M._mem_plans = sorted(mem, key=by_index)
-    M._next_mem_plan = 0
-    M._branch_plans = sorted(branch, key=by_index)
-    M._next_branch_plan = 0
-    M.fault_injected = False
-    M.fault_target = None
-    M._refresh_fault_mode()
-
-
-def rebuild_frames(M, state: ResumeState) -> List[Frame]:
-    """Reconstruct the live frame stack from a checkpoint. Must run
-    *after* plans/watches are armed — per-frame inject mode and the
-    stream-live flags depend on ``M._fault_active``, exactly as they
-    would have at each frame's push in a from-scratch run."""
-    dmod = decoded_module(M.module, M.config.cost_model, M.globals_addr)
-    stack: List[Frame] = []
-    caller_fn = None
-    prev_mem = False
-    prev_branch = False
-    for depth, fs in enumerate(state.frames):
-        fn = M.module.get_function(fs.fn)
-        dfn = dmod.function(fn)
-        f = Frame()
-        f.dfn = dfn
-        f.regs = list(fs.regs)
-        f.times = list(fs.times)
-        f.mark = fs.mark
-        f.caller_fn = caller_fn
-        f.prev_mem = prev_mem
-        f.prev_branch = prev_branch
-        f.depth = depth
-        f.inject = bool(M._fault_active and M._fault_eligible_fn(fn))
-        f.block = dfn.blocks[fs.block]
-        f.prev = None
-        f.phis_pending = False
-        f.in_body = True
-        f.i = fs.i
-        f.budget_exc = None
-        stack.append(f)
-        M._frames.append((dfn, f.regs))
-        caller_fn = fn
-        if f.inject:
-            prev_mem = M._mem_stream_needed
-            prev_branch = M._branch_stream_needed
-        else:
-            prev_mem = False
-            prev_branch = False
-    M._mem_stream_live = prev_mem
-    M._branch_stream_live = prev_branch
-    M._depth = len(stack) - 1
-    M._current_fn = stack[-1].dfn.fn if stack else None
-    # Suspended parents each sit at a defined-call record; their site
-    # ids rebuild the call-site chain the batch digests compare.
-    for f in stack[:-1]:
-        M._call_sites.append(f.block.call_meta[f.i][7])
-    return stack
-
-
-def resume_run(M, state: ResumeState, plans: Sequence) -> RunResult:
-    """Restore a checkpoint, arm ``plans`` mid-run, and execute only
-    the tail. Bit-identical to arming the same plans on a fresh machine
-    and running from scratch, for every plan :func:`covers` admits."""
-    restore_payload(M, state)
-    arm_resume(M, plans)
-    stack = rebuild_frames(M, state)
-    value = run_stack(M, stack, state.executed)
-    cycles = M.timing.cycles if M.timing is not None else 0.0
-    ilp = M.timing.ilp if M.timing is not None else 0.0
-    return RunResult(
-        value=value,
-        output=M.output,
-        counters=M.counters,
-        cycles=cycles,
-        ilp=ilp,
-        fault_injected=M.fault_injected,
-    )
-
-
-# --- Checkpoint validity -----------------------------------------------------
-
-
-def stream_mark(state: ResumeState, plan) -> int:
-    """The checkpoint's counter on ``plan``'s targeting stream."""
-    kind = getattr(plan, "kind", "reg")
-    if kind == "checker":
-        return state.checker_sites
-    if kind == "addr":
-        return state.mem_accesses
-    if kind == "branch":
-        return state.cond_branches
-    return state.eligible
-
-def covers(state: ResumeState, plan) -> bool:
-    """True when resuming from ``state`` still reaches ``plan``'s
-    dynamic fault site (the stream counter has not passed it)."""
-    return stream_mark(state, plan) <= plan.target_index
+__all__ = [
+    "Frame",
+    "FrameState",
+    "ResumeState",
+    "arm_resume",
+    "capture_state",
+    "covers",
+    "push_frame",
+    "rebuild_frames",
+    "restore_payload",
+    "resume_run",
+    "run_resumable",
+    "run_stack",
+    "stream_mark",
+]

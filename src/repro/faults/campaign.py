@@ -64,7 +64,7 @@ class CampaignConfig:
     #: "reference"). Outcome counts are bit-identical either way (the
     #: differential tests enforce it); the knob exists so CI can prove
     #: that end to end. Excluded from durable store keys.
-    engine: str = "decoded"
+    engine: str = "compiled"
     #: Injections executed per batched lane group (see
     #: :mod:`repro.cpu.batch`): 1 runs the classic sequential loop;
     #: K > 1 shares each batch's golden prefix across K forked lanes.
@@ -95,7 +95,7 @@ def resolve_workers(workers: int) -> int:
 
 def _fresh_machine(module: Module, max_instructions: Optional[int] = None,
                    fault_eligible: Optional[Callable] = None,
-                   engine: str = "decoded") -> Machine:
+                   engine: str = "compiled") -> Machine:
     config = MachineConfig(collect_timing=False, engine=engine)
     if max_instructions is not None:
         config.max_instructions = max_instructions
@@ -162,7 +162,7 @@ def _args_key(args: Sequence):
 
 def golden_profile(module: Module, entry: str, args: Sequence,
                    fault_eligible: Optional[Callable] = None,
-                   engine: str = "decoded"):
+                   engine: str = "compiled"):
     """Fault-free execution; returns ``(output, StreamProfile)``.
 
     Runs the machine in ``count_only`` mode, which profiles *every*
@@ -342,7 +342,7 @@ def inject_once(
     budget: int,
     rtol: float = 1e-9,
     fault_eligible: Optional[Callable] = None,
-    engine: str = "decoded",
+    engine: str = "compiled",
 ) -> Outcome:
     """One fault-injection run, classified per Table I."""
     machine = _fresh_machine(module, max_instructions=budget,
@@ -378,7 +378,7 @@ class InjectionSession:
     def __init__(self, module: Module, entry: str, args: Sequence,
                  reference: Sequence, budget: int, rtol: float = 1e-9,
                  fault_eligible: Optional[Callable] = None,
-                 engine: str = "decoded"):
+                 engine: str = "compiled"):
         self.module = module
         self.entry = entry
         self.args = list(args)
@@ -389,15 +389,23 @@ class InjectionSession:
         self.machine = _fresh_machine(module, max_instructions=budget,
                                       fault_eligible=fault_eligible,
                                       engine=engine)
-        if engine == "decoded":
-            # Decode up front so the first injection's timing is not an
-            # outlier (the decode is cached on the module either way).
+        if engine in ("decoded", "compiled"):
+            # Decode (and for "compiled", compile segments) up front so
+            # the first injection's timing is not an outlier (both are
+            # cached on the module either way).
             from ..cpu.engine import decoded_module
 
-            decoded_module(
+            dmod = decoded_module(
                 module, self.machine.config.cost_model,
                 self.machine.globals_addr,
-            ).function(module.get_function(entry))
+            )
+            dmod.function(module.get_function(entry))
+            if engine == "compiled":
+                from ..cpu.compiled import ensure_compiled
+
+                ensure_compiled(
+                    dmod, 0 if self.machine.timing is not None else 1
+                )
         self.snapshot = self.machine.snapshot()
         self._trace = None  # lockstep trace, built on first batched use
         self._checkpoints = None  # CheckpointSet, attached per run_plans
@@ -516,7 +524,7 @@ def _cell_checkpoints(module: Module, entry: str, args: Sequence,
     predicate, or a golden run too short to profit). Cached through
     the module's golden cache, so shards and forked workers share one
     set per (cell, model)."""
-    if not snap or engine != "decoded":
+    if not snap or engine not in ("decoded", "compiled"):
         return None
     from ..snap.build import build_checkpoints
 
@@ -536,7 +544,7 @@ def run_plans(
     budget: int,
     rtol: float = 1e-9,
     fault_eligible: Optional[Callable] = None,
-    engine: str = "decoded",
+    engine: str = "compiled",
     batch: int = 1,
     fault_model: str = DEFAULT_MODEL,
     tick: Optional[Callable] = None,
@@ -548,7 +556,8 @@ def run_plans(
     fabric (inline, forked, durable, distributed) runs.
 
     Returns outcomes in plan order. With ``batch > 1`` on the decoded
-    engine (and ``os.fork`` available), plans are re-ordered by the
+    or compiled engine (and ``os.fork`` available), plans are
+    re-ordered by the
     model's ``sort_for_batching`` hook, grouped into batches of
     ``batch``, and dispatched to :func:`repro.cpu.batch.run_batch`;
     results are scattered back to plan order, so the outcome *list* —
@@ -576,7 +585,8 @@ def run_plans(
         cset = _cell_checkpoints(module, entry, args, budget,
                                  fault_eligible, fault_model, engine, snap)
     session.attach_checkpoints(cset)
-    batched = (batch > 1 and len(plans) > 1 and engine == "decoded"
+    batched = (batch > 1 and len(plans) > 1
+               and engine in ("decoded", "compiled")
                and hasattr(os, "fork"))
     if not batched:
         outcomes = []

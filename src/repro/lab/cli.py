@@ -23,6 +23,7 @@ import argparse
 import json
 from typing import Dict, List, Optional
 
+from ..cpu.interpreter import registered_engines
 from ..faults.campaign import CampaignConfig
 from ..faults.models import DEFAULT_MODEL, model_names
 from ..faults.outcomes import Outcome
@@ -68,11 +69,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=model_names(),
                         help="fault shape to inject (see docs/FAULTS.md); "
                              "each model keys its own store rows")
-    parser.add_argument("--engine", default="decoded",
-                        choices=("decoded", "reference"),
+    parser.add_argument("--engine", default="compiled",
+                        choices=registered_engines(),
                         help="execution engine; outcome counts are "
-                             "bit-identical either way (CI proves it), so "
-                             "the store is shared between engines")
+                             "bit-identical on every engine (CI proves "
+                             "it), so the store is shared between engines")
     parser.add_argument("--seed", type=int, default=2016)
     parser.add_argument("--workers", type=int, default=1,
                         help="forked campaign workers (0 = all CPUs)")
@@ -83,8 +84,8 @@ def _build_parser() -> argparse.ArgumentParser:
                              "worker batches its own shards. Outcome counts "
                              "are bit-identical to --batch 1, so the store "
                              "is shared across batch sizes. Requires the "
-                             "decoded engine; falls back to sequential "
-                             "injection otherwise")
+                             "compiled or decoded engine; falls back to "
+                             "sequential injection otherwise")
     parser.add_argument("--cluster", type=int, default=None, metavar="N",
                         help="distribute shards over N local worker agents "
                              "(TCP, not fork) — counts are bit-identical to "

@@ -25,6 +25,7 @@ hit/miss mixtures.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -52,6 +53,26 @@ from .events import EventBus
 from .sampling import AdaptiveStop
 from .scheduler import SchedulerPolicy, ShardScheduler
 from .store import ResultStore, default_store
+
+
+@contextmanager
+def _engine_compile_events(events: EventBus):
+    """Bridge segment-compiler telemetry onto the campaign's bus: every
+    :func:`repro.cpu.compiled.ensure_compiled` invocation that did work
+    while the campaign runs surfaces as an ``engine-compile`` event
+    (module digest, block/segment counts, compile wall time, code-cache
+    hit/miss split). In-process compiles only — a forked shard worker's
+    compiles stay in the worker, like its other events."""
+    from ..cpu.compiled import add_compile_hook, remove_compile_hook
+
+    def hook(payload):
+        events.emit("engine-compile", **payload)
+
+    add_compile_hook(hook)
+    try:
+        yield
+    finally:
+        remove_compile_hook(hook)
 
 
 @dataclass
@@ -133,142 +154,143 @@ def run_durable_campaign(
     events = events or EventBus()
     workers = resolve_workers(config.workers)
 
-    reference, profile = golden_profile(
-        module, entry, args, config.fault_eligible, engine=config.engine
-    )
-    if profile.eligible == 0:
-        raise ValueError(f"no eligible instructions in @{entry}")
-    budget = int(profile.executed * config.hang_factor) + 10_000
-    # Raises ValueError when the model's target stream is empty (e.g.
-    # checker-fault against unhardened code) — before any store writes.
-    plans = draw_model_plans(profile, config)
-    population = get_model(config.fault_model).population(profile)
-    shards = partition(plans, shard_size)
-
-    spec = build_spec(module, entry, args, config, population, shard_size)
-    if store is None:
-        store = default_store()
-    elif store is False:
-        store = None
-    durable = spec is not None and store is not None
-    if spec is None:
-        events.emit("store-disabled",
-                    reason="eligibility predicate has no cache_key")
-
-    loaded: Dict[int, Counter] = {}
-    if durable:
-        digest = golden_digest(reference, profile.eligible, profile.executed,
-                               profile.mem_accesses, profile.cond_branches,
-                               profile.checker_sites)
-        ensure_golden(store, spec, digest, profile.eligible, profile.executed,
-                      events)
-        loaded = load_completed(store, spec, shards)
-
-    events.emit(
-        "campaign-started", workload=workload, version=version,
-        shards=len(shards), injections=len(plans), from_store=len(loaded),
-        # The store address of this campaign's rows; the service stashes
-        # it in restart manifests so a cold start can probe how much of
-        # an interrupted campaign is already banked.
-        spec_key=spec.spec_key if durable else None,
-    )
-    for index in sorted(loaded):
-        events.emit("shard-store-hit", index=index,
-                    n=sum(loaded[index].values()))
-
-    results: Dict[int, Counter] = dict(loaded)
-    executed_shards = [0]
-    executed_injections = [0]
-    lane_stats: Dict[str, int] = {}
-
-    def runner(shard: ShardPlan) -> Counter:
-        # Shard-level entry point shared with every other fabric:
-        # honours config.batch (and falls back to the sequential
-        # session loop when batching can't apply) with outcome counts
-        # bit-identical either way. ``lane_stats`` / the bus only see
-        # shards run in-process; forked workers report counts alone.
-        return Counter(run_plans(
-            module, entry, args, shard.plans, reference, budget,
-            config.rtol, config.fault_eligible, engine=config.engine,
-            batch=config.batch, fault_model=config.fault_model,
-            snap=config.snap, events=events, stats=lane_stats))
-
-    def on_result(shard: ShardPlan, counts: Counter, seconds: float) -> None:
-        results[shard.index] = counts
-        executed_shards[0] += 1
-        executed_injections[0] += len(shard.plans)
-        if durable:
-            store.put_shard(spec.spec_key, spec.cell_key, shard.index,
-                            len(shard.plans), counts, seconds)
-        events.emit(
-            "shard-completed", index=shard.index, n=len(shard.plans),
-            seconds=seconds, workload=workload, version=version,
-            counts={o.value: int(c) for o, c in counts.items()},
+    with _engine_compile_events(events):
+        reference, profile = golden_profile(
+            module, entry, args, config.fault_eligible, engine=config.engine
         )
+        if profile.eligible == 0:
+            raise ValueError(f"no eligible instructions in @{entry}")
+        budget = int(profile.executed * config.hang_factor) + 10_000
+        # Raises ValueError when the model's target stream is empty (e.g.
+        # checker-fault against unhardened code) — before any store writes.
+        plans = draw_model_plans(profile, config)
+        population = get_model(config.fault_model).population(profile)
+        shards = partition(plans, shard_size)
 
-    scheduler = ShardScheduler(
-        policy or SchedulerPolicy(workers=workers), events
-    )
-    stopper = (AdaptiveStop(ci_target=ci_target, min_injections=min_injections)
-               if ci_target is not None else None)
+        spec = build_spec(module, entry, args, config, population, shard_size)
+        if store is None:
+            store = default_store()
+        elif store is False:
+            store = None
+        durable = spec is not None and store is not None
+        if spec is None:
+            events.emit("store-disabled",
+                        reason="eligibility predicate has no cache_key")
 
-    if stopper is None:
-        missing = [s for s in shards if s.index not in results]
-        scheduler.run(missing, runner, on_result)
-        stop_position, _, cumulative = _prefix_status(shards, results, None)
-    else:
-        # Schedule in waves of at most ``workers`` shards, in index
-        # order, re-evaluating the prefix rule between waves. Workers
-        # may overrun the stopping point by at most one wave; overrun
-        # shards land in the store (useful later) but are not counted.
-        while True:
-            stop_position, prefix_len, cumulative = _prefix_status(
-                shards, results, stopper
-            )
-            if stop_position is not None:
-                break
-            wave = [s for s in shards[prefix_len:]
-                    if s.index not in results][:max(1, workers)]
-            if not wave:  # unreachable: an incomplete prefix has a gap
-                stop_position, _, cumulative = _prefix_status(
-                    shards, results, None
-                )
-                break
-            scheduler.run(wave, runner, on_result)
-        if stop_position < len(shards) - 1:
+        loaded: Dict[int, Counter] = {}
+        if durable:
+            digest = golden_digest(reference, profile.eligible, profile.executed,
+                                   profile.mem_accesses, profile.cond_branches,
+                                   profile.checker_sites)
+            ensure_golden(store, spec, digest, profile.eligible, profile.executed,
+                          events)
+            loaded = load_completed(store, spec, shards)
+
+        events.emit(
+            "campaign-started", workload=workload, version=version,
+            shards=len(shards), injections=len(plans), from_store=len(loaded),
+            # The store address of this campaign's rows; the service stashes
+            # it in restart manifests so a cold start can probe how much of
+            # an interrupted campaign is already banked.
+            spec_key=spec.spec_key if durable else None,
+        )
+        for index in sorted(loaded):
+            events.emit("shard-store-hit", index=index,
+                        n=sum(loaded[index].values()))
+
+        results: Dict[int, Counter] = dict(loaded)
+        executed_shards = [0]
+        executed_injections = [0]
+        lane_stats: Dict[str, int] = {}
+
+        def runner(shard: ShardPlan) -> Counter:
+            # Shard-level entry point shared with every other fabric:
+            # honours config.batch (and falls back to the sequential
+            # session loop when batching can't apply) with outcome counts
+            # bit-identical either way. ``lane_stats`` / the bus only see
+            # shards run in-process; forked workers report counts alone.
+            return Counter(run_plans(
+                module, entry, args, shard.plans, reference, budget,
+                config.rtol, config.fault_eligible, engine=config.engine,
+                batch=config.batch, fault_model=config.fault_model,
+                snap=config.snap, events=events, stats=lane_stats))
+
+        def on_result(shard: ShardPlan, counts: Counter, seconds: float) -> None:
+            results[shard.index] = counts
+            executed_shards[0] += 1
+            executed_injections[0] += len(shard.plans)
+            if durable:
+                store.put_shard(spec.spec_key, spec.cell_key, shard.index,
+                                len(shard.plans), counts, seconds)
             events.emit(
-                "adaptive-stop",
-                injections=sum(cumulative.values()),
-                halfwidth=stopper.max_halfwidth(cumulative),
-                target=stopper.ci_target,
+                "shard-completed", index=shard.index, n=len(shard.plans),
+                seconds=seconds, workload=workload, version=version,
+                counts={o.value: int(c) for o, c in counts.items()},
             )
 
-    used = shards[:stop_position + 1]
-    result = CampaignResult(workload=workload, version=version,
-                            fault_model=config.fault_model)
-    for shard in used:
-        result.counts.update(results[shard.index])
+        scheduler = ShardScheduler(
+            policy or SchedulerPolicy(workers=workers), events
+        )
+        stopper = (AdaptiveStop(ci_target=ci_target, min_injections=min_injections)
+                   if ci_target is not None else None)
 
-    used_indices = {s.index for s in used}
-    info = LabRunInfo(
-        shards_total=len(shards),
-        shards_from_store=len(loaded),
-        shards_executed=executed_shards[0],
-        injections_from_store=sum(
-            sum(c.values()) for i, c in loaded.items() if i in used_indices
-        ),
-        injections_executed=executed_injections[0],
-        injections_used=result.total,
-        stopped_early=len(used) < len(shards),
-        ci_halfwidth=(stopper.max_halfwidth(result.counts)
-                      if stopper is not None else None),
-        durable=durable,
-        batch_lanes_degraded=lane_stats.get("lanes_degraded", 0),
-    )
-    events.emit(
-        "campaign-finished", workload=workload, version=version,
-        injections=result.total, executed=info.injections_executed,
-        from_store=info.injections_from_store,
-        lanes_degraded=info.batch_lanes_degraded,
-    )
-    return DurableCampaign(result=result, info=info, spec=spec)
+        if stopper is None:
+            missing = [s for s in shards if s.index not in results]
+            scheduler.run(missing, runner, on_result)
+            stop_position, _, cumulative = _prefix_status(shards, results, None)
+        else:
+            # Schedule in waves of at most ``workers`` shards, in index
+            # order, re-evaluating the prefix rule between waves. Workers
+            # may overrun the stopping point by at most one wave; overrun
+            # shards land in the store (useful later) but are not counted.
+            while True:
+                stop_position, prefix_len, cumulative = _prefix_status(
+                    shards, results, stopper
+                )
+                if stop_position is not None:
+                    break
+                wave = [s for s in shards[prefix_len:]
+                        if s.index not in results][:max(1, workers)]
+                if not wave:  # unreachable: an incomplete prefix has a gap
+                    stop_position, _, cumulative = _prefix_status(
+                        shards, results, None
+                    )
+                    break
+                scheduler.run(wave, runner, on_result)
+            if stop_position < len(shards) - 1:
+                events.emit(
+                    "adaptive-stop",
+                    injections=sum(cumulative.values()),
+                    halfwidth=stopper.max_halfwidth(cumulative),
+                    target=stopper.ci_target,
+                )
+
+        used = shards[:stop_position + 1]
+        result = CampaignResult(workload=workload, version=version,
+                                fault_model=config.fault_model)
+        for shard in used:
+            result.counts.update(results[shard.index])
+
+        used_indices = {s.index for s in used}
+        info = LabRunInfo(
+            shards_total=len(shards),
+            shards_from_store=len(loaded),
+            shards_executed=executed_shards[0],
+            injections_from_store=sum(
+                sum(c.values()) for i, c in loaded.items() if i in used_indices
+            ),
+            injections_executed=executed_injections[0],
+            injections_used=result.total,
+            stopped_early=len(used) < len(shards),
+            ci_halfwidth=(stopper.max_halfwidth(result.counts)
+                          if stopper is not None else None),
+            durable=durable,
+            batch_lanes_degraded=lane_stats.get("lanes_degraded", 0),
+        )
+        events.emit(
+            "campaign-finished", workload=workload, version=version,
+            injections=result.total, executed=info.injections_executed,
+            from_store=info.injections_from_store,
+            lanes_degraded=info.batch_lanes_degraded,
+        )
+        return DurableCampaign(result=result, info=info, spec=spec)

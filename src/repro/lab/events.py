@@ -29,6 +29,10 @@ Event kinds emitted today:
                        in the worker — in-process runs (the default
                        service/cluster shard path, ``--workers 1``)
                        see every one.
+``engine-compile``     digest, variant, functions, blocks, segments,
+                       compile_ms, code_hits, code_misses (the
+                       compiled engine translated this campaign's
+                       module; cache-warm campaigns emit none)
 ``store-stale``        purged (stale shard rows dropped for this cell)
 ``store-disabled``     reason (unkeyable eligibility predicate)
 ``adaptive-stop``      injections, halfwidth, target

@@ -25,6 +25,7 @@ import json
 import sys
 from typing import List, Optional
 
+from ..cpu.interpreter import registered_engines
 from ..faults.models import DEFAULT_MODEL, model_names
 from ..lab.store import default_store_path
 from .admission import TenantQuotas
@@ -100,8 +101,8 @@ def _submit_parser() -> argparse.ArgumentParser:
                              "(see `python -m repro variants`)")
     parser.add_argument("--fault-model", default=DEFAULT_MODEL,
                         choices=model_names())
-    parser.add_argument("--engine", default="decoded",
-                        choices=("decoded", "reference"))
+    parser.add_argument("--engine", default="compiled",
+                        choices=registered_engines())
     parser.add_argument("--scale", default="test",
                         choices=("test", "perf"))
     parser.add_argument("--injections", type=int, default=None)

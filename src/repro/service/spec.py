@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Dict, Optional
 
+from ..cpu.interpreter import registered_engines
 from ..faults.campaign import CampaignConfig
 from ..faults.models import DEFAULT_MODEL, model_names
 from ..lab.store import digest_of
@@ -60,7 +61,7 @@ class CampaignRequest:
     workload: str
     version: str
     fault_model: str = DEFAULT_MODEL
-    engine: str = "decoded"
+    engine: str = "compiled"
     scale: str = "test"
     injections: int = 0      # 0 -> scale default
     seed: int = 2016
@@ -153,9 +154,10 @@ def parse_request(payload: object) -> CampaignRequest:
                         f"{', '.join(model_names())}")
 
     engine = payload.get("engine", "decoded")
-    if engine not in ("decoded", "reference"):
-        raise SpecError("engine", "must be 'decoded' or 'reference', "
-                                  f"got {engine!r}")
+    if engine not in registered_engines():
+        raise SpecError("engine",
+                        f"unknown engine {engine!r}; registered: "
+                        f"{', '.join(registered_engines())}")
 
     ci_target = payload.get("ci_target")
     if ci_target is not None:
